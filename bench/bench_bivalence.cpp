@@ -1,0 +1,89 @@
+// E2 (Lemma 4): cost of classifying the canonical initializations and
+// finding a bivalent one, as a function of system size and object
+// resilience. Counters report the exhaustively explored state count --
+// the certificate size behind each valence verdict.
+#include <benchmark/benchmark.h>
+
+#include "analysis/bivalence.h"
+#include "processes/relay_consensus.h"
+#include "processes/tob_consensus.h"
+
+using namespace boosting;
+using analysis::StateGraph;
+using analysis::ValenceAnalyzer;
+
+namespace {
+
+void BM_BivalentInitRelay(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  processes::RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  std::size_t states = 0;
+  bool found = false;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    ValenceAnalyzer va(g);
+    auto result = analysis::findBivalentInitialization(g, va);
+    found = result.bivalent.has_value();
+    states = g.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["bivalent_found"] = found ? 1 : 0;
+}
+
+void BM_BivalentInitBridge(benchmark::State& state) {
+  processes::BridgeSystemSpec spec;
+  spec.processCount = static_cast<int>(state.range(0));
+  spec.bridgeEndpoint = 1;
+  auto sys = processes::buildBridgeConsensusSystem(spec);
+  std::size_t states = 0;
+  bool found = false;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    ValenceAnalyzer va(g);
+    auto result = analysis::findBivalentInitialization(g, va);
+    found = result.bivalent.has_value();
+    states = g.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["bivalent_found"] = found ? 1 : 0;
+}
+
+void BM_BivalentInitTOB(benchmark::State& state) {
+  processes::TOBConsensusSpec spec;
+  spec.processCount = static_cast<int>(state.range(0));
+  spec.serviceResilience = 0;
+  auto sys = processes::buildTOBConsensusSystem(spec);
+  std::size_t states = 0;
+  bool found = false;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    ValenceAnalyzer va(g);
+    auto result = analysis::findBivalentInitialization(g, va);
+    found = result.bivalent.has_value();
+    states = g.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["bivalent_found"] = found ? 1 : 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_BivalentInitRelay)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({5, 3})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BivalentInitBridge)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BivalentInitTOB)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,133 @@
+// E1: canonical atomic object operation throughput (Fig. 1 engine).
+//
+// Measures the full invoke -> perform -> respond cycle on canonical
+// objects of several sequential types and endpoint counts. Regenerates the
+// "cost of the canonical object machinery" baseline used throughout
+// EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "compose/system_as_service.h"
+#include "processes/relay_consensus.h"
+#include "processes/rotating_consensus.h"
+#include "services/canonical_atomic.h"
+#include "sim/runner.h"
+#include "types/builtin_types.h"
+
+using namespace boosting;
+using services::CanonicalAtomicObject;
+using util::sym;
+
+namespace {
+
+void runOpsCycle(benchmark::State& state, const types::SequentialType& type,
+                 util::Value inv) {
+  const int endpoints = static_cast<int>(state.range(0));
+  std::vector<int> ends;
+  for (int i = 0; i < endpoints; ++i) ends.push_back(i);
+  CanonicalAtomicObject obj(type, 1, ends, endpoints - 1);
+  auto s = obj.initialState();
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < endpoints; ++i) {
+      obj.apply(*s, ioa::Action::invoke(i, 1, inv));
+      obj.apply(*s, *obj.enabledAction(*s, ioa::TaskId::servicePerform(1, i)));
+      obj.apply(*s, *obj.enabledAction(*s, ioa::TaskId::serviceOutput(1, i)));
+      ++ops;
+    }
+  }
+  state.counters["ops_per_sec"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_ConsensusObjectOps(benchmark::State& state) {
+  runOpsCycle(state, types::binaryConsensusType(), sym("init", 1));
+}
+
+void BM_RegisterObjectWrite(benchmark::State& state) {
+  runOpsCycle(state, types::registerType(), sym("write", 7));
+}
+
+void BM_RegisterObjectRead(benchmark::State& state) {
+  runOpsCycle(state, types::registerType(), sym("read"));
+}
+
+void BM_CounterObjectInc(benchmark::State& state) {
+  runOpsCycle(state, types::counterType(), sym("inc"));
+}
+
+void BM_KSetObjectInit(benchmark::State& state) {
+  runOpsCycle(state, types::kSetConsensusType(2), sym("init", 3));
+}
+
+void BM_QueueObjectEnqDeq(benchmark::State& state) {
+  const int endpoints = static_cast<int>(state.range(0));
+  std::vector<int> ends;
+  for (int i = 0; i < endpoints; ++i) ends.push_back(i);
+  CanonicalAtomicObject obj(types::queueType(), 1, ends, endpoints - 1);
+  auto s = obj.initialState();
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < endpoints; ++i) {
+      obj.apply(*s, ioa::Action::invoke(i, 1, sym("enq", i)));
+      obj.apply(*s, *obj.enabledAction(*s, ioa::TaskId::servicePerform(1, i)));
+      obj.apply(*s, *obj.enabledAction(*s, ioa::TaskId::serviceOutput(1, i)));
+      obj.apply(*s, ioa::Action::invoke(i, 1, sym("deq")));
+      obj.apply(*s, *obj.enabledAction(*s, ioa::TaskId::servicePerform(1, i)));
+      obj.apply(*s, *obj.enabledAction(*s, ioa::TaskId::serviceOutput(1, i)));
+      ops += 2;
+    }
+  }
+  state.counters["ops_per_sec"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_WrappedVsCanonicalConsensus(benchmark::State& state) {
+  // Composition-of-implementations overhead: a full consensus run where
+  // the service is (0) the canonical object vs (1) the Section-6.3
+  // rotating-coordinator SYSTEM wrapped as a service.
+  const int n = 3;
+  const bool wrapped = state.range(0) == 1;
+  auto outer = std::make_unique<ioa::System>();
+  const int serviceId = 1000;
+  for (int i = 0; i < n; ++i) {
+    outer->addProcess(
+        std::make_shared<processes::RelayConsensusProcess>(i, serviceId));
+  }
+  if (wrapped) {
+    processes::RotatingConsensusSpec spec;
+    spec.processCount = n;
+    auto inner = std::shared_ptr<const ioa::System>(
+        processes::buildRotatingConsensusSystem(spec));
+    auto svc = std::make_shared<compose::SystemAsService>(inner, serviceId,
+                                                          n - 1, true);
+    outer->addService(svc, svc->meta());
+  } else {
+    auto svc = std::make_shared<CanonicalAtomicObject>(
+        types::binaryConsensusType(), serviceId,
+        std::vector<int>{0, 1, 2}, n - 1);
+    outer->addService(svc, svc->meta());
+  }
+  bool ok = true;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    boosting::sim::RunConfig cfg;
+    cfg.inits = boosting::sim::binaryInits(n, 0b011);
+    cfg.maxSteps = 1000000;
+    auto r = boosting::sim::run(*outer, cfg);
+    ok = ok && r.allDecided();
+    steps = r.steps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["decided"] = ok ? 1 : 0;
+  state.counters["steps_to_decide"] = static_cast<double>(steps);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ConsensusObjectOps)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_RegisterObjectWrite)->Arg(2)->Arg(8)->Arg(16);
+BENCHMARK(BM_RegisterObjectRead)->Arg(2)->Arg(8)->Arg(16);
+BENCHMARK(BM_CounterObjectInc)->Arg(2)->Arg(8);
+BENCHMARK(BM_KSetObjectInit)->Arg(2)->Arg(8);
+BENCHMARK(BM_QueueObjectEnqDeq)->Arg(2)->Arg(8);
+BENCHMARK(BM_WrappedVsCanonicalConsensus)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,147 @@
+// E7 (Section 6.3): the failure-detector booster and its consensus
+// consequence.
+//
+//   * detection_steps: fair steps until every survivor's suspect-set
+//     output equals the crashed set (completeness latency) in the
+//     wait-free n-process perfect FD built from pairwise detectors;
+//   * rotating-coordinator consensus steps-to-decision under up to n-1
+//     failures (decided == 1 is the boosting headline: any f, from
+//     1-resilient services).
+#include <benchmark/benchmark.h>
+
+#include "processes/evp_consensus.h"
+#include "processes/fd_booster.h"
+#include "processes/rotating_consensus.h"
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+using namespace boosting;
+
+namespace {
+
+void BM_FDBoosterDetection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int crashes = static_cast<int>(state.range(1));
+  processes::FDBoosterSpec spec;
+  spec.processCount = n;
+  auto sys = processes::buildFDBoosterSystem(spec);
+
+  bool exact = true;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    sim::RunConfig cfg;
+    for (int i = 0; i < crashes; ++i) {
+      cfg.failures.emplace_back(static_cast<std::size_t>(5 * (i + 1)), i);
+    }
+    cfg.maxSteps = 30000;
+    cfg.stopWhenAllDecided = false;
+    // Stop as soon as every survivor has output the exact crashed set.
+    util::Value::List expected;
+    for (int i = 0; i < crashes; ++i) expected.emplace_back(i);
+    const util::Value target = util::Value::set(std::move(expected));
+    std::map<int, util::Value> latest;
+    cfg.stop = [&](const ioa::SystemState&, const ioa::Execution& e) {
+      const ioa::Action& a = e.actions().back();
+      if (a.kind == ioa::ActionKind::EnvDecide &&
+          a.payload.tag() == "suspect") {
+        latest.insert_or_assign(a.endpoint, a.payload.at(1));
+      }
+      for (int i = crashes; i < n; ++i) {
+        auto it = latest.find(i);
+        if (it == latest.end() || !(it->second == target)) return false;
+      }
+      return true;
+    };
+    auto r = sim::run(*sys, cfg);
+    steps = r.steps;
+    exact = exact && (r.reason == sim::RunResult::Reason::Custom);
+    latest.clear();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["detected"] = exact ? 1 : 0;
+  state.counters["detection_steps"] = static_cast<double>(steps);
+}
+
+void BM_RotatingConsensus(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int failures = static_cast<int>(state.range(1));
+  processes::RotatingConsensusSpec spec;
+  spec.processCount = n;
+  auto sys = processes::buildRotatingConsensusSystem(spec);
+
+  bool ok = true;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    sim::RunConfig cfg;
+    for (int i = 0; i < n; ++i) {
+      cfg.inits.emplace_back(i, util::Value(i % 2));
+    }
+    for (int i = 0; i < failures; ++i) {
+      cfg.failures.emplace_back(static_cast<std::size_t>(7 * (i + 1)), i);
+    }
+    cfg.maxSteps = 200000;
+    auto r = sim::run(*sys, cfg);
+    ok = ok && r.allDecided() && static_cast<bool>(sim::checkAgreement(r)) &&
+         static_cast<bool>(sim::checkValidity(r));
+    steps = r.steps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["decided"] = ok ? 1 : 0;
+  state.counters["steps_to_decide"] = static_cast<double>(steps);
+}
+
+void BM_EvPConsensus(benchmark::State& state) {
+  // Consensus from the EVENTUALLY perfect detector: the imperfect prefix
+  // (stabilization) costs rounds, never safety; steps-to-decide quantifies
+  // that cost.
+  const int n = static_cast<int>(state.range(0));
+  const int stabilization = static_cast<int>(state.range(1));
+  processes::EvPConsensusSpec spec;
+  spec.processCount = n;
+  spec.stabilizationSteps = stabilization;
+  spec.maxRounds = 40;
+  auto sys = processes::buildEvPConsensusSystem(spec);
+  bool ok = true;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    sim::RunConfig cfg;
+    cfg.inits = sim::binaryInits(n, 0b101u & ((1u << n) - 1));
+    cfg.maxSteps = 2000000;
+    auto r = sim::run(*sys, cfg);
+    ok = ok && r.allDecided() && static_cast<bool>(sim::checkAgreement(r));
+    steps = r.steps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["decided"] = ok ? 1 : 0;
+  state.counters["steps_to_decide"] = static_cast<double>(steps);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FDBoosterDetection)
+    ->Args({2, 1})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({4, 1})
+    ->Args({4, 3})
+    ->Args({5, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// n, failures: the failures = n-1 rows exhibit "consensus for any f".
+BENCHMARK(BM_RotatingConsensus)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 2})
+    ->Args({4, 3})
+    ->Args({5, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// n, stabilization delay of <>P.
+BENCHMARK(BM_EvPConsensus)
+    ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({3, 5})
+    ->Args({3, 20})
+    ->Args({5, 5})
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,125 @@
+// E1 companion: Wing-Gong linearizability checking cost as a function of
+// history length and concurrency -- the decision procedure behind clause 2
+// of the "implements" definition (Section 2.1.4).
+#include <benchmark/benchmark.h>
+
+#include "sim/linearizability.h"
+#include "types/builtin_types.h"
+#include "util/rng.h"
+
+using namespace boosting;
+using sim::Operation;
+using util::sym;
+
+namespace {
+
+// Sequential register history: write(i); read -> i; ...
+std::vector<Operation> sequentialHistory(int length) {
+  std::vector<Operation> ops;
+  std::size_t t = 0;
+  int last = -1;
+  for (int i = 0; i < length; ++i) {
+    Operation o;
+    o.endpoint = i % 3;
+    if (i % 2 == 0) {
+      o.invocation = sym("write", i);
+      o.response = sym("ack");
+      last = i;
+    } else {
+      o.invocation = sym("read");
+      o.response = util::Value(last);
+    }
+    o.completed = true;
+    o.invokedAt = t++;
+    o.respondedAt = t++;
+    ops.push_back(std::move(o));
+  }
+  return ops;
+}
+
+// Overlapping history: `width` concurrent register ops per batch.
+std::vector<Operation> concurrentHistory(int batches, int width,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Operation> ops;
+  std::size_t t = 0;
+  int lastWritten = 0;
+  for (int b = 0; b < batches; ++b) {
+    const std::size_t invStart = t;
+    t += static_cast<std::size_t>(width);
+    for (int w = 0; w < width; ++w) {
+      Operation o;
+      o.endpoint = w;
+      if (rng.chance(1, 2)) {
+        lastWritten = b * width + w;
+        o.invocation = sym("write", lastWritten);
+        o.response = sym("ack");
+      } else {
+        o.invocation = sym("read");
+        // Any previously-written value in the batch window is plausible;
+        // use the last committed one so the history stays linearizable.
+        o.response = b == 0 ? util::Value::nil() : util::Value(lastWritten);
+      }
+      o.completed = true;
+      o.invokedAt = invStart + static_cast<std::size_t>(w);
+      o.respondedAt = t++;
+      ops.push_back(std::move(o));
+    }
+  }
+  return ops;
+}
+
+void BM_LinearizableSequential(benchmark::State& state) {
+  auto ops = sequentialHistory(static_cast<int>(state.range(0)));
+  bool ok = true;
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    auto r = sim::checkLinearizable(types::registerType(), ops);
+    ok = ok && r.linearizable;
+    visited = r.statesVisited;
+  }
+  state.counters["linearizable"] = ok ? 1 : 0;
+  state.counters["search_states"] = static_cast<double>(visited);
+}
+
+void BM_LinearizableConcurrent(benchmark::State& state) {
+  auto ops = concurrentHistory(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)), 7);
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    auto r = sim::checkLinearizable(types::registerType(), ops);
+    visited = r.statesVisited;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["search_states"] = static_cast<double>(visited);
+}
+
+void BM_NonLinearizableRejection(benchmark::State& state) {
+  // Stale read after a completed write, padded with sequential noise: the
+  // checker must exhaust the search space to say no.
+  auto ops = sequentialHistory(static_cast<int>(state.range(0)));
+  Operation stale;
+  stale.endpoint = 4;
+  stale.invocation = sym("read");
+  stale.response = util::Value(-42);  // never written
+  stale.completed = true;
+  stale.invokedAt = 1000;
+  stale.respondedAt = 1001;
+  ops.push_back(stale);
+  bool rejected = true;
+  for (auto _ : state) {
+    auto r = sim::checkLinearizable(types::registerType(), ops);
+    rejected = rejected && !r.linearizable;
+  }
+  state.counters["rejected"] = rejected ? 1 : 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_LinearizableSequential)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_LinearizableConcurrent)
+    ->Args({2, 3})
+    ->Args({3, 3})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NonLinearizableRejection)->Arg(8)->Arg(16);

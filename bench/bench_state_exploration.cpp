@@ -1,0 +1,91 @@
+// E9 (Sections 3.2-3.3): raw throughput of the execution-graph machinery
+// that every certificate rests on -- state interning/hashing, successor
+// expansion, and full reachable-set exploration with valence computation.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <set>
+
+#include "analysis/bivalence.h"
+#include "analysis/valence.h"
+#include "processes/relay_consensus.h"
+
+using namespace boosting;
+using analysis::Edge;
+using analysis::NodeId;
+using analysis::StateGraph;
+using analysis::ValenceAnalyzer;
+
+namespace {
+
+std::unique_ptr<ioa::System> relay(int n, int f) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return processes::buildRelayConsensusSystem(spec);
+}
+
+void BM_StateHash(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  ioa::SystemState s = analysis::canonicalInitialization(*sys, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.hash());
+  }
+}
+
+void BM_StateClone(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  ioa::SystemState s = analysis::canonicalInitialization(*sys, 1);
+  for (auto _ : state) {
+    ioa::SystemState copy(s);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+
+void BM_ReachableExpansion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sys = relay(n, 0);
+  std::size_t states = 0;
+  std::int64_t expanded = 0;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    NodeId root = g.intern(analysis::canonicalInitialization(*sys, n / 2));
+    std::deque<NodeId> frontier{root};
+    std::set<NodeId> seen{root};
+    while (!frontier.empty()) {
+      NodeId x = frontier.front();
+      frontier.pop_front();
+      ++expanded;
+      for (const Edge& e : g.successors(x)) {
+        if (seen.insert(e.to).second) frontier.push_back(e.to);
+      }
+    }
+    states = g.size();
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(expanded), benchmark::Counter::kIsRate);
+}
+
+void BM_ValenceFullRegion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sys = relay(n, 0);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    ValenceAnalyzer va(g);
+    NodeId root = g.intern(analysis::canonicalInitialization(*sys, n / 2));
+    va.explore(root);
+    benchmark::DoNotOptimize(va.valence(root));
+    states = g.size();
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+
+}  // namespace
+
+BENCHMARK(BM_StateHash)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_StateClone)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ReachableExpansion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ValenceFullRegion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,115 @@
+// E8 (Section 5.2, Figs. 5-7): totally ordered broadcast throughput --
+// bcast -> perform -> compute (atomic delivery to all endpoints) -> drain,
+// as a function of the endpoint count; plus the consensus-from-TOB
+// steps-to-decision.
+#include <benchmark/benchmark.h>
+
+#include "processes/reliable_broadcast.h"
+#include "processes/tob_consensus.h"
+#include "services/canonical_oblivious.h"
+#include "sim/runner.h"
+#include "types/tob_type.h"
+
+using namespace boosting;
+using services::CanonicalObliviousService;
+using util::sym;
+
+namespace {
+
+void BM_TOBDeliveryCycle(benchmark::State& state) {
+  const int endpoints = static_cast<int>(state.range(0));
+  std::vector<int> ends;
+  for (int i = 0; i < endpoints; ++i) ends.push_back(i);
+  CanonicalObliviousService tob(types::totallyOrderedBroadcastType(), 1, ends,
+                                endpoints - 1);
+  auto s = tob.initialState();
+  std::int64_t deliveries = 0;
+  for (auto _ : state) {
+    tob.apply(*s, ioa::Action::invoke(0, 1, sym("bcast", util::Value(7))));
+    tob.apply(*s, *tob.enabledAction(*s, ioa::TaskId::servicePerform(1, 0)));
+    tob.apply(*s, *tob.enabledAction(*s, ioa::TaskId::serviceCompute(1, 0)));
+    for (int i = 0; i < endpoints; ++i) {
+      tob.apply(*s, *tob.enabledAction(*s, ioa::TaskId::serviceOutput(1, i)));
+      ++deliveries;
+    }
+  }
+  state.counters["deliveries_per_sec"] = benchmark::Counter(
+      static_cast<double>(deliveries), benchmark::Counter::kIsRate);
+}
+
+void BM_TOBConsensusDecision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  processes::TOBConsensusSpec spec;
+  spec.processCount = n;
+  spec.serviceResilience = n - 1;
+  auto sys = processes::buildTOBConsensusSystem(spec);
+  bool ok = true;
+  std::size_t steps = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::RunConfig cfg;
+    cfg.scheduler = sim::RunConfig::Sched::Random;
+    cfg.seed = seed++;
+    cfg.inits = sim::binaryInits(n, 0b10110101u & ((1u << n) - 1));
+    auto r = sim::run(*sys, cfg);
+    ok = ok && r.allDecided();
+    steps = r.steps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["decided"] = ok ? 1 : 0;
+  state.counters["steps_to_decide"] = static_cast<double>(steps);
+}
+
+void BM_ReliableBroadcast(benchmark::State& state) {
+  // The message-passing substrate under load: n simultaneous reliable
+  // broadcasts (relay-before-deliver => O(n^2) sends), measuring fair
+  // steps until every process delivered everything.
+  const int n = static_cast<int>(state.range(0));
+  processes::ReliableBroadcastSpec spec;
+  spec.processCount = n;
+  spec.channelResilience = n - 1;
+  auto sys = processes::buildReliableBroadcastSystem(spec);
+  bool ok = true;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    sim::RunConfig cfg;
+    for (int i = 0; i < n; ++i) cfg.inits.emplace_back(i, util::Value(i));
+    cfg.stopWhenAllDecided = false;
+    cfg.maxSteps = 100000;
+    std::map<int, int> deliveredCount;
+    cfg.stop = [&](const ioa::SystemState&, const ioa::Execution& e) {
+      const ioa::Action& a = e.actions().back();
+      if (a.kind == ioa::ActionKind::EnvDecide &&
+          a.payload.tag() == "deliver") {
+        if (++deliveredCount[a.endpoint] == n) {
+          for (int i = 0; i < n; ++i) {
+            if (deliveredCount[i] != n) return false;
+          }
+          return true;
+        }
+      }
+      return false;
+    };
+    auto r = sim::run(*sys, cfg);
+    ok = ok && r.reason == sim::RunResult::Reason::Custom;
+    steps = r.steps;
+    deliveredCount.clear();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["all_delivered"] = ok ? 1 : 0;
+  state.counters["steps"] = static_cast<double>(steps);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TOBDeliveryCycle)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_TOBConsensusDecision)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ReliableBroadcast)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);

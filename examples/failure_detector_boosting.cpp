@@ -1,0 +1,83 @@
+// Section 6.3: boosting IS possible for failure-aware services with
+// arbitrary connection patterns.
+//
+// Part 1 -- the booster: a wait-free 4-process perfect failure detector
+// built from 1-resilient 2-process detectors plus registers; we crash two
+// processes and watch every survivor's suspect set converge to exactly the
+// crashed set (accuracy + completeness).
+//
+// Part 2 -- the consequence: rotating-coordinator consensus over the
+// pairwise detectors tolerates n-1 = 3 failures -- resilience that
+// Theorem 10 says would be impossible if every detector had to be
+// connected to ALL processes.
+//
+// Build & run:  ./build/examples/failure_detector_boosting
+#include <cstdio>
+
+#include "processes/fd_booster.h"
+#include "processes/rotating_consensus.h"
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+using namespace boosting;
+
+int main() {
+  const int n = 4;
+
+  std::printf("== Part 1: wait-free %d-process perfect FD from 1-resilient "
+              "2-process FDs ==\n",
+              n);
+  processes::FDBoosterSpec fdSpec;
+  fdSpec.processCount = n;
+  auto booster = processes::buildFDBoosterSystem(fdSpec);
+
+  sim::RunConfig cfg;
+  cfg.maxSteps = 8000;
+  cfg.stopWhenAllDecided = false;
+  cfg.failures = {{10, 1}, {60, 3}};
+  auto r = sim::run(*booster, cfg);
+
+  for (int i = 0; i < n; ++i) {
+    if (r.failed.count(i)) continue;
+    // Last suspect output of each survivor.
+    util::Value last;
+    for (const ioa::Action& a : r.exec.actions()) {
+      if (a.kind == ioa::ActionKind::EnvDecide && a.endpoint == i) {
+        last = a.payload.at(1);
+      }
+    }
+    std::printf("P%d's final suspect set: %s\n", i, last.str().c_str());
+  }
+  auto exact = sim::checkFDExactness(r);
+  std::printf("accuracy + completeness: %s\n",
+              exact ? "OK (outputs == crashed set)" : exact.detail.c_str());
+
+  std::printf("\n== Part 2: consensus for ANY f from pairwise detectors + "
+              "registers ==\n");
+  processes::RotatingConsensusSpec rotSpec;
+  rotSpec.processCount = n;
+  auto consensus = processes::buildRotatingConsensusSystem(rotSpec);
+
+  sim::RunConfig cc;
+  cc.inits = {{0, util::Value(1)},
+              {1, util::Value(0)},
+              {2, util::Value(0)},
+              {3, util::Value(1)}};
+  cc.failures = {{0, 0}, {25, 1}, {70, 2}};  // n-1 = 3 failures
+  cc.maxSteps = 60000;
+  auto rc = sim::run(*consensus, cc);
+
+  for (const auto& [i, v] : rc.decisions) {
+    std::printf("P%d decided %s%s\n", i, v.str().c_str(),
+                rc.failed.count(i) ? "  (before failing)" : "");
+  }
+  auto agree = sim::checkAgreement(rc);
+  auto valid = sim::checkValidity(rc);
+  auto term = sim::checkModifiedTermination(rc);
+  std::printf("agreement:   %s\n", agree ? "OK" : agree.detail.c_str());
+  std::printf("validity:    %s\n", valid ? "OK" : valid.detail.c_str());
+  std::printf("termination: %s  (with %zu of %d processes failed)\n",
+              term ? "OK" : term.detail.c_str(), rc.failed.size(), n);
+
+  return (exact && agree && valid && term) ? 0 : 1;
+}

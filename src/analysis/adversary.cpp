@@ -1,0 +1,373 @@
+#include "analysis/adversary.h"
+
+#include <stdexcept>
+
+#include "processes/process.h"
+#include "sim/runner.h"
+
+namespace boosting::analysis {
+
+using ioa::Action;
+using ioa::ActionKind;
+using processes::ProcessBase;
+using util::Value;
+
+namespace {
+
+// Decisions recorded in process states (the technical assumption of
+// Section 2.2.1 makes them observable).
+std::map<int, Value> decisionsInState(const ioa::System& sys,
+                                      const ioa::SystemState& s) {
+  std::map<int, Value> out;
+  for (int i = 0; i < sys.processCount(); ++i) {
+    const auto& ps = ProcessBase::stateOf(s.part(sys.slotForProcess(i)));
+    if (!ps.decision.isNil()) out.emplace(i, ps.decision);
+  }
+  return out;
+}
+
+std::map<int, Value> inputsInState(const ioa::System& sys,
+                                   const ioa::SystemState& s) {
+  std::map<int, Value> out;
+  for (int i = 0; i < sys.processCount(); ++i) {
+    const auto& ps = ProcessBase::stateOf(s.part(sys.slotForProcess(i)));
+    if (!ps.input.isNil()) out.emplace(i, ps.input);
+  }
+  return out;
+}
+
+// Reconstruct the init(v)_i prefix of an initialization root.
+std::vector<Action> initActionsOf(const ioa::System& sys,
+                                  const ioa::SystemState& root) {
+  std::vector<Action> out;
+  for (const auto& [i, v] : inputsInState(sys, root)) {
+    out.push_back(Action::envInit(i, v));
+  }
+  return out;
+}
+
+// Node-local safety check: agreement among recorded decisions, and
+// validity of each decision against the node's own recorded inputs.
+std::optional<std::string> nodeSafetyViolation(const ioa::System& sys,
+                                               const ioa::SystemState& s) {
+  const auto decisions = decisionsInState(sys, s);
+  const auto inputs = inputsInState(sys, s);
+  const Value* first = nullptr;
+  int firstWho = -1;
+  for (const auto& [i, v] : decisions) {
+    bool valid = false;
+    for (const auto& [j, in] : inputs) {
+      (void)j;
+      if (in == v) valid = true;
+    }
+    if (!valid) {
+      return "validity violated: P" + std::to_string(i) + " decided " +
+             v.str() + ", proposed by no process";
+    }
+    if (first == nullptr) {
+      first = &v;
+      firstWho = i;
+    } else if (!(*first == v)) {
+      return "agreement violated: P" + std::to_string(firstWho) +
+             " decided " + first->str() + ", P" + std::to_string(i) +
+             " decided " + v.str();
+    }
+  }
+  return std::nullopt;
+}
+
+// Witness = init prefix of the node's root + the failure-free path to it.
+ioa::Execution witnessToNode(StateGraph& g, NodeId node) {
+  ioa::Execution exec;
+  const NodeId root = g.rootOf(node);
+  for (Action& a : initActionsOf(g.system(), g.state(root))) {
+    exec.append(std::move(a));
+  }
+  for (const Edge& e : g.pathTo(node)) exec.append(e.action);
+  return exec;
+}
+
+ioa::Execution witnessFromRun(StateGraph& g, NodeId startNode,
+                              const sim::RunResult& run) {
+  ioa::Execution exec = witnessToNode(g, startNode);
+  for (const Action& a : run.exec.actions()) exec.append(a);
+  return exec;
+}
+
+// The failure set J of Lemmas 6/7: |J| = f+1, containing (Lemma 6) the
+// similar process j, or arranged around the similar service's endpoints
+// (Lemma 7).
+std::set<int> chooseFailureSet(const ioa::System& sys,
+                               const HookClassification& cls,
+                               int claimedFailures) {
+  const int n = sys.processCount();
+  std::set<int> J;
+  auto fill = [&]() {
+    for (int i = 0; i < n && static_cast<int>(J.size()) < claimedFailures;
+         ++i) {
+      J.insert(i);
+    }
+  };
+  switch (cls.kind) {
+    case HookClassification::Kind::ProcessSimilar:
+      J.insert(cls.index);
+      fill();
+      break;
+    case HookClassification::Kind::ServiceSimilar: {
+      const auto& ends = sys.serviceMeta(cls.index).endpoints;
+      if (static_cast<int>(ends.size()) <= claimedFailures) {
+        J.insert(ends.begin(), ends.end());  // J_k subset of J
+        fill();
+      } else {
+        for (int i : ends) {  // J subset of J_k
+          if (static_cast<int>(J.size()) >= claimedFailures) break;
+          J.insert(i);
+        }
+      }
+      break;
+    }
+    default:
+      fill();
+      break;
+  }
+  return J;
+}
+
+sim::RunResult runGamma(const ioa::System& sys, const ioa::SystemState& start,
+                        const std::set<int>& J, std::size_t maxSteps) {
+  sim::RunConfig cfg;
+  cfg.startState = start;
+  cfg.maxSteps = maxSteps;
+  cfg.detectLivelock = true;
+  cfg.stopWhenAllDecided = false;
+  for (int i : J) cfg.failures.emplace_back(0, i);
+  cfg.stop = [&J](const ioa::SystemState&, const ioa::Execution& exec) {
+    if (exec.empty()) return false;
+    const Action& a = exec.actions().back();
+    return a.kind == ActionKind::EnvDecide && J.count(a.endpoint) == 0 &&
+           a.payload.tag() == "decide";
+  };
+  return sim::run(sys, cfg);
+}
+
+}  // namespace
+
+std::string AdversaryReport::summary() const {
+  std::string v;
+  switch (verdict) {
+    case Verdict::SafetyViolation: v = "SAFETY VIOLATION"; break;
+    case Verdict::TerminationViolation: v = "TERMINATION VIOLATION"; break;
+    case Verdict::Inconclusive: v = "INCONCLUSIVE"; break;
+  }
+  std::string fails;
+  for (int i : witnessFailures) {
+    if (!fails.empty()) fails += ",";
+    fails += std::to_string(i);
+  }
+  return v + " -- " + narrative + (witnessFailures.empty()
+                                       ? std::string(" [failure-free]")
+                                       : " [failed: {" + fails + "}]");
+}
+
+AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
+                                          const AdversaryConfig& cfg) {
+  AdversaryReport report;
+  if (cfg.claimedFailures < 1 || cfg.claimedFailures >= sys.processCount()) {
+    throw std::logic_error(
+        "adversary: claimed failures must satisfy 1 <= f+1 <= n-1 "
+        "(the theorems assume 0 <= f < n-1)");
+  }
+
+  StateGraph g(sys);
+  ValenceAnalyzer va(g);
+
+  // -- Steps 1 + 2: initializations, valence, exhaustive safety scan. -----
+  BivalenceResult biv = findBivalentInitialization(g, va);
+  report.initializations = biv.initializations;
+  report.statesExplored = g.size();
+
+  for (NodeId node = 0; node < g.size(); ++node) {
+    if (auto violation = nodeSafetyViolation(sys, g.state(node))) {
+      report.verdict = AdversaryReport::Verdict::SafetyViolation;
+      report.narrative = *violation;
+      report.witness = witnessToNode(g, node);
+      return report;
+    }
+  }
+
+  for (const InitializationOutcome& init : biv.initializations) {
+    if (init.valence == Valence::Null) {
+      // No decision is reachable at all: every fair failure-free execution
+      // violates termination. Materialize one.
+      sim::RunConfig rc;
+      rc.startState = g.state(init.node);
+      rc.detectLivelock = true;
+      rc.stopWhenAllDecided = false;
+      rc.maxSteps = cfg.gammaMaxSteps;
+      sim::RunResult rr = sim::run(sys, rc);
+      report.verdict = AdversaryReport::Verdict::TerminationViolation;
+      report.narrative =
+          "initialization with " + std::to_string(init.onesPrefix) +
+          " ones is Null-valent: no extension decides at all";
+      report.witness = witnessFromRun(g, init.node, rr);
+      return report;
+    }
+  }
+
+  if (!biv.bivalent) {
+    // Lemma 4's contradiction, made concrete: fail the single process the
+    // adjacent opposite-valent initializations differ in.
+    if (!biv.adjacentOppositePair) {
+      report.narrative =
+          "no bivalent initialization and no adjacent opposite-valent pair: "
+          "valence certificates violate validity assumptions";
+      return report;
+    }
+    const auto& [a, b] = *biv.adjacentOppositePair;
+    const int d = a.onesPrefix;  // alpha_j vs alpha_{j+1} differ at P_j
+    for (const InitializationOutcome* init : {&a, &b}) {
+      sim::RunResult rr =
+          runGamma(sys, g.state(init->node), {d}, cfg.gammaMaxSteps);
+      if (rr.livelocked() || rr.reason == sim::RunResult::Reason::StepLimit) {
+        report.verdict = AdversaryReport::Verdict::TerminationViolation;
+        report.narrative =
+            "Lemma 4 construction: failing the differing process P" +
+            std::to_string(d) + " after the " +
+            std::to_string(init->onesPrefix) +
+            "-ones initialization yields a fair execution in which no "
+            "correct process decides";
+        report.witness = witnessFromRun(g, init->node, rr);
+        report.witnessFailures = {d};
+        return report;
+      }
+    }
+    report.narrative =
+        "adjacent opposite-valent initializations both decide after failing "
+        "the differing process: valence certificates are inconsistent";
+    return report;
+  }
+
+  report.bivalentInit = biv.bivalent;
+
+  // -- Step 3: hook search (Lemma 5 / Fig. 3). ----------------------------
+  HookSearchOutcome hs =
+      findHook(g, va, biv.bivalent->node, cfg.hookMaxIterations);
+  report.statesExplored = g.size();
+  report.fairCycle = hs.fairCycle;
+
+  if (hs.fairCycle) {
+    // A failure-free fair execution that never decides.
+    report.verdict = AdversaryReport::Verdict::TerminationViolation;
+    report.narrative =
+        "hook search revisited a (configuration, round-robin cursor) pair: "
+        "infinite fair FAILURE-FREE execution through bivalent "
+        "configurations (no process ever decides)";
+    ioa::Execution exec = witnessToNode(g, hs.cycleStart);
+    // Append one period of the cycle for concreteness.
+    ioa::SystemState s = g.state(hs.cycleStart);
+    for (const ioa::TaskId& t : hs.cycleTasks) {
+      if (auto a = sys.enabled(s, t)) {
+        sys.applyInPlace(s, *a);
+        exec.append(*a);
+      }
+    }
+    report.witness = std::move(exec);
+    return report;
+  }
+
+  if (!hs.hook) {
+    report.narrative = "hook search budget exhausted";
+    return report;
+  }
+  report.hook = hs.hook;
+
+  // -- Step 4: Lemma 8 case analysis + the gamma construction. ------------
+  SimilarityOptions simOpts;
+  simOpts.exemptFailureAware = cfg.exemptFailureAware;
+  report.classification = classifyHook(g, *hs.hook, simOpts);
+
+  const bool zeroSideIsAlpha0 = hs.hook->alpha0Valence == Valence::Zero;
+  // Start the gamma run from the 0-valent side (the proofs' convention);
+  // with viaEPrime, from its e'-extension, which is still 0-valent.
+  NodeId startNode = zeroSideIsAlpha0 ? hs.hook->alpha0 : hs.hook->alpha1;
+  if (report.classification.viaEPrime) {
+    if (auto edge = g.successorVia(hs.hook->alpha0, hs.hook->ePrime)) {
+      startNode = edge->to;
+    }
+  }
+
+  const std::set<int> J =
+      chooseFailureSet(sys, report.classification, cfg.claimedFailures);
+  sim::RunResult rr = runGamma(sys, g.state(startNode), J, cfg.gammaMaxSteps);
+
+  if (rr.livelocked() || rr.reason == sim::RunResult::Reason::StepLimit) {
+    report.verdict = AdversaryReport::Verdict::TerminationViolation;
+    report.narrative =
+        "gamma construction (" + report.classification.narrative +
+        "): after failing J = f+1 processes and letting the silenced "
+        "services take dummy steps, the fair execution never decides";
+    report.witness = witnessFromRun(g, startNode, rr);
+    report.witnessFailures = J;
+    return report;
+  }
+
+  // The gamma run decided. For a sound valence certificate this is
+  // impossible (the Lemma 6/7 replay after the opposite-valent hook
+  // endpoint would contradict its valence); report what happened.
+  report.narrative =
+      "gamma construction decided despite f+1 failures (" +
+      report.classification.narrative +
+      "); replay after the opposite hook endpoint would contradict its "
+      "valence -- certificate inconsistency, inspect the candidate";
+  return report;
+}
+
+TerminationSearchReport searchTerminationCounterexample(
+    const ioa::System& sys, int maxFailures, std::size_t maxSteps) {
+  const int n = sys.processCount();
+  if (n > 20) {
+    throw std::logic_error(
+        "searchTerminationCounterexample: subset enumeration is bounded to "
+        "20 processes");
+  }
+  if (maxFailures < 1 || maxFailures >= n) {
+    throw std::logic_error(
+        "searchTerminationCounterexample: need 1 <= maxFailures <= n-1");
+  }
+  TerminationSearchReport report;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    const int popcount = __builtin_popcount(mask);
+    if (popcount > maxFailures) continue;
+    for (int ones = 0; ones <= n; ++ones) {
+      sim::RunConfig cfg;
+      for (int i = 0; i < n; ++i) {
+        cfg.inits.emplace_back(i, util::Value(i < ones ? 1 : 0));
+      }
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1u) cfg.failures.emplace_back(0, i);
+      }
+      cfg.detectLivelock = true;
+      cfg.maxSteps = maxSteps;
+      sim::RunResult rr = sim::run(sys, cfg);
+      ++report.runsTried;
+      if (rr.allDecided()) {
+        ++report.runsDecided;
+        continue;
+      }
+      if (rr.livelocked()) {
+        report.counterexampleFound = true;
+        for (int i = 0; i < n; ++i) {
+          if ((mask >> i) & 1u) report.failureSet.insert(i);
+        }
+        report.onesPrefix = ones;
+        report.witness = std::move(rr.exec);
+        return report;
+      }
+      // StepLimit without a decision is suspicious but not a certificate;
+      // keep searching for a certified livelock.
+    }
+  }
+  return report;
+}
+
+}  // namespace boosting::analysis

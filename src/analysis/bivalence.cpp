@@ -1,0 +1,44 @@
+#include "analysis/bivalence.h"
+
+namespace boosting::analysis {
+
+ioa::SystemState canonicalInitialization(const ioa::System& sys,
+                                         int onesPrefix) {
+  ioa::SystemState s = sys.initialState();
+  for (int i = 0; i < sys.processCount(); ++i) {
+    sys.injectInit(s, i, util::Value(i < onesPrefix ? 1 : 0));
+  }
+  return s;
+}
+
+BivalenceResult findBivalentInitialization(StateGraph& g,
+                                           ValenceAnalyzer& va) {
+  BivalenceResult result;
+  const int n = g.system().processCount();
+  for (int j = 0; j <= n; ++j) {
+    InitializationOutcome out;
+    out.onesPrefix = j;
+    out.node = g.intern(canonicalInitialization(g.system(), j));
+    va.explore(out.node);
+    out.valence = va.valence(out.node);
+    result.initializations.push_back(out);
+    if (!result.bivalent && out.valence == Valence::Bivalent) {
+      result.bivalent = out;
+    }
+  }
+  if (!result.bivalent) {
+    for (int j = 0; j + 1 <= n; ++j) {
+      const auto& a = result.initializations[static_cast<std::size_t>(j)];
+      const auto& b = result.initializations[static_cast<std::size_t>(j + 1)];
+      const bool aUni = a.valence == Valence::Zero || a.valence == Valence::One;
+      const bool bUni = b.valence == Valence::Zero || b.valence == Valence::One;
+      if (aUni && bUni && a.valence != b.valence) {
+        result.adjacentOppositePair = std::make_pair(a, b);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace boosting::analysis

@@ -1,0 +1,85 @@
+#include "analysis/dot_export.h"
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+namespace boosting::analysis {
+
+namespace {
+
+const char* fillFor(Valence v) {
+  switch (v) {
+    case Valence::Bivalent: return "khaki";
+    case Valence::Zero: return "lightblue";
+    case Valence::One: return "salmon";
+    case Valence::Null: return "gray85";
+  }
+  return "white";
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string exportDot(StateGraph& g, ValenceAnalyzer& va, NodeId root,
+                      const DotOptions& options) {
+  va.explore(root);
+
+  std::set<std::pair<NodeId, NodeId>> hookEdges;
+  if (options.highlightHook) {
+    const Hook& h = *options.highlightHook;
+    hookEdges.insert({h.alpha, h.alpha0});
+    hookEdges.insert({h.alpha, h.alphaPrime});
+    hookEdges.insert({h.alphaPrime, h.alpha1});
+  }
+
+  std::string out = "digraph GC {\n  rankdir=TB;\n  node [style=filled];\n";
+  std::deque<NodeId> frontier{root};
+  std::unordered_map<NodeId, bool> seen{{root, true}};
+  std::vector<NodeId> nodes;
+  while (!frontier.empty() && nodes.size() < options.maxNodes) {
+    const NodeId x = frontier.front();
+    frontier.pop_front();
+    nodes.push_back(x);
+    for (const Edge& e : g.successors(x)) {
+      if (seen.emplace(e.to, true).second) frontier.push_back(e.to);
+    }
+  }
+  std::set<NodeId> included(nodes.begin(), nodes.end());
+
+  for (NodeId x : nodes) {
+    std::string label = "n" + std::to_string(x) + "\\n" +
+                        valenceName(va.valence(x));
+    if (options.includeStateLabels) {
+      label += "\\n" + escape(g.state(x).str());
+    }
+    out += "  n" + std::to_string(x) + " [label=\"" + label +
+           "\", fillcolor=" + fillFor(va.valence(x)) + "];\n";
+  }
+  for (NodeId x : nodes) {
+    for (const Edge& e : g.successors(x)) {
+      if (included.count(e.to) == 0) continue;
+      const bool inHook = hookEdges.count({x, e.to}) != 0;
+      out += "  n" + std::to_string(x) + " -> n" + std::to_string(e.to) +
+             " [label=\"" + escape(e.task.str()) + "\"" +
+             (inHook ? ", color=red, penwidth=2.5" : "") + "];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace boosting::analysis

@@ -1,0 +1,280 @@
+#include "analysis/hook.h"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace boosting::analysis {
+
+namespace {
+
+struct BfsTree {
+  // parent[x] = (previous node, task taken); roots absent.
+  std::unordered_map<NodeId, std::pair<NodeId, ioa::TaskId>> parent;
+
+  std::vector<std::pair<NodeId, ioa::TaskId>> pathFrom(NodeId root,
+                                                       NodeId target) const {
+    std::vector<std::pair<NodeId, ioa::TaskId>> rev;
+    NodeId cur = target;
+    while (cur != root) {
+      auto it = parent.find(cur);
+      if (it == parent.end()) {
+        throw std::logic_error("hook BFS: broken parent chain");
+      }
+      rev.emplace_back(it->second.first, it->second.second);
+      cur = it->second.first;
+    }
+    std::vector<std::pair<NodeId, ioa::TaskId>> out(rev.rbegin(), rev.rend());
+    return out;  // (node, task applied at node), ending just before target
+  }
+};
+
+Valence oppositeOf(Valence v) {
+  return v == Valence::Zero ? Valence::One : Valence::Zero;
+}
+
+}  // namespace
+
+HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
+                           NodeId bivalentInit, std::size_t maxIterations) {
+  va.explore(bivalentInit);
+  if (va.valence(bivalentInit) != Valence::Bivalent) {
+    throw std::logic_error("findHook: starting vertex is not bivalent");
+  }
+
+  HookSearchOutcome outcome;
+  const auto& tasks = g.system().allTasks();
+  NodeId alpha = bivalentInit;
+  std::size_t cursor = 0;
+
+  // (node, cursor) -> iteration index, for fair-cycle certification.
+  std::map<std::pair<NodeId, std::size_t>, std::size_t> seen;
+  std::vector<std::vector<ioa::TaskId>> appliedPerIteration;
+
+  for (std::size_t iter = 0; iter < maxIterations; ++iter) {
+    outcome.iterations = iter;
+
+    auto key = std::make_pair(alpha, cursor);
+    if (auto it = seen.find(key); it != seen.end()) {
+      // Deterministic revisit: one period of an infinite fair failure-free
+      // execution through bivalent configurations (the paper's infinite-pi
+      // case, Lemma 5).
+      outcome.fairCycle = true;
+      outcome.cycleStart = alpha;
+      for (std::size_t k = it->second; k < appliedPerIteration.size(); ++k) {
+        for (const ioa::TaskId& t : appliedPerIteration[k]) {
+          outcome.cycleTasks.push_back(t);
+        }
+      }
+      outcome.statesTouched = g.size();
+      return outcome;
+    }
+    seen.emplace(key, appliedPerIteration.size());
+
+    // Next applicable task in round-robin order (process tasks are always
+    // applicable, so this terminates).
+    ioa::TaskId e;
+    std::size_t newCursor = cursor;
+    {
+      bool found = false;
+      for (std::size_t k = 0; k < tasks.size(); ++k) {
+        const std::size_t idx = (cursor + k) % tasks.size();
+        if (g.successorVia(alpha, tasks[idx])) {
+          e = tasks[idx];
+          newCursor = (idx + 1) % tasks.size();
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::logic_error("findHook: no applicable task (violates the "
+                               "always-enabled process-task assumption)");
+      }
+    }
+
+    // Search the e-free-reachable descendants of alpha for alpha' with
+    // e(alpha') bivalent (Fig. 3's inner search).
+    std::optional<NodeId> alphaPrimeNode;
+    BfsTree tree;
+    {
+      std::deque<NodeId> frontier{alpha};
+      std::unordered_map<NodeId, bool> visited{{alpha, true}};
+      while (!frontier.empty() && !alphaPrimeNode) {
+        const NodeId x = frontier.front();
+        frontier.pop_front();
+        if (auto edgeE = g.successorVia(x, e)) {
+          va.explore(edgeE->to);
+          if (va.valence(edgeE->to) == Valence::Bivalent) {
+            alphaPrimeNode = x;
+            break;
+          }
+        }
+        for (const Edge& edge : g.successors(x)) {
+          if (edge.task == e) continue;
+          if (visited.emplace(edge.to, true).second) {
+            tree.parent.emplace(edge.to, std::make_pair(x, edge.task));
+            frontier.push_back(edge.to);
+          }
+        }
+      }
+    }
+
+    if (alphaPrimeNode) {
+      // Move to e(alpha') and continue with the next round-robin task.
+      std::vector<ioa::TaskId> applied;
+      for (const auto& [node, task] : tree.pathFrom(alpha, *alphaPrimeNode)) {
+        (void)node;
+        applied.push_back(task);
+      }
+      applied.push_back(e);
+      appliedPerIteration.push_back(std::move(applied));
+      alpha = g.successorVia(*alphaPrimeNode, e)->to;
+      cursor = newCursor;
+      continue;
+    }
+
+    // Terminal vertex reached: every e-free-reachable alpha' has univalent
+    // e(alpha'). Extract the hook along a path toward the opposite decision
+    // (proof of Lemma 5).
+    const Edge eAtAlpha = *g.successorVia(alpha, e);
+    va.explore(eAtAlpha.to);
+    const Valence v0 = va.valence(eAtAlpha.to);
+    if (v0 != Valence::Zero && v0 != Valence::One) {
+      throw std::logic_error(
+          "findHook: e(alpha) at the terminal vertex is not univalent");
+    }
+    const Valence target = oppositeOf(v0);
+
+    // BFS over e-free edges for the first sigma* with e(sigma*) of the
+    // opposite valence; guaranteed to exist because alpha is bivalent.
+    std::optional<NodeId> sigmaStar;
+    BfsTree tree2;
+    {
+      std::deque<NodeId> frontier{alpha};
+      std::unordered_map<NodeId, bool> visited{{alpha, true}};
+      while (!frontier.empty() && !sigmaStar) {
+        const NodeId x = frontier.front();
+        frontier.pop_front();
+        if (auto edgeE = g.successorVia(x, e)) {
+          va.explore(edgeE->to);
+          if (va.valence(edgeE->to) == target) {
+            sigmaStar = x;
+            break;
+          }
+        }
+        for (const Edge& edge : g.successors(x)) {
+          if (edge.task == e) continue;
+          if (visited.emplace(edge.to, true).second) {
+            tree2.parent.emplace(edge.to, std::make_pair(x, edge.task));
+            frontier.push_back(edge.to);
+          }
+        }
+      }
+    }
+    if (!sigmaStar) {
+      throw std::logic_error(
+          "findHook: no opposite-valent e-successor found from a bivalent "
+          "terminal vertex (contradicts Lemma 5)");
+    }
+
+    // Walk sigma_0 .. sigma_m and find the flip.
+    std::vector<std::pair<NodeId, ioa::TaskId>> path =
+        tree2.pathFrom(alpha, *sigmaStar);
+    std::vector<NodeId> sigmas{alpha};
+    std::vector<ioa::TaskId> stepTasks;
+    for (const auto& [node, task] : path) {
+      stepTasks.push_back(task);
+      sigmas.push_back(g.successorVia(node, task)->to);
+    }
+    for (std::size_t j = 0; j + 1 < sigmas.size(); ++j) {
+      const Edge ej0 = *g.successorVia(sigmas[j], e);
+      const Edge ej1 = *g.successorVia(sigmas[j + 1], e);
+      va.explore(ej0.to);
+      va.explore(ej1.to);
+      if (va.valence(ej0.to) == v0 && va.valence(ej1.to) == target) {
+        Hook hook;
+        hook.alpha = sigmas[j];
+        hook.e = e;
+        hook.ePrime = stepTasks[j];
+        hook.alpha0 = ej0.to;
+        hook.alphaPrime = sigmas[j + 1];
+        hook.alpha1 = ej1.to;
+        hook.alpha0Valence = v0;
+        hook.alpha1Valence = target;
+        outcome.hook = hook;
+        outcome.statesTouched = g.size();
+        return outcome;
+      }
+    }
+    throw std::logic_error(
+        "findHook: valence flip not found along the sigma path");
+  }
+
+  outcome.statesTouched = g.size();
+  return outcome;  // iteration budget exhausted; neither hook nor cycle
+}
+
+bool isGenuineHook(StateGraph& g, ValenceAnalyzer& va, const Hook& hook) {
+  va.explore(hook.alpha);
+  if (va.valence(hook.alpha) != Valence::Bivalent) return false;
+  if (hook.e == hook.ePrime) return false;
+  auto e0 = g.successorVia(hook.alpha, hook.e);
+  auto ep = g.successorVia(hook.alpha, hook.ePrime);
+  if (!e0 || !ep || e0->to != hook.alpha0 || ep->to != hook.alphaPrime) {
+    return false;
+  }
+  auto e1 = g.successorVia(hook.alphaPrime, hook.e);
+  if (!e1 || e1->to != hook.alpha1) return false;
+  const Valence v0 = va.valence(hook.alpha0);
+  const Valence v1 = va.valence(hook.alpha1);
+  const bool univalent0 = v0 == Valence::Zero || v0 == Valence::One;
+  return univalent0 && v0 == hook.alpha0Valence && v1 == hook.alpha1Valence &&
+         v1 == (v0 == Valence::Zero ? Valence::One : Valence::Zero);
+}
+
+HookEnumeration enumerateHooks(StateGraph& g, ValenceAnalyzer& va, NodeId root,
+                               std::size_t maxHooks) {
+  va.explore(root);
+  HookEnumeration out;
+  std::deque<NodeId> frontier{root};
+  std::unordered_map<NodeId, bool> seen{{root, true}};
+  while (!frontier.empty()) {
+    const NodeId alpha = frontier.front();
+    frontier.pop_front();
+    ++out.nodesScanned;
+    const auto& edges = g.successors(alpha);
+    for (const Edge& e : edges) {
+      if (seen.emplace(e.to, true).second) frontier.push_back(e.to);
+    }
+    if (va.valence(alpha) != Valence::Bivalent) continue;
+    ++out.bivalentNodes;
+    for (const Edge& eEdge : edges) {
+      const Valence v0 = va.valence(eEdge.to);
+      if (v0 != Valence::Zero && v0 != Valence::One) continue;
+      const Valence target =
+          v0 == Valence::Zero ? Valence::One : Valence::Zero;
+      for (const Edge& epEdge : edges) {
+        if (epEdge.task == eEdge.task) continue;
+        auto e1 = g.successorVia(epEdge.to, eEdge.task);
+        if (!e1) continue;
+        va.explore(e1->to);
+        if (va.valence(e1->to) != target) continue;
+        Hook hook;
+        hook.alpha = alpha;
+        hook.e = eEdge.task;
+        hook.ePrime = epEdge.task;
+        hook.alpha0 = eEdge.to;
+        hook.alphaPrime = epEdge.to;
+        hook.alpha1 = e1->to;
+        hook.alpha0Valence = v0;
+        hook.alpha1Valence = target;
+        out.hooks.push_back(hook);
+        if (out.hooks.size() >= maxHooks) return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace boosting::analysis

@@ -1,0 +1,77 @@
+#include "analysis/lemma_replay.h"
+
+namespace boosting::analysis {
+
+using ioa::Action;
+using ioa::TaskId;
+using ioa::TaskOwner;
+
+bool AvoidSpec::excludes(const TaskId& t) const {
+  if (endpoint) {
+    if (t.owner == TaskOwner::Process && t.component == *endpoint) {
+      return true;
+    }
+    if ((t.owner == TaskOwner::ServicePerform ||
+         t.owner == TaskOwner::ServiceOutput) &&
+        t.endpoint == *endpoint) {
+      return true;
+    }
+  }
+  if (serviceId && t.owner != TaskOwner::Process &&
+      t.component == *serviceId) {
+    return true;
+  }
+  return false;
+}
+
+SynchronizedRun runSynchronized(const ioa::System& sys,
+                                const ioa::SystemState& a,
+                                const ioa::SystemState& b,
+                                const AvoidSpec& avoid, std::size_t maxSteps,
+                                bool stopOnDecide) {
+  SynchronizedRun out;
+  out.finalA = a;
+  out.finalB = b;
+  const auto& tasks = sys.allTasks();
+  std::size_t cursor = 0;
+  for (std::size_t step = 0; step < maxSteps; ++step) {
+    // Next applicable non-excluded task, judged on run A (the lemmas pick
+    // the schedule from the alpha_0 side).
+    std::optional<TaskId> chosen;
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      const std::size_t idx = (cursor + k) % tasks.size();
+      if (avoid.excludes(tasks[idx])) continue;
+      if (sys.enabled(out.finalA, tasks[idx])) {
+        chosen = tasks[idx];
+        cursor = (idx + 1) % tasks.size();
+        break;
+      }
+    }
+    if (!chosen) break;  // nothing applicable outside the exempted parts
+
+    auto actionA = sys.enabled(out.finalA, *chosen);
+    auto actionB = sys.enabled(out.finalB, *chosen);
+    if (!actionB || !(*actionA == *actionB)) {
+      out.corresponded = false;
+      out.divergedAt = step;
+      if (actionA) {
+        sys.applyInPlace(out.finalA, *actionA);
+        out.execA.append(*actionA);
+      }
+      if (actionB) {
+        sys.applyInPlace(out.finalB, *actionB);
+        out.execB.append(*actionB);
+      }
+      return out;
+    }
+    sys.applyInPlace(out.finalA, *actionA);
+    sys.applyInPlace(out.finalB, *actionB);
+    out.execA.append(*actionA);
+    out.execB.append(*actionB);
+    out.steps = step + 1;
+    if (stopOnDecide && actionA->kind == ioa::ActionKind::EnvDecide) break;
+  }
+  return out;
+}
+
+}  // namespace boosting::analysis

@@ -1,0 +1,63 @@
+// The replay correspondence inside Lemmas 6 and 7.
+//
+// Both lemmas hinge on the same induction: if two configurations are
+// j-similar (resp. k-similar), then applying any task sequence that
+// contains no task of P_j and no j-perform/j-output task of any service
+// (resp. no task of service S_k) after BOTH configurations yields
+// corresponding executions -- the same actions fire, every component other
+// than the exempted one moves in lockstep, and in particular the same
+// decide actions occur. That is what lets the proofs transplant the
+// deciding extension gamma' from the 0-valent execution onto the 1-valent
+// one and derive the contradiction.
+//
+// This module exposes that machinery directly:
+//
+//   * avoidance schedulers that run the fair round-robin while never
+//     giving a turn to the exempted process/service tasks (the exempted
+//     process's task would only fire dummies in the lemmas' setting, but
+//     skipping it entirely gives the cleanest correspondence);
+//   * runSynchronized: run the SAME avoidance schedule from two start
+//     configurations and report, step by step, whether the fired actions
+//     coincide -- the executable form of the lemmas' induction.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ioa/execution.h"
+#include "ioa/system.h"
+
+namespace boosting::analysis {
+
+struct AvoidSpec {
+  // Skip the process task of this endpoint and every i-perform/i-output
+  // service task with this endpoint (Lemma 6's gamma' shape).
+  std::optional<int> endpoint;
+  // Skip every task of this service (Lemma 7's gamma' shape).
+  std::optional<int> serviceId;
+
+  bool excludes(const ioa::TaskId& t) const;
+};
+
+struct SynchronizedRun {
+  bool corresponded = true;       // every step fired the same action
+  std::size_t steps = 0;          // synchronized steps taken
+  std::size_t divergedAt = 0;     // meaningful when !corresponded
+  ioa::Execution execA;
+  ioa::Execution execB;
+  ioa::SystemState finalA;
+  ioa::SystemState finalB;
+};
+
+// Run the fair round-robin schedule restricted to non-excluded tasks, from
+// `a` and `b` simultaneously: at each step the next applicable task is
+// chosen from run A's state and applied to both. Stops after `maxSteps`
+// steps, or the first step where the two runs fire different actions, or
+// when `stopOnDecide` and a decide action fires in run A.
+SynchronizedRun runSynchronized(const ioa::System& sys,
+                                const ioa::SystemState& a,
+                                const ioa::SystemState& b,
+                                const AvoidSpec& avoid, std::size_t maxSteps,
+                                bool stopOnDecide = true);
+
+}  // namespace boosting::analysis

@@ -1,0 +1,137 @@
+#include "analysis/similarity.h"
+
+#include "services/canonical_general.h"
+
+namespace boosting::analysis {
+
+using services::CanonicalGeneralService;
+using services::ServiceState;
+
+namespace {
+
+bool buffersMatchExcept(const ServiceState& a, const ServiceState& b,
+                        const std::vector<int>& endpoints, int except) {
+  for (int i : endpoints) {
+    if (i == except) continue;
+    if (a.invBuf.at(i) != b.invBuf.at(i)) return false;
+    if (a.respBuf.at(i) != b.respBuf.at(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool jSimilar(const ioa::System& sys, const ioa::SystemState& s0,
+              const ioa::SystemState& s1, int j, SimilarityOptions opts) {
+  // (1) Every process except P_j has the same state.
+  for (int i = 0; i < sys.processCount(); ++i) {
+    if (i == j) continue;
+    const std::size_t slot = sys.slotForProcess(i);
+    if (!s0.part(slot).equals(s1.part(slot))) return false;
+  }
+  // (2) Every service matches on val (and failed, vacuously empty in the
+  // failure-free configurations this is applied to) and on all buffers
+  // except j's.
+  for (int id : sys.serviceIds()) {
+    const ioa::ServiceMeta& meta = sys.serviceMeta(id);
+    if (opts.exemptFailureAware && meta.failureAware) continue;
+    const std::size_t slot = sys.slotForService(id);
+    const ServiceState& a = CanonicalGeneralService::stateOf(s0.part(slot));
+    const ServiceState& b = CanonicalGeneralService::stateOf(s1.part(slot));
+    if (!(a.val == b.val) || a.failed != b.failed) return false;
+    if (!buffersMatchExcept(a, b, meta.endpoints, j)) return false;
+  }
+  return true;
+}
+
+bool kSimilar(const ioa::System& sys, const ioa::SystemState& s0,
+              const ioa::SystemState& s1, int serviceId,
+              SimilarityOptions opts) {
+  for (int i = 0; i < sys.processCount(); ++i) {
+    const std::size_t slot = sys.slotForProcess(i);
+    if (!s0.part(slot).equals(s1.part(slot))) return false;
+  }
+  for (int id : sys.serviceIds()) {
+    if (id == serviceId) continue;
+    const ioa::ServiceMeta& meta = sys.serviceMeta(id);
+    if (opts.exemptFailureAware && meta.failureAware) continue;
+    const std::size_t slot = sys.slotForService(id);
+    if (!s0.part(slot).equals(s1.part(slot))) return false;
+  }
+  return true;
+}
+
+HookClassification classifyHook(StateGraph& g, const Hook& hook,
+                                SimilarityOptions opts) {
+  const ioa::System& sys = g.system();
+  HookClassification out;
+
+  // Claim 2's negation made concrete: if the two tasks commute, then
+  // e'(e(alpha)) and e(e'(alpha)) are the same configuration.
+  if (auto viaEPrime = g.successorVia(hook.alpha0, hook.ePrime)) {
+    if (viaEPrime->to == hook.alpha1) {
+      out.kind = HookClassification::Kind::Commute;
+      out.narrative =
+          "tasks commute: e'(e(alpha)) == e(e'(alpha)); impossible for "
+          "opposite valences, so the valence certificate is inconsistent";
+      return out;
+    }
+  }
+
+  const ioa::SystemState& s0 = g.state(hook.alpha0);
+  const ioa::SystemState& s1 = g.state(hook.alpha1);
+
+  for (int j = 0; j < sys.processCount(); ++j) {
+    if (jSimilar(sys, s0, s1, j, opts)) {
+      out.kind = HookClassification::Kind::ProcessSimilar;
+      out.index = j;
+      out.narrative = "e(alpha) and e(e'(alpha)) are j-similar for j=P" +
+                      std::to_string(j) + " (Lemma 6 applies)";
+      return out;
+    }
+  }
+  for (int k : sys.serviceIds()) {
+    if (kSimilar(sys, s0, s1, k, opts)) {
+      out.kind = HookClassification::Kind::ServiceSimilar;
+      out.index = k;
+      out.narrative = "e(alpha) and e(e'(alpha)) are k-similar for k=S" +
+                      std::to_string(k) + " (Lemma 7 applies)";
+      return out;
+    }
+  }
+
+  // Claim 5, case 1(c): a read/write pair on a register leaves e'(s0) and
+  // s1 i-similar instead of s0 and s1.
+  if (auto viaEPrime = g.successorVia(hook.alpha0, hook.ePrime)) {
+    const ioa::SystemState& s0p = g.state(viaEPrime->to);
+    for (int j = 0; j < sys.processCount(); ++j) {
+      if (jSimilar(sys, s0p, s1, j, opts)) {
+        out.kind = HookClassification::Kind::ProcessSimilar;
+        out.index = j;
+        out.viaEPrime = true;
+        out.narrative =
+            "e'(e(alpha)) and e(e'(alpha)) are j-similar for j=P" +
+            std::to_string(j) +
+            " (Lemma 6 applies to the 0-valent extension e'(alpha0))";
+        return out;
+      }
+    }
+    for (int k : sys.serviceIds()) {
+      if (kSimilar(sys, s0p, s1, k, opts)) {
+        out.kind = HookClassification::Kind::ServiceSimilar;
+        out.index = k;
+        out.viaEPrime = true;
+        out.narrative =
+            "e'(e(alpha)) and e(e'(alpha)) are k-similar for k=S" +
+            std::to_string(k) + " (Lemma 7 applies to e'(alpha0))";
+        return out;
+      }
+    }
+  }
+
+  out.narrative = "no similarity relation found (outside Lemma 8's case "
+                  "analysis; check the candidate's action structure)";
+  return out;
+}
+
+}  // namespace boosting::analysis

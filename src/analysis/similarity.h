@@ -1,0 +1,58 @@
+// Similarity relations (Section 3.5; failure-aware variant in Section 6.3).
+//
+// Two configurations are j-similar when every component "looks the same"
+// except possibly process P_j and the slices of each service devoted to j
+// (its inv/resp buffers at endpoint j); they are k-similar when everything
+// matches except the state of service S_k. Lemmas 6 and 7 show that
+// univalent executions ending in similar configurations must have the same
+// valence -- the engine of the hook contradiction (Lemma 8).
+//
+// For Theorem 10, the relations are weakened to ignore the states of
+// failure-aware services entirely (they are silenced wholesale in the
+// gamma construction, so their states never matter); enable
+// `exemptFailureAware` for systems containing general services.
+//
+// classifyHook performs the case analysis of Lemma 8's Claims 1-5 on a
+// concrete hook: it reports whether the two tasks commute (e'(s0) = s1) or
+// which similarity relation connects the hook's endpoints -- exactly the
+// dichotomy the proof derives from the participant structure.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/hook.h"
+#include "analysis/state_graph.h"
+
+namespace boosting::analysis {
+
+struct SimilarityOptions {
+  bool exemptFailureAware = false;  // Theorem-10 mode
+};
+
+bool jSimilar(const ioa::System& sys, const ioa::SystemState& s0,
+              const ioa::SystemState& s1, int j,
+              SimilarityOptions opts = SimilarityOptions{});
+
+bool kSimilar(const ioa::System& sys, const ioa::SystemState& s0,
+              const ioa::SystemState& s1, int serviceId,
+              SimilarityOptions opts = SimilarityOptions{});
+
+struct HookClassification {
+  enum class Kind {
+    Commute,         // e'(s0) == s1: impossible for opposite valences
+    ProcessSimilar,  // s0 ~_j s1 (or e'(s0) ~_j s1, see viaEPrime)
+    ServiceSimilar,  // s0 ~_k s1
+    Unclassified,
+  };
+
+  Kind kind = Kind::Unclassified;
+  int index = -1;          // the j or k of the similarity
+  bool viaEPrime = false;  // similarity holds between e'(s0) and s1
+  std::string narrative;
+};
+
+HookClassification classifyHook(StateGraph& g, const Hook& hook,
+                                SimilarityOptions opts = SimilarityOptions{});
+
+}  // namespace boosting::analysis

@@ -1,0 +1,79 @@
+#include "analysis/state_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace boosting::analysis {
+
+NodeId StateGraph::intern(const ioa::SystemState& s) {
+  const std::size_t h = s.hash();
+  auto& bucket = byHash_[h];
+  for (NodeId id : bucket) {
+    if (states_[id].equals(s)) return id;
+  }
+  const NodeId id = static_cast<NodeId>(states_.size());
+  states_.push_back(s);
+  succ_.emplace_back();
+  parent_.emplace_back();
+  bucket.push_back(id);
+  return id;
+}
+
+const std::vector<Edge>& StateGraph::successors(NodeId id) {
+  if (succ_[id]) return *succ_[id];
+  std::vector<Edge> edges;
+  // states_ is a deque: references remain valid across intern() insertions.
+  const ioa::SystemState& s = states_[id];
+  for (const ioa::TaskId& t : sys_.allTasks()) {
+    auto action = sys_.enabled(s, t);
+    if (!action) continue;
+    ioa::SystemState next = sys_.apply(s, *action);
+    const std::size_t before = states_.size();
+    const NodeId to = intern(next);
+    if (static_cast<std::size_t>(to) >= before) {
+      // Newly discovered node: record its first-discovery parent so that
+      // witness paths can be reconstructed. Externally interned roots keep
+      // kNoNode and terminate pathTo().
+      parent_[to] = Parent{id, t, *action};
+    }
+    edges.push_back(Edge{t, std::move(*action), to});
+  }
+  succ_[id] = std::move(edges);
+  return *succ_[id];
+}
+
+std::optional<Edge> StateGraph::successorVia(NodeId id, const ioa::TaskId& e) {
+  for (const Edge& edge : successors(id)) {
+    if (edge.task == e) return edge;
+  }
+  return std::nullopt;
+}
+
+NodeId StateGraph::rootOf(NodeId id) const {
+  NodeId cur = id;
+  std::size_t hops = 0;
+  while (parent_[cur].from != kNoNode) {
+    cur = parent_[cur].from;
+    if (++hops > states_.size()) {
+      throw std::logic_error("StateGraph::rootOf: parent cycle detected");
+    }
+  }
+  return cur;
+}
+
+std::vector<Edge> StateGraph::pathTo(NodeId id) const {
+  std::vector<Edge> rev;
+  NodeId cur = id;
+  while (parent_[cur].from != kNoNode) {
+    const Parent& p = parent_[cur];
+    rev.push_back(Edge{p.task, p.action, cur});
+    cur = p.from;
+    if (rev.size() > states_.size()) {
+      throw std::logic_error("StateGraph::pathTo: parent cycle detected");
+    }
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace boosting::analysis

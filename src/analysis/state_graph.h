@@ -1,0 +1,77 @@
+// StateGraph: an explicit representation of (the reachable part of) the
+// execution graph G(C) of Section 3.3.
+//
+// Vertices are system configurations (the paper's finite failure-free
+// input-first executions are, under the determinism assumptions of
+// Section 3.1, in one-to-one correspondence with the configurations they
+// end in, which is why a state graph suffices); edges are labeled with the
+// task that triggers the transition, exactly as in the paper's definition
+// of G(C). Only FAILURE-FREE, locally controlled transitions are expanded:
+// valence (Section 3.2) is defined over failure-free extensions.
+//
+// States are interned by hash with full equality verification, so node ids
+// are canonical; successors are expanded lazily; the first-discovery parent
+// of each node is kept so that witness executions (paths from an
+// initialization to an interesting configuration) can be reconstructed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ioa/system.h"
+
+namespace boosting::analysis {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct Edge {
+  ioa::TaskId task;
+  ioa::Action action;
+  NodeId to = kNoNode;
+};
+
+class StateGraph {
+ public:
+  explicit StateGraph(const ioa::System& sys) : sys_(sys) {}
+
+  const ioa::System& system() const { return sys_; }
+
+  // Canonical node id for `s` (inserted if new).
+  NodeId intern(const ioa::SystemState& s);
+
+  const ioa::SystemState& state(NodeId id) const { return states_[id]; }
+  std::size_t size() const { return states_.size(); }
+
+  // All failure-free locally controlled transitions out of `id` (lazily
+  // computed, cached). One edge per applicable task (determinism).
+  const std::vector<Edge>& successors(NodeId id);
+
+  // The unique e-successor of `id`, if task e is applicable.
+  std::optional<Edge> successorVia(NodeId id, const ioa::TaskId& e);
+
+  // Path of edges from the oldest known ancestor (an interned root) to
+  // `id`, following first-discovery parents.
+  std::vector<Edge> pathTo(NodeId id) const;
+
+  // The parentless ancestor reached by following first-discovery parents.
+  NodeId rootOf(NodeId id) const;
+
+ private:
+  struct Parent {
+    NodeId from = kNoNode;
+    ioa::TaskId task;
+    ioa::Action action;
+  };
+
+  const ioa::System& sys_;
+  std::deque<ioa::SystemState> states_;  // stable storage
+  std::vector<std::optional<std::vector<Edge>>> succ_;
+  std::vector<Parent> parent_;
+  std::unordered_map<std::size_t, std::vector<NodeId>> byHash_;
+};
+
+}  // namespace boosting::analysis

@@ -1,0 +1,173 @@
+#include "compose/system_as_service.h"
+
+#include <stdexcept>
+
+#include "processes/process.h"
+#include "util/hashing.h"
+
+namespace boosting::compose {
+
+using ioa::Action;
+using ioa::ActionKind;
+using ioa::TaskId;
+using ioa::TaskOwner;
+using util::Value;
+
+std::unique_ptr<ioa::AutomatonState> SystemServiceState::clone() const {
+  return std::make_unique<SystemServiceState>(*this);
+}
+
+std::size_t SystemServiceState::hash() const {
+  std::size_t h = inner.hash();
+  for (int i : responded) util::hashValue(h, i + 0x9000);
+  return h;
+}
+
+bool SystemServiceState::equals(const ioa::AutomatonState& other) const {
+  const auto* o = dynamic_cast<const SystemServiceState*>(&other);
+  return o != nullptr && inner.equals(o->inner) && responded == o->responded;
+}
+
+std::string SystemServiceState::str() const {
+  return "wrapped-system(" + std::to_string(responded.size()) +
+         " responded)";
+}
+
+SystemAsService::SystemAsService(std::shared_ptr<const ioa::System> inner,
+                                 int id, int resilience, bool failureAware,
+                                 int endpointOffset)
+    : inner_(std::move(inner)),
+      id_(id),
+      resilience_(resilience),
+      failureAware_(failureAware),
+      offset_(endpointOffset) {
+  if (inner_ == nullptr || inner_->processCount() == 0) {
+    throw std::logic_error("SystemAsService: empty inner system");
+  }
+}
+
+std::string SystemAsService::name() const {
+  return "S" + std::to_string(id_) + "<wrapped-system,f=" +
+         std::to_string(resilience_) + ">";
+}
+
+std::unique_ptr<ioa::AutomatonState> SystemAsService::initialState() const {
+  auto s = std::make_unique<SystemServiceState>();
+  s->inner = inner_->initialState();
+  return s;
+}
+
+std::vector<TaskId> SystemAsService::tasks() const {
+  std::vector<TaskId> out;
+  // One compute task per inner task: the inner implementation's steps.
+  const auto& innerTasks = inner_->allTasks();
+  out.reserve(innerTasks.size() +
+              static_cast<std::size_t>(inner_->processCount()));
+  for (std::size_t g = 0; g < innerTasks.size(); ++g) {
+    out.push_back(TaskId::serviceCompute(id_, static_cast<int>(g)));
+  }
+  for (int i = 0; i < inner_->processCount(); ++i) {
+    out.push_back(TaskId::serviceOutput(id_, offset_ + i));
+  }
+  return out;
+}
+
+std::optional<Action> SystemAsService::enabledAction(
+    const ioa::AutomatonState& state, const TaskId& t) const {
+  const SystemServiceState& s = stateOf(state);
+  if (t.owner == TaskOwner::ServiceCompute) {
+    const auto& innerTasks = inner_->allTasks();
+    if (t.gtask < 0 || static_cast<std::size_t>(t.gtask) >= innerTasks.size()) {
+      return std::nullopt;
+    }
+    // The inner step itself is hidden; the wrapper exposes it as its own
+    // compute action (internal to the service).
+    if (inner_->enabled(s.inner, innerTasks[static_cast<std::size_t>(t.gtask)])) {
+      return Action::compute(t.gtask, id_);
+    }
+    return std::nullopt;
+  }
+  if (t.owner == TaskOwner::ServiceOutput) {
+    const int outer = t.endpoint;
+    if (!ownsEndpoint(outer) || s.responded.count(outer) != 0) {
+      return std::nullopt;
+    }
+    const auto& ps = processes::ProcessBase::stateOf(
+        s.inner.part(inner_->slotForProcess(innerEndpoint(outer))));
+    if (ps.decision.isNil()) return std::nullopt;
+    return Action::respond(outer, id_, util::sym("decide", ps.decision));
+  }
+  return std::nullopt;
+}
+
+void SystemAsService::apply(ioa::AutomatonState& state,
+                            const Action& a) const {
+  SystemServiceState& s = stateOf(state);
+  switch (a.kind) {
+    case ActionKind::Invoke: {
+      // ("init", v) at outer endpoint offset+i becomes inner P_i's input.
+      Value v = a.payload;
+      if (v.isList() && v.size() == 2 && v.tag() == "init") v = v.at(1);
+      inner_->injectInit(s.inner, innerEndpoint(a.endpoint), std::move(v));
+      return;
+    }
+    case ActionKind::Compute: {
+      const auto& innerTasks = inner_->allTasks();
+      const auto& task = innerTasks[static_cast<std::size_t>(a.gtask)];
+      if (auto innerAction = inner_->enabled(s.inner, task)) {
+        inner_->applyInPlace(s.inner, *innerAction);
+      }
+      return;
+    }
+    case ActionKind::Respond:
+      s.responded.insert(a.endpoint);
+      return;
+    case ActionKind::Fail:
+      if (ownsEndpoint(a.endpoint)) {
+        inner_->injectFail(s.inner, innerEndpoint(a.endpoint));
+      }
+      return;
+    default:
+      throw std::logic_error(name() + ": unexpected action " + a.str());
+  }
+}
+
+bool SystemAsService::participates(const Action& a) const {
+  switch (a.kind) {
+    case ActionKind::Fail:
+      return ownsEndpoint(a.endpoint);
+    case ActionKind::Invoke:
+    case ActionKind::Respond:
+    case ActionKind::Compute:
+      return a.component == id_;
+    default:
+      return false;
+  }
+}
+
+ioa::ServiceMeta SystemAsService::meta() const {
+  ioa::ServiceMeta m;
+  m.id = id_;
+  for (int i = 0; i < inner_->processCount(); ++i) {
+    m.endpoints.push_back(offset_ + i);
+  }
+  m.resilience = resilience_;
+  m.failureAware = failureAware_;
+  m.isRegister = false;
+  return m;
+}
+
+const SystemServiceState& SystemAsService::stateOf(
+    const ioa::AutomatonState& s) {
+  const auto* p = dynamic_cast<const SystemServiceState*>(&s);
+  if (p == nullptr) throw std::logic_error("expected SystemServiceState");
+  return *p;
+}
+
+SystemServiceState& SystemAsService::stateOf(ioa::AutomatonState& s) {
+  auto* p = dynamic_cast<SystemServiceState*>(&s);
+  if (p == nullptr) throw std::logic_error("expected SystemServiceState");
+  return *p;
+}
+
+}  // namespace boosting::compose

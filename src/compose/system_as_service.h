@@ -1,0 +1,89 @@
+// SystemAsService: composition of implementations (Section 2.1.4).
+//
+// "The notion of an f-resilient atomic object is useful when we talk about
+//  a distributed system implementing a specific canonical service. In this
+//  case, we can say that the system IS the service. This enables
+//  composition of implementations: an implemented service can be seen as a
+//  canonical service in a higher-level implementation."
+//
+// This adapter wraps a complete System C (processes + services) as a
+// single Automaton with the canonical consensus-style interface:
+//
+//   * an Invoke ("init", v) at endpoint i is delivered to the inner P_i as
+//     its init(v)_i input;
+//   * the inner system's locally controlled steps are exposed as the
+//     wrapper's g-compute tasks (one per inner task), so the composed
+//     outer system's fairness gives every inner task infinitely many
+//     turns -- the inner execution is fair iff the outer one is;
+//   * when inner P_i records a decision, the wrapper's i-output task
+//     delivers ("decide", v) to the outer invoker;
+//   * fail_i is forwarded to the inner system (process AND its services),
+//     so the wrapped service's resilience is exactly the resilience of the
+//     implementation it wraps.
+//
+// The headline use: wrap the Section-6.3 rotating-coordinator system and
+// obtain an (n-1)-resilient consensus SERVICE built from 1-resilient
+// detectors -- the boosted object itself, usable by higher layers, whose
+// histories check linearizable against the consensus sequential type.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "ioa/automaton.h"
+#include "ioa/system.h"
+
+namespace boosting::compose {
+
+class SystemServiceState final : public ioa::AutomatonState {
+ public:
+  ioa::SystemState inner;
+  std::set<int> responded;  // endpoints whose decision was delivered
+
+  std::unique_ptr<ioa::AutomatonState> clone() const override;
+  std::size_t hash() const override;
+  bool equals(const ioa::AutomatonState& other) const override;
+  std::string str() const override;
+};
+
+class SystemAsService : public ioa::Automaton {
+ public:
+  // `resilience` is the wrapped implementation's claimed level, recorded in
+  // the meta (the wrapper itself adds no silencing machinery: its liveness
+  // IS the inner system's). `failureAware` must be true if the inner
+  // system contains any general service. `endpointOffset` remaps outer
+  // endpoints to inner process indices (outer endpoint offset+i drives
+  // inner P_i), so several wrapped instances can serve disjoint endpoint
+  // ranges of one outer system -- e.g. the Section-4 booster running over
+  // IMPLEMENTED group services.
+  SystemAsService(std::shared_ptr<const ioa::System> inner, int id,
+                  int resilience, bool failureAware, int endpointOffset = 0);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+  std::vector<ioa::TaskId> tasks() const override;
+  std::optional<ioa::Action> enabledAction(const ioa::AutomatonState& s,
+                                           const ioa::TaskId& t) const override;
+  void apply(ioa::AutomatonState& s, const ioa::Action& a) const override;
+  bool participates(const ioa::Action& a) const override;
+
+  ioa::ServiceMeta meta() const;
+  int id() const { return id_; }
+
+  static const SystemServiceState& stateOf(const ioa::AutomatonState& s);
+  static SystemServiceState& stateOf(ioa::AutomatonState& s);
+
+ private:
+  int innerEndpoint(int outer) const { return outer - offset_; }
+  bool ownsEndpoint(int outer) const {
+    return outer >= offset_ && outer < offset_ + inner_->processCount();
+  }
+
+  std::shared_ptr<const ioa::System> inner_;
+  int id_;
+  int resilience_;
+  bool failureAware_;
+  int offset_;
+};
+
+}  // namespace boosting::compose

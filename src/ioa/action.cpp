@@ -1,0 +1,155 @@
+#include "ioa/action.h"
+
+#include "util/hashing.h"
+
+namespace boosting::ioa {
+
+const char* actionKindName(ActionKind k) {
+  switch (k) {
+    case ActionKind::EnvInit: return "init";
+    case ActionKind::EnvDecide: return "decide";
+    case ActionKind::Invoke: return "invoke";
+    case ActionKind::Respond: return "respond";
+    case ActionKind::Perform: return "perform";
+    case ActionKind::DummyPerform: return "dummy_perform";
+    case ActionKind::DummyOutput: return "dummy_output";
+    case ActionKind::Compute: return "compute";
+    case ActionKind::DummyCompute: return "dummy_compute";
+    case ActionKind::Fail: return "fail";
+    case ActionKind::ProcStep: return "step";
+    case ActionKind::ProcDummy: return "proc_dummy";
+  }
+  return "?";
+}
+
+Action Action::envInit(int i, util::Value v) {
+  return Action{ActionKind::EnvInit, i, -1, -1, std::move(v)};
+}
+Action Action::envDecide(int i, util::Value v) {
+  return Action{ActionKind::EnvDecide, i, -1, -1, std::move(v)};
+}
+Action Action::invoke(int i, int c, util::Value inv) {
+  return Action{ActionKind::Invoke, i, c, -1, std::move(inv)};
+}
+Action Action::respond(int i, int c, util::Value resp) {
+  return Action{ActionKind::Respond, i, c, -1, std::move(resp)};
+}
+Action Action::perform(int i, int c) {
+  return Action{ActionKind::Perform, i, c, -1, {}};
+}
+Action Action::dummyPerform(int i, int c) {
+  return Action{ActionKind::DummyPerform, i, c, -1, {}};
+}
+Action Action::dummyOutput(int i, int c) {
+  return Action{ActionKind::DummyOutput, i, c, -1, {}};
+}
+Action Action::compute(int g, int c) {
+  return Action{ActionKind::Compute, -1, c, g, {}};
+}
+Action Action::dummyCompute(int g, int c) {
+  return Action{ActionKind::DummyCompute, -1, c, g, {}};
+}
+Action Action::fail(int i) { return Action{ActionKind::Fail, i, -1, -1, {}}; }
+Action Action::procStep(int i, util::Value note) {
+  return Action{ActionKind::ProcStep, i, -1, -1, std::move(note)};
+}
+Action Action::procDummy(int i) {
+  return Action{ActionKind::ProcDummy, i, -1, -1, {}};
+}
+
+bool Action::isExternal() const {
+  return kind == ActionKind::EnvInit || kind == ActionKind::EnvDecide ||
+         kind == ActionKind::Fail;
+}
+
+bool Action::isEnvironmentInput() const {
+  return kind == ActionKind::EnvInit || kind == ActionKind::Fail;
+}
+
+bool Action::isServiceLocal() const {
+  switch (kind) {
+    case ActionKind::Respond:
+    case ActionKind::Perform:
+    case ActionKind::DummyPerform:
+    case ActionKind::DummyOutput:
+    case ActionKind::Compute:
+    case ActionKind::DummyCompute:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Action::isProcessLocal() const {
+  switch (kind) {
+    case ActionKind::EnvDecide:
+    case ActionKind::Invoke:
+    case ActionKind::ProcStep:
+    case ActionKind::ProcDummy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Action::isDummy() const {
+  switch (kind) {
+    case ActionKind::DummyPerform:
+    case ActionKind::DummyOutput:
+    case ActionKind::DummyCompute:
+    case ActionKind::ProcDummy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Action::operator==(const Action& other) const {
+  return kind == other.kind && endpoint == other.endpoint &&
+         component == other.component && gtask == other.gtask &&
+         payload == other.payload;
+}
+
+std::size_t Action::hash() const {
+  std::size_t h = static_cast<std::size_t>(kind);
+  util::hashValue(h, endpoint);
+  util::hashValue(h, component);
+  util::hashValue(h, gtask);
+  util::hashCombine(h, payload.hash());
+  return h;
+}
+
+std::string Action::str() const {
+  std::string out = actionKindName(kind);
+  switch (kind) {
+    case ActionKind::EnvInit:
+    case ActionKind::EnvDecide:
+      out += "(" + payload.str() + ")_" + std::to_string(endpoint);
+      break;
+    case ActionKind::Invoke:
+    case ActionKind::Respond:
+      out += "[" + payload.str() + "]_" + std::to_string(endpoint) + ",S" +
+             std::to_string(component);
+      break;
+    case ActionKind::Perform:
+    case ActionKind::DummyPerform:
+    case ActionKind::DummyOutput:
+      out += "_" + std::to_string(endpoint) + ",S" + std::to_string(component);
+      break;
+    case ActionKind::Compute:
+    case ActionKind::DummyCompute:
+      out += "_g" + std::to_string(gtask) + ",S" + std::to_string(component);
+      break;
+    case ActionKind::Fail:
+    case ActionKind::ProcDummy:
+      out += "_" + std::to_string(endpoint);
+      break;
+    case ActionKind::ProcStep:
+      out += "_" + std::to_string(endpoint);
+      if (!payload.isNil()) out += "[" + payload.str() + "]";
+      break;
+  }
+  return out;
+}
+
+}  // namespace boosting::ioa

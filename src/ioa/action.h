@@ -1,0 +1,100 @@
+// Action: the instantiated action algebra of the paper's system model.
+//
+// The complete system C of Section 2.2.3 is the composition of process
+// automata P_i, canonical services S_k, and canonical registers S_r. Rather
+// than matching actions by name strings (as in the abstract I/O automata
+// model), the library instantiates the exact action families that occur in
+// the paper and routes them structurally:
+//
+//   init(v)_i       EnvInit      input to P_i from the external world
+//   decide(v)_i     EnvDecide    output of P_i to the external world
+//                                (generically: any problem-level output,
+//                                e.g. a failure detector's suspect set)
+//   a_{i,c}         Invoke       output of P_i, input of service S_c
+//   b_{i,c}         Respond      output of S_c, input of P_i
+//   perform_{i,c}   Perform      internal to S_c (services an invocation)
+//   compute_{g,c}   Compute      internal to S_c (global task g, Sec. 5/6)
+//   dummy_*         Dummy*       internal; enabled once i has failed or
+//                                more than f endpoints of S_c have failed
+//   fail_i          Fail         input to P_i and every S_c with i in J_c
+//   (local step)    ProcStep     internal locally-controlled step of P_i
+//   (dummy step)    ProcDummy    internal step of a failed P_i (the paper
+//                                requires some locally controlled action to
+//                                stay enabled after fail_i)
+//
+// Every action has at most two participants (checked by System), matching
+// the observation of Section 2.2.3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/value.h"
+
+namespace boosting::ioa {
+
+enum class ActionKind : std::uint8_t {
+  EnvInit,
+  EnvDecide,
+  Invoke,
+  Respond,
+  Perform,
+  DummyPerform,
+  DummyOutput,
+  Compute,
+  DummyCompute,
+  Fail,
+  ProcStep,
+  ProcDummy,
+};
+
+const char* actionKindName(ActionKind k);
+
+struct Action {
+  ActionKind kind{ActionKind::ProcStep};
+  int endpoint = -1;   // process index i, where applicable
+  int component = -1;  // service index c, where applicable
+  int gtask = -1;      // global task index g, for Compute/DummyCompute
+  util::Value payload; // invocation, response, init, or decide value
+
+  // -- Factory helpers (document the participant structure at call sites) --
+  static Action envInit(int i, util::Value v);
+  static Action envDecide(int i, util::Value v);
+  static Action invoke(int i, int c, util::Value inv);
+  static Action respond(int i, int c, util::Value resp);
+  static Action perform(int i, int c);
+  static Action dummyPerform(int i, int c);
+  static Action dummyOutput(int i, int c);
+  static Action compute(int g, int c);
+  static Action dummyCompute(int g, int c);
+  static Action fail(int i);
+  static Action procStep(int i, util::Value note = {});
+  static Action procDummy(int i);
+
+  // External actions of the complete system (after hiding the process/
+  // service interaction, Sec. 2.2.3): init, decide, fail.
+  bool isExternal() const;
+  // Input actions of the complete system: init and fail only.
+  bool isEnvironmentInput() const;
+  // Locally controlled by a service (perform/output-side/compute/dummies).
+  bool isServiceLocal() const;
+  // Locally controlled by a process (invoke/decide/step/dummy).
+  bool isProcessLocal() const;
+  // Any dummy action (no-op introduced for the resilience task structure).
+  bool isDummy() const;
+
+  bool operator==(const Action& other) const;
+  bool operator!=(const Action& other) const { return !(*this == other); }
+
+  std::size_t hash() const;
+  std::string str() const;
+};
+
+}  // namespace boosting::ioa
+
+namespace std {
+template <>
+struct hash<boosting::ioa::Action> {
+  size_t operator()(const boosting::ioa::Action& a) const { return a.hash(); }
+};
+}  // namespace std

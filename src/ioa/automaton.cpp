@@ -1,0 +1,8 @@
+#include "ioa/automaton.h"
+
+namespace boosting::ioa {
+
+// Vtable anchors: keep the (otherwise header-only) interfaces' RTTI and
+// vtables in exactly one translation unit.
+
+}  // namespace boosting::ioa

@@ -1,0 +1,72 @@
+#include "ioa/execution.h"
+
+namespace boosting::ioa {
+
+std::optional<util::Value> decisionValue(const Action& a) {
+  if (a.kind != ActionKind::EnvDecide) return std::nullopt;
+  if (a.payload.isList() && a.payload.size() == 2 &&
+      a.payload.tag() == "decide") {
+    return a.payload.at(1);
+  }
+  return a.payload;
+}
+
+std::vector<Action> Execution::trace() const {
+  std::vector<Action> out;
+  for (const Action& a : actions_) {
+    if (a.isExternal()) out.push_back(a);
+  }
+  return out;
+}
+
+std::map<int, util::Value> Execution::decisions() const {
+  std::map<int, util::Value> out;
+  for (const Action& a : actions_) {
+    if (a.kind == ActionKind::EnvDecide && out.count(a.endpoint) == 0) {
+      if (auto v = decisionValue(a)) out.emplace(a.endpoint, *v);
+    }
+  }
+  return out;
+}
+
+std::map<int, util::Value> Execution::inits() const {
+  std::map<int, util::Value> out;
+  for (const Action& a : actions_) {
+    if (a.kind == ActionKind::EnvInit && out.count(a.endpoint) == 0) {
+      util::Value v = a.payload;
+      if (v.isList() && v.size() == 2 && v.tag() == "init") v = v.at(1);
+      out.emplace(a.endpoint, std::move(v));
+    }
+  }
+  return out;
+}
+
+std::set<int> Execution::failedEndpoints() const {
+  std::set<int> out;
+  for (const Action& a : actions_) {
+    if (a.kind == ActionKind::Fail) out.insert(a.endpoint);
+  }
+  return out;
+}
+
+bool Execution::containsDecision(const util::Value& v) const {
+  for (const Action& a : actions_) {
+    if (auto d = decisionValue(a); d && *d == v) return true;
+  }
+  return false;
+}
+
+std::string Execution::str(std::size_t limit) const {
+  std::string out;
+  std::size_t n = actions_.size();
+  if (limit != 0 && limit < n) n = limit;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += std::to_string(i) + ": " + actions_[i].str() + "\n";
+  }
+  if (n < actions_.size()) {
+    out += "... (" + std::to_string(actions_.size() - n) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace boosting::ioa

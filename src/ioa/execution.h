@@ -1,0 +1,54 @@
+// Execution: a recorded run of a System.
+//
+// The paper's executions are alternating sequences of states and actions;
+// because every automaton in the library is deterministic per task
+// (Section 3.1), an execution is fully determined by its initial state and
+// its action sequence, so we record just the actions (plus, where callers
+// need it, the final state). Traces -- the external-action projections used
+// to define "implements" in Section 2.1.1 -- are obtained by filtering.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ioa/action.h"
+
+namespace boosting::ioa {
+
+class Execution {
+ public:
+  Execution() = default;
+
+  void append(Action a) { actions_.push_back(std::move(a)); }
+  const std::vector<Action>& actions() const { return actions_; }
+  std::size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+
+  // External-action projection (the trace of the complete system after
+  // hiding: init, decide, fail).
+  std::vector<Action> trace() const;
+
+  // First decide(v)_i per endpoint i.
+  std::map<int, util::Value> decisions() const;
+  // init(v)_i per endpoint i (input-first executions have exactly one each).
+  std::map<int, util::Value> inits() const;
+  // Endpoints that failed during the run.
+  std::set<int> failedEndpoints() const;
+
+  // Does any decide action with payload ("decide", v) for this v occur?
+  bool containsDecision(const util::Value& v) const;
+
+  // Human-readable rendering; at most `limit` actions (0 = all).
+  std::string str(std::size_t limit = 0) const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+// Decode ("decide", v) payloads; returns nullopt for non-decide payloads.
+std::optional<util::Value> decisionValue(const Action& a);
+
+}  // namespace boosting::ioa

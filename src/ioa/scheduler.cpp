@@ -1,0 +1,59 @@
+#include "ioa/scheduler.h"
+
+#include <vector>
+
+namespace boosting::ioa {
+
+RoundRobinScheduler::RoundRobinScheduler(const System& sys,
+                                         std::size_t startCursor)
+    : sys_(sys), cursor_(startCursor) {}
+
+std::optional<ScheduledStep> RoundRobinScheduler::step(SystemState& s) {
+  const auto& tasks = sys_.allTasks();
+  if (tasks.empty()) return std::nullopt;
+  cursor_ %= tasks.size();
+  // Give each task one turn, starting at the cursor; fire the first
+  // applicable one. Skipped tasks were visited while disabled, which the
+  // IOA fairness definition counts as having had their turn.
+  for (std::size_t tried = 0; tried < tasks.size(); ++tried) {
+    const TaskId& t = tasks[cursor_];
+    cursor_ = (cursor_ + 1) % tasks.size();
+    if (auto a = sys_.enabled(s, t)) {
+      sys_.applyInPlace(s, *a);
+      return ScheduledStep{t, std::move(*a)};
+    }
+  }
+  return std::nullopt;
+}
+
+RandomScheduler::RandomScheduler(const System& sys, std::uint64_t seed)
+    : sys_(sys), rng_(seed) {}
+
+std::optional<ScheduledStep> RandomScheduler::step(SystemState& s) {
+  const auto& tasks = sys_.allTasks();
+  std::vector<std::pair<TaskId, Action>> applicable;
+  applicable.reserve(tasks.size());
+  for (const TaskId& t : tasks) {
+    if (auto a = sys_.enabled(s, t)) applicable.emplace_back(t, std::move(*a));
+  }
+  if (applicable.empty()) return std::nullopt;
+  auto& [t, a] = applicable[rng_.nextBelow(applicable.size())];
+  sys_.applyInPlace(s, a);
+  return ScheduledStep{t, std::move(a)};
+}
+
+ReplayScheduler::ReplayScheduler(const System& sys,
+                                 std::vector<TaskId> schedule)
+    : sys_(sys), schedule_(std::move(schedule)) {}
+
+std::optional<ScheduledStep> ReplayScheduler::step(SystemState& s) {
+  if (position_ >= schedule_.size()) return std::nullopt;
+  const TaskId& t = schedule_[position_];
+  auto a = sys_.enabled(s, t);
+  if (!a) return std::nullopt;  // divergence: stop without advancing
+  ++position_;
+  sys_.applyInPlace(s, *a);
+  return ScheduledStep{t, std::move(*a)};
+}
+
+}  // namespace boosting::ioa

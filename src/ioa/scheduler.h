@@ -1,0 +1,92 @@
+// Schedulers: fair task interleavings (Section 2.2.3 fairness).
+//
+// The I/O automata fairness assumption says every task gets infinitely many
+// turns. Two schedulers realize finite prefixes of fair executions:
+//
+//   RoundRobinScheduler -- visits tasks in the System's fixed order; a task
+//     that is not applicable when visited simply loses its turn (that still
+//     counts as a turn under the IOA fairness definition). Deterministic:
+//     together with the determinism assumptions of Section 3.1, a run is a
+//     pure function of (initial state, injected environment events). Its
+//     cursor is exposed so that livelock detectors can key cycles on the
+//     pair (state, cursor), which certifies an infinite fair execution.
+//
+//   RandomScheduler -- picks uniformly among the currently applicable
+//     tasks, seeded; used by the property-sweep harnesses to sample many
+//     interleavings. Every finite prefix extends to a fair execution, and
+//     each task is chosen infinitely often with probability 1.
+//
+// Both schedulers only ever fire locally controlled actions; environment
+// inputs (init, fail) are injected by the caller (see sim/runner.h).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "ioa/system.h"
+#include "util/rng.h"
+
+namespace boosting::ioa {
+
+struct ScheduledStep {
+  TaskId task;
+  Action action;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  // Fire one locally controlled action on `s`, or return nullopt when no
+  // task is applicable (cannot happen in paper-conformant systems, where
+  // process tasks are always applicable; kept for robustness).
+  virtual std::optional<ScheduledStep> step(SystemState& s) = 0;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(const System& sys, std::size_t startCursor = 0);
+
+  std::optional<ScheduledStep> step(SystemState& s) override;
+
+  // Position in the fixed task order; part of the livelock-detection key.
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  const System& sys_;
+  std::size_t cursor_;
+};
+
+class RandomScheduler final : public Scheduler {
+ public:
+  RandomScheduler(const System& sys, std::uint64_t seed);
+
+  std::optional<ScheduledStep> step(SystemState& s) override;
+
+ private:
+  const System& sys_;
+  util::Rng rng_;
+};
+
+// Replays a recorded task sequence (e.g. RunResult::tasks, or the gamma
+// construction's task list in Lemmas 6/7). Because executions are
+// determined by their task sequences (Section 3.1), replaying the tasks of
+// a run from the same start state reproduces it action for action; when a
+// scheduled task is not applicable the replay stops (position() tells how
+// far it got), which is exactly the divergence signal the similarity
+// lemmas' induction says cannot happen between similar states.
+class ReplayScheduler final : public Scheduler {
+ public:
+  ReplayScheduler(const System& sys, std::vector<TaskId> schedule);
+
+  std::optional<ScheduledStep> step(SystemState& s) override;
+
+  std::size_t position() const { return position_; }
+  bool finished() const { return position_ >= schedule_.size(); }
+
+ private:
+  const System& sys_;
+  std::vector<TaskId> schedule_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace boosting::ioa

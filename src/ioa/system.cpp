@@ -1,0 +1,199 @@
+#include "ioa/system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace boosting::ioa {
+
+SystemState::SystemState(const SystemState& other) {
+  parts_.reserve(other.parts_.size());
+  for (const auto& p : other.parts_) parts_.push_back(p->clone());
+}
+
+SystemState& SystemState::operator=(const SystemState& other) {
+  if (this == &other) return *this;
+  SystemState copy(other);
+  parts_ = std::move(copy.parts_);
+  return *this;
+}
+
+std::size_t SystemState::hash() const {
+  std::size_t h = 0x51ab5e17u;
+  for (const auto& p : parts_) util::hashCombine(h, p->hash());
+  return h;
+}
+
+bool SystemState::equals(const SystemState& other) const {
+  if (parts_.size() != other.parts_.size()) return false;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (!parts_[i]->equals(*other.parts_[i])) return false;
+  }
+  return true;
+}
+
+std::string SystemState::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += "  [" + std::to_string(i) + "] " + parts_[i]->str();
+  }
+  return out;
+}
+
+void System::addProcess(std::shared_ptr<const Automaton> p) {
+  if (!services_.empty()) {
+    throw std::logic_error("System: add all processes before services");
+  }
+  processes_.push_back(std::move(p));
+  taskCache_.clear();
+}
+
+void System::addService(std::shared_ptr<const Automaton> s, ServiceMeta meta) {
+  if (serviceSlotById_.count(meta.id) != 0) {
+    throw std::logic_error("System: duplicate service id " +
+                           std::to_string(meta.id));
+  }
+  for (int e : meta.endpoints) {
+    if (e < 0 || e >= processCount()) {
+      throw std::logic_error("System: service endpoint out of range");
+    }
+  }
+  serviceSlotById_[meta.id] = processes_.size() + services_.size();
+  services_.push_back(std::move(s));
+  serviceMetas_.push_back(std::move(meta));
+  taskCache_.clear();
+}
+
+std::size_t System::slotForService(int serviceId) const {
+  auto it = serviceSlotById_.find(serviceId);
+  if (it == serviceSlotById_.end()) {
+    throw std::logic_error("System: unknown service id " +
+                           std::to_string(serviceId));
+  }
+  return it->second;
+}
+
+const ServiceMeta& System::serviceMeta(int serviceId) const {
+  return serviceMetas_[slotForService(serviceId) - processes_.size()];
+}
+
+const ServiceMeta& System::serviceMetaAtSlot(std::size_t slot) const {
+  if (slot < processes_.size() ||
+      slot >= processes_.size() + services_.size()) {
+    throw std::logic_error("System: slot is not a service slot");
+  }
+  return serviceMetas_[slot - processes_.size()];
+}
+
+std::vector<int> System::serviceIds() const {
+  std::vector<int> ids;
+  ids.reserve(serviceMetas_.size());
+  for (const auto& [id, slot] : serviceSlotById_) {
+    (void)slot;
+    ids.push_back(id);
+  }
+  return ids;  // std::map iteration is already sorted
+}
+
+const Automaton& System::componentAtSlot(std::size_t slot) const {
+  if (slot < processes_.size()) return *processes_[slot];
+  return *services_[slot - processes_.size()];
+}
+
+SystemState System::initialState() const {
+  SystemState s;
+  s.parts_.reserve(processes_.size() + services_.size());
+  for (const auto& p : processes_) s.parts_.push_back(p->initialState());
+  for (const auto& svc : services_) s.parts_.push_back(svc->initialState());
+  return s;
+}
+
+const std::vector<TaskId>& System::allTasks() const {
+  if (taskCache_.empty()) {
+    for (const auto& p : processes_) {
+      for (const TaskId& t : p->tasks()) taskCache_.push_back(t);
+    }
+    for (const auto& [id, slot] : serviceSlotById_) {
+      (void)id;
+      for (const TaskId& t : services_[slot - processes_.size()]->tasks()) {
+        taskCache_.push_back(t);
+      }
+    }
+  }
+  return taskCache_;
+}
+
+std::optional<Action> System::enabled(const SystemState& s,
+                                      const TaskId& t) const {
+  std::size_t slot = 0;
+  switch (t.owner) {
+    case TaskOwner::Process:
+      slot = slotForProcess(t.component);
+      break;
+    case TaskOwner::ServicePerform:
+    case TaskOwner::ServiceOutput:
+    case TaskOwner::ServiceCompute:
+      slot = slotForService(t.component);
+      break;
+  }
+  return componentAtSlot(slot).enabledAction(s.part(slot), t);
+}
+
+std::vector<std::size_t> System::participants(const Action& a) const {
+  std::vector<std::size_t> out;
+  switch (a.kind) {
+    case ActionKind::EnvInit:
+    case ActionKind::EnvDecide:
+    case ActionKind::ProcStep:
+    case ActionKind::ProcDummy:
+      out.push_back(slotForProcess(a.endpoint));
+      break;
+    case ActionKind::Invoke:
+    case ActionKind::Respond:
+      out.push_back(slotForProcess(a.endpoint));
+      out.push_back(slotForService(a.component));
+      break;
+    case ActionKind::Perform:
+    case ActionKind::DummyPerform:
+    case ActionKind::DummyOutput:
+    case ActionKind::Compute:
+    case ActionKind::DummyCompute:
+      out.push_back(slotForService(a.component));
+      break;
+    case ActionKind::Fail:
+      // fail_i: input of P_i and of every service with i in J_c.
+      out.push_back(slotForProcess(a.endpoint));
+      for (std::size_t k = 0; k < services_.size(); ++k) {
+        const auto& ends = serviceMetas_[k].endpoints;
+        if (std::find(ends.begin(), ends.end(), a.endpoint) != ends.end()) {
+          out.push_back(processes_.size() + k);
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+void System::applyInPlace(SystemState& s, const Action& a) const {
+  for (std::size_t slot : participants(a)) {
+    componentAtSlot(slot).apply(s.part(slot), a);
+  }
+}
+
+SystemState System::apply(const SystemState& s, const Action& a) const {
+  SystemState next(s);
+  applyInPlace(next, a);
+  return next;
+}
+
+void System::injectInit(SystemState& s, int endpoint, util::Value v) const {
+  applyInPlace(s, Action::envInit(endpoint, std::move(v)));
+}
+
+void System::injectFail(SystemState& s, int endpoint) const {
+  applyInPlace(s, Action::fail(endpoint));
+}
+
+}  // namespace boosting::ioa

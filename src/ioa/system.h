@@ -1,0 +1,122 @@
+// System: the parallel composition of Section 2.2.3.
+//
+// A System owns the immutable description of a complete system C: the
+// process automata P_i (i in I, contiguous from 0), the services S_c
+// (canonical atomic objects, failure-oblivious services, general services,
+// and registers, each with a unique user-chosen index c in K U R), and the
+// routing of shared actions:
+//
+//   - an Invoke a_{i,c} is an output of P_i and an input of S_c,
+//   - a Respond b_{i,c} is an output of S_c and an input of P_i,
+//   - fail_i is an input of P_i and of every service with i in J_c,
+//   - everything else has a single participant.
+//
+// SystemState is the cross product of component states; it is a value
+// (clonable, hashable, comparable), which is what allows the analysis
+// engine to explore the execution tree G(C) of Section 3.3 explicitly.
+//
+// ServiceMeta records the connection pattern J_c, the resilience level f_c,
+// and whether the service is failure-aware -- the data that Theorems 2, 9
+// and 10 quantify over (arbitrary connection patterns for atomic objects
+// and failure-oblivious services; all-process connection for failure-aware
+// services).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ioa/automaton.h"
+
+namespace boosting::ioa {
+
+struct ServiceMeta {
+  int id = -1;                  // index c in K U R (unique across services)
+  std::vector<int> endpoints;   // J_c
+  int resilience = 0;           // f_c
+  bool failureAware = false;    // true for general services (Sec. 6)
+  bool isRegister = false;      // true for canonical reliable registers
+};
+
+class SystemState final {
+ public:
+  SystemState() = default;
+  SystemState(const SystemState& other);
+  SystemState& operator=(const SystemState& other);
+  SystemState(SystemState&&) noexcept = default;
+  SystemState& operator=(SystemState&&) noexcept = default;
+
+  std::size_t hash() const;
+  bool equals(const SystemState& other) const;
+  bool operator==(const SystemState& other) const { return equals(other); }
+  std::string str() const;
+
+  const AutomatonState& part(std::size_t slot) const { return *parts_[slot]; }
+  AutomatonState& part(std::size_t slot) { return *parts_[slot]; }
+  std::size_t partCount() const { return parts_.size(); }
+
+ private:
+  friend class System;
+  std::vector<std::unique_ptr<AutomatonState>> parts_;
+};
+
+class System {
+ public:
+  System() = default;
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Processes must be added first, in endpoint order 0, 1, ..., n-1.
+  void addProcess(std::shared_ptr<const Automaton> p);
+  void addService(std::shared_ptr<const Automaton> s, ServiceMeta meta);
+
+  int processCount() const { return static_cast<int>(processes_.size()); }
+  int serviceCount() const { return static_cast<int>(services_.size()); }
+
+  // -- Slot layout: processes at [0, n), services at [n, n + |K U R|). ----
+  std::size_t slotForProcess(int i) const { return static_cast<std::size_t>(i); }
+  std::size_t slotForService(int serviceId) const;
+  bool isProcessSlot(std::size_t slot) const {
+    return slot < processes_.size();
+  }
+  const ServiceMeta& serviceMeta(int serviceId) const;
+  const ServiceMeta& serviceMetaAtSlot(std::size_t slot) const;
+  std::vector<int> serviceIds() const;  // sorted
+
+  const Automaton& componentAtSlot(std::size_t slot) const;
+
+  // -- Execution ----------------------------------------------------------
+  SystemState initialState() const;
+
+  // All tasks of the composition, in a fixed deterministic order (process
+  // tasks first, then service tasks grouped per service).
+  const std::vector<TaskId>& allTasks() const;
+
+  // The unique action enabled for task `t` in `s`, if any.
+  std::optional<Action> enabled(const SystemState& s, const TaskId& t) const;
+
+  // Component slots participating in `a` (at most two, plus fan-out for
+  // fail actions, which are inputs to the process and all its services).
+  std::vector<std::size_t> participants(const Action& a) const;
+
+  // Apply `a` to every participant, in place.
+  void applyInPlace(SystemState& s, const Action& a) const;
+
+  // Clone-and-apply convenience used by the explorer.
+  SystemState apply(const SystemState& s, const Action& a) const;
+
+  // Environment inputs (not tasks): deliver init(v)_i / fail_i.
+  void injectInit(SystemState& s, int endpoint, util::Value v) const;
+  void injectFail(SystemState& s, int endpoint) const;
+
+ private:
+  std::vector<std::shared_ptr<const Automaton>> processes_;
+  std::vector<std::shared_ptr<const Automaton>> services_;
+  std::vector<ServiceMeta> serviceMetas_;
+  std::map<int, std::size_t> serviceSlotById_;  // id -> absolute slot
+  mutable std::vector<TaskId> taskCache_;
+};
+
+}  // namespace boosting::ioa

@@ -1,0 +1,22 @@
+#include "ioa/task.h"
+
+namespace boosting::ioa {
+
+std::string TaskId::str() const {
+  switch (owner) {
+    case TaskOwner::Process:
+      return "task(P" + std::to_string(component) + ")";
+    case TaskOwner::ServicePerform:
+      return "task(S" + std::to_string(component) + "." +
+             std::to_string(endpoint) + "-perform)";
+    case TaskOwner::ServiceOutput:
+      return "task(S" + std::to_string(component) + "." +
+             std::to_string(endpoint) + "-output)";
+    case TaskOwner::ServiceCompute:
+      return "task(S" + std::to_string(component) + ".g" +
+             std::to_string(gtask) + "-compute)";
+  }
+  return "task(?)";
+}
+
+}  // namespace boosting::ioa

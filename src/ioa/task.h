@@ -1,0 +1,78 @@
+// TaskId: the task partition of the complete system (Section 2.2.3).
+//
+// The paper's fairness and resilience semantics are phrased entirely in
+// terms of tasks: each process P_i has a single task consisting of all its
+// locally controlled actions; each service S_c has, for every endpoint
+// i in J_c, an i-perform task {perform_{i,c}, dummy_perform_{i,c}} and an
+// i-output task {b_{i,c} : b in resps_c} U {dummy_output_{i,c}}; and each
+// failure-oblivious or general service additionally has a g-compute task
+// per global task name g (Sections 5.1, 6.1).
+//
+// A fair execution gives every task infinitely many turns. The schedulers
+// in ioa/scheduler.h realize this with round-robin turns over TaskId values;
+// the analysis engine (hook search, Fig. 3) also iterates tasks in a fixed
+// round-robin order, exactly as the paper's construction does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/hashing.h"
+
+namespace boosting::ioa {
+
+enum class TaskOwner : std::uint8_t {
+  Process,         // the single task of P_i           (component = i)
+  ServicePerform,  // i-perform task of S_c            (component = c, endpoint = i)
+  ServiceOutput,   // i-output task of S_c             (component = c, endpoint = i)
+  ServiceCompute,  // g-compute task of S_c            (component = c, gtask = g)
+};
+
+struct TaskId {
+  TaskOwner owner{TaskOwner::Process};
+  int component = -1;  // process index for Process; service index otherwise
+  int endpoint = -1;   // endpoint i for per-endpoint service tasks
+  int gtask = -1;      // global task index for compute tasks
+
+  static TaskId process(int i) { return {TaskOwner::Process, i, -1, -1}; }
+  static TaskId servicePerform(int c, int i) {
+    return {TaskOwner::ServicePerform, c, i, -1};
+  }
+  static TaskId serviceOutput(int c, int i) {
+    return {TaskOwner::ServiceOutput, c, i, -1};
+  }
+  static TaskId serviceCompute(int c, int g) {
+    return {TaskOwner::ServiceCompute, c, -1, g};
+  }
+
+  bool operator==(const TaskId& o) const {
+    return owner == o.owner && component == o.component &&
+           endpoint == o.endpoint && gtask == o.gtask;
+  }
+  bool operator!=(const TaskId& o) const { return !(*this == o); }
+  bool operator<(const TaskId& o) const {
+    if (owner != o.owner) return owner < o.owner;
+    if (component != o.component) return component < o.component;
+    if (endpoint != o.endpoint) return endpoint < o.endpoint;
+    return gtask < o.gtask;
+  }
+
+  std::size_t hash() const {
+    std::size_t h = static_cast<std::size_t>(owner);
+    util::hashValue(h, component);
+    util::hashValue(h, endpoint);
+    util::hashValue(h, gtask);
+    return h;
+  }
+
+  std::string str() const;
+};
+
+}  // namespace boosting::ioa
+
+namespace std {
+template <>
+struct hash<boosting::ioa::TaskId> {
+  size_t operator()(const boosting::ioa::TaskId& t) const { return t.hash(); }
+};
+}  // namespace std

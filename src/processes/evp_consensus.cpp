@@ -1,0 +1,282 @@
+#include "processes/evp_consensus.h"
+
+#include <stdexcept>
+
+#include "services/register.h"
+#include "types/fd_types.h"
+#include "util/hashing.h"
+
+namespace boosting::processes {
+
+using ioa::Action;
+using util::Value;
+using util::sym;
+
+namespace {
+
+enum class Phase : int {
+  WaitInput = 0,
+  ReadDec,        // round entry: check the decision register
+  WaitDec,
+  CoordWrite,     // coordinator: publish estimate
+  WaitCoordAck,
+  ReadEst,        // others: poll EST[r] until value or suspicion
+  WaitEst,
+  WriteAux,       // publish this round's vote
+  WaitAuxAck,
+  ReadAux,        // majority collection sweep
+  WaitAux,
+  RecheckDec,     // between sweeps: a halted decider may have published
+  WaitRecheck,
+  WriteDec,       // all-yes majority: publish the decision
+  WaitDecAck,
+  NeedDecide,
+  Done,
+  Exhausted,      // maxRounds exceeded (never reached in the experiments)
+};
+
+class EvPState final : public ProcessStateBase {
+ public:
+  Phase phase = Phase::WaitInput;
+  int round = 0;
+  int auxIdx = 0;
+  Value est;
+  Value vote;                 // ("yes", v) or ("no") for the current round
+  Value suspected = Value::emptySet();  // LATEST <>P report (not monotone!)
+  Value::List votes;          // current sweep's view of AUX[r][*]
+  Value decValue;
+
+  std::unique_ptr<ioa::AutomatonState> clone() const override {
+    return std::make_unique<EvPState>(*this);
+  }
+  std::size_t hash() const override {
+    std::size_t h = baseHash();
+    util::hashValue(h, static_cast<int>(phase));
+    util::hashValue(h, round);
+    util::hashValue(h, auxIdx);
+    util::hashCombine(h, est.hash());
+    util::hashCombine(h, vote.hash());
+    util::hashCombine(h, suspected.hash());
+    for (const Value& v : votes) util::hashCombine(h, v.hash());
+    util::hashCombine(h, decValue.hash());
+    return h;
+  }
+  bool equals(const ioa::AutomatonState& other) const override {
+    const auto* o = dynamic_cast<const EvPState*>(&other);
+    return o != nullptr && baseEquals(*o) && phase == o->phase &&
+           round == o->round && auxIdx == o->auxIdx && est == o->est &&
+           vote == o->vote && suspected == o->suspected &&
+           votes == o->votes && decValue == o->decValue;
+  }
+  std::string str() const override {
+    return "evp r=" + std::to_string(round) +
+           " phase=" + std::to_string(static_cast<int>(phase)) +
+           " est=" + est.str() + baseStr();
+  }
+};
+
+EvPState& st(ProcessStateBase& s) { return dynamic_cast<EvPState&>(s); }
+const EvPState& st(const ProcessStateBase& s) {
+  return dynamic_cast<const EvPState&>(s);
+}
+
+}  // namespace
+
+EvPConsensusProcess::EvPConsensusProcess(int endpoint, Layout layout)
+    : ProcessBase(endpoint), layout_(layout) {}
+
+std::string EvPConsensusProcess::name() const {
+  return "P" + std::to_string(endpoint()) + "<evp-consensus>";
+}
+
+std::unique_ptr<ioa::AutomatonState> EvPConsensusProcess::initialState()
+    const {
+  return std::make_unique<EvPState>();
+}
+
+Action EvPConsensusProcess::chooseAction(const ProcessStateBase& base) const {
+  const EvPState& s = st(base);
+  switch (s.phase) {
+    case Phase::ReadDec:
+    case Phase::RecheckDec:
+      return Action::invoke(endpoint(), layout_.decId, sym("read"));
+    case Phase::CoordWrite:
+      return Action::invoke(endpoint(), estId(s.round), sym("write", s.est));
+    case Phase::ReadEst:
+      return Action::invoke(endpoint(), estId(s.round), sym("read"));
+    case Phase::WriteAux:
+      return Action::invoke(endpoint(), auxId(s.round, endpoint()),
+                            sym("write", s.vote));
+    case Phase::ReadAux:
+      return Action::invoke(endpoint(), auxId(s.round, s.auxIdx), sym("read"));
+    case Phase::WriteDec:
+      return Action::invoke(endpoint(), layout_.decId,
+                            sym("write", s.decValue));
+    case Phase::NeedDecide:
+      return Action::envDecide(endpoint(), sym("decide", s.decValue));
+    default:
+      return Action::procDummy(endpoint());
+  }
+}
+
+void EvPConsensusProcess::onInit(ProcessStateBase& base) const {
+  EvPState& s = st(base);
+  if (s.phase != Phase::WaitInput) return;
+  s.est = s.input;
+  s.round = 0;
+  s.phase = Phase::ReadDec;
+}
+
+void EvPConsensusProcess::onRespond(ProcessStateBase& base, int serviceId,
+                                    const Value& resp) const {
+  EvPState& s = st(base);
+  if (serviceId == layout_.fdId) {
+    // <>P reports REPLACE the previous view: suspicions may be retracted.
+    s.suspected = types::suspectSet(resp);
+    return;
+  }
+  const int n = layout_.processCount;
+  const int coord = s.round % n;
+  switch (s.phase) {
+    case Phase::WaitDec:
+    case Phase::WaitRecheck:
+      if (!resp.isNil()) {
+        s.decValue = resp;
+        s.phase = Phase::NeedDecide;
+      } else if (s.phase == Phase::WaitDec) {
+        s.phase = endpoint() == coord ? Phase::CoordWrite : Phase::ReadEst;
+      } else {
+        // Resume the collection sweep from scratch.
+        s.auxIdx = 0;
+        s.votes.assign(static_cast<std::size_t>(n), Value::nil());
+        s.phase = Phase::ReadAux;
+      }
+      return;
+    case Phase::WaitCoordAck:
+      s.vote = sym("yes", s.est);
+      s.phase = Phase::WriteAux;
+      return;
+    case Phase::WaitEst:
+      if (!resp.isNil()) {
+        s.vote = sym("yes", resp);
+        s.phase = Phase::WriteAux;
+      } else if (s.suspected.setContains(Value(coord))) {
+        s.vote = sym("no");
+        s.phase = Phase::WriteAux;
+      } else {
+        s.phase = Phase::ReadEst;  // spin; safety never depends on this
+      }
+      return;
+    case Phase::WaitAuxAck:
+      s.auxIdx = 0;
+      s.votes.assign(static_cast<std::size_t>(n), Value::nil());
+      s.phase = Phase::ReadAux;
+      return;
+    case Phase::WaitAux: {
+      s.votes[static_cast<std::size_t>(s.auxIdx)] = resp;
+      s.auxIdx += 1;
+      if (s.auxIdx < n) {
+        s.phase = Phase::ReadAux;
+        return;
+      }
+      // Sweep complete: majority reached?
+      int present = 0;
+      bool allYes = true;
+      Value yesValue;
+      for (const Value& v : s.votes) {
+        if (v.isNil()) continue;
+        ++present;
+        if (v.tag() == "yes") {
+          yesValue = v.at(1);
+        } else {
+          allYes = false;
+        }
+      }
+      if (2 * present <= n) {
+        s.phase = Phase::RecheckDec;  // not enough voters yet
+        return;
+      }
+      if (allYes) {
+        s.decValue = yesValue;  // every yes vote carries EST[r]'s value
+        s.phase = Phase::WriteDec;
+        return;
+      }
+      if (!yesValue.isNil()) s.est = yesValue;  // adopt (lock-in rule)
+      s.round += 1;
+      s.phase = s.round >= layout_.maxRounds ? Phase::Exhausted
+                                             : Phase::ReadDec;
+      return;
+    }
+    case Phase::WaitDecAck:
+      s.phase = Phase::NeedDecide;
+      return;
+    default:
+      return;  // stale or irrelevant response (cannot occur: one
+               // outstanding invocation per process)
+  }
+}
+
+void EvPConsensusProcess::onLocal(ProcessStateBase& base,
+                                  const Action& a) const {
+  EvPState& s = st(base);
+  if (a.kind == ioa::ActionKind::Invoke) {
+    switch (s.phase) {
+      case Phase::ReadDec: s.phase = Phase::WaitDec; break;
+      case Phase::RecheckDec: s.phase = Phase::WaitRecheck; break;
+      case Phase::CoordWrite: s.phase = Phase::WaitCoordAck; break;
+      case Phase::ReadEst: s.phase = Phase::WaitEst; break;
+      case Phase::WriteAux: s.phase = Phase::WaitAuxAck; break;
+      case Phase::ReadAux: s.phase = Phase::WaitAux; break;
+      case Phase::WriteDec: s.phase = Phase::WaitDecAck; break;
+      default: break;
+    }
+  } else if (a.kind == ioa::ActionKind::EnvDecide) {
+    s.phase = Phase::Done;
+  }
+}
+
+std::unique_ptr<ioa::System> buildEvPConsensusSystem(
+    const EvPConsensusSpec& spec) {
+  const int n = spec.processCount;
+  if (n < 2) {
+    throw std::logic_error("evp consensus: need at least 2 processes");
+  }
+  EvPConsensusProcess::Layout layout;
+  layout.processCount = n;
+  layout.maxRounds = spec.maxRounds;
+  if (layout.maxRounds < 1 ||
+      layout.estBaseId + layout.maxRounds > layout.decId) {
+    throw std::logic_error("evp consensus: maxRounds out of range (1.." +
+                           std::to_string(layout.decId - layout.estBaseId) +
+                           ")");
+  }
+  auto sys = std::make_unique<ioa::System>();
+  std::vector<int> all;
+  for (int i = 0; i < n; ++i) {
+    all.push_back(i);
+    sys->addProcess(std::make_shared<EvPConsensusProcess>(i, layout));
+  }
+  for (int r = 0; r < layout.maxRounds; ++r) {
+    auto est = std::make_shared<services::CanonicalRegister>(
+        layout.estBaseId + r, all);
+    sys->addService(est, est->meta());
+    for (int i = 0; i < n; ++i) {
+      auto aux = std::make_shared<services::CanonicalRegister>(
+          layout.auxBaseId + r * n + i, all);
+      sys->addService(aux, aux->meta());
+    }
+  }
+  auto dec = std::make_shared<services::CanonicalRegister>(layout.decId, all);
+  sys->addService(dec, dec->meta());
+  services::CanonicalGeneralService::Options opts;
+  opts.policy = spec.policy;
+  opts.coalesceResponses = true;
+  opts.failureAware = true;
+  auto fd = std::make_shared<services::CanonicalGeneralService>(
+      types::eventuallyPerfectFailureDetectorType(spec.stabilizationSteps),
+      layout.fdId, all, /*resilience=*/n - 1, opts);
+  sys->addService(fd, fd->meta());
+  return sys;
+}
+
+}  // namespace boosting::processes

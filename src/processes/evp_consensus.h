@@ -1,0 +1,85 @@
+// Consensus from an EVENTUALLY perfect failure detector (Section 6.2.2's
+// <>P) and reliable registers, resilient to any minority of failures
+// (f < n/2).
+//
+// This protocol demonstrates the other half of the failure-detector
+// spectrum the paper models: unlike P, <>P may lie arbitrarily for a
+// finite prefix, so safety can never rely on a suspicion -- only liveness
+// may. The round structure (shared-memory, coordinator-based, in the
+// spirit of Chandra-Toueg):
+//
+//   round r, coordinator c = r mod n:
+//     1. c writes its estimate into EST[r];
+//     2. everyone waits for EST[r] or a <>P suspicion of c, then votes
+//        AUX[r][i] := ("yes", v) or ("no");
+//     3. everyone collects a MAJORITY of round-r votes (re-reading the
+//        decision register between sweeps so halted deciders cannot block
+//        stragglers):
+//          - all collected votes ("yes", v)  ->  write DEC := v, decide v;
+//          - any ("yes", v)                  ->  adopt est := v;
+//          - next round.
+//
+// Agreement: two majorities intersect, so once a process decides v in
+// round r, every process finishing r adopts v and later rounds only
+// re-propose v. Validity: estimates are only ever inputs or adopted
+// estimates. Termination (f < n/2): after <>P stabilizes, the first round
+// whose coordinator is correct and whose suspicion views are fresh makes
+// every collected vote ("yes", v*), so every correct process decides --
+// wrong suspicions cost extra rounds, never safety. The round count is
+// bounded in any given run but not statically; the implementation
+// pre-allocates `maxRounds` rounds of registers (the paper's finiteness
+// assumption) and parks in an Exhausted state if they run out, which the
+// tests assert never happens at the measured stabilization times.
+#pragma once
+
+#include <memory>
+
+#include "ioa/system.h"
+#include "processes/process.h"
+#include "services/canonical_general.h"
+
+namespace boosting::processes {
+
+class EvPConsensusProcess : public ProcessBase {
+ public:
+  struct Layout {
+    int processCount = 3;
+    int maxRounds = 16;
+    int estBaseId = 800;  // EST[r] = estBaseId + r
+    int decId = 880;      // decision register
+    int fdId = 890;       // the <>P service
+    int auxBaseId = 900;  // AUX[r][i] = auxBaseId + r*n + i
+  };
+
+  EvPConsensusProcess(int endpoint, Layout layout);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int estId(int round) const { return layout_.estBaseId + round; }
+  int auxId(int round, int who) const {
+    return layout_.auxBaseId + round * layout_.processCount + who;
+  }
+
+  Layout layout_;
+};
+
+struct EvPConsensusSpec {
+  int processCount = 3;
+  int stabilizationSteps = 4;  // <>P mode-task countdown (Figs. 10-11)
+  int maxRounds = 16;
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+};
+
+std::unique_ptr<ioa::System> buildEvPConsensusSystem(
+    const EvPConsensusSpec& spec);
+
+}  // namespace boosting::processes

@@ -1,0 +1,208 @@
+#include "processes/fd_booster.h"
+
+#include <stdexcept>
+
+#include "services/register.h"
+#include "types/fd_types.h"
+#include "util/hashing.h"
+
+namespace boosting::processes {
+
+using ioa::Action;
+using util::Value;
+using util::sym;
+
+namespace {
+
+// pc encoding: 0 = WaitInput is not needed (the booster runs unprompted);
+//   0            CheckWrite
+//   1            WaitWriteAck
+//   2 + 2*j      Read(j)
+//   3 + 2*j      WaitRead(j)
+//   2 + 2*n      Emit
+struct Pc {
+  static constexpr int kCheckWrite = 0;
+  static constexpr int kWaitAck = 1;
+  static int read(int j) { return 2 + 2 * j; }
+  static int waitRead(int j) { return 3 + 2 * j; }
+  static int emit(int n) { return 2 + 2 * n; }
+};
+
+class FDUnionState final : public ProcessStateBase {
+ public:
+  int pc = Pc::kCheckWrite;
+  Value pairwise = Value::emptySet();     // union of pairwise suspicions
+  Value written = Value::nil();           // what R_me currently holds (ours)
+  std::vector<Value> views;               // last read of each R_j
+  Value lastOutput = Value::nil();
+
+  std::unique_ptr<ioa::AutomatonState> clone() const override {
+    return std::make_unique<FDUnionState>(*this);
+  }
+  std::size_t hash() const override {
+    std::size_t h = baseHash();
+    util::hashValue(h, pc);
+    util::hashCombine(h, pairwise.hash());
+    util::hashCombine(h, written.hash());
+    for (const Value& v : views) util::hashCombine(h, v.hash());
+    util::hashCombine(h, lastOutput.hash());
+    return h;
+  }
+  bool equals(const ioa::AutomatonState& other) const override {
+    const auto* o = dynamic_cast<const FDUnionState*>(&other);
+    return o != nullptr && baseEquals(*o) && pc == o->pc &&
+           pairwise == o->pairwise && written == o->written &&
+           views == o->views && lastOutput == o->lastOutput;
+  }
+  std::string str() const override {
+    return "fd-union pc=" + std::to_string(pc) + " sus=" + pairwise.str() +
+           baseStr();
+  }
+
+  Value unionOfViews() const {
+    Value u = pairwise;
+    for (const Value& v : views) {
+      if (v.isList()) u = u.setUnion(v);
+    }
+    return u;
+  }
+};
+
+FDUnionState& st(ProcessStateBase& s) {
+  return dynamic_cast<FDUnionState&>(s);
+}
+const FDUnionState& st(const ProcessStateBase& s) {
+  return dynamic_cast<const FDUnionState&>(s);
+}
+
+}  // namespace
+
+int pairFdId(const FDBoosterSpec& spec, int i, int j) {
+  if (i > j) std::swap(i, j);
+  return spec.fdBaseId + i * spec.processCount + j;
+}
+
+FDUnionProcess::FDUnionProcess(int endpoint, int processCount, int fdBaseId,
+                               int regBaseId)
+    : ProcessBase(endpoint),
+      n_(processCount),
+      fdBase_(fdBaseId),
+      regBase_(regBaseId) {}
+
+std::string FDUnionProcess::name() const {
+  return "P" + std::to_string(endpoint()) + "<fd-union>";
+}
+
+std::unique_ptr<ioa::AutomatonState> FDUnionProcess::initialState() const {
+  auto s = std::make_unique<FDUnionState>();
+  s->views.assign(static_cast<std::size_t>(n_), Value::nil());
+  return s;
+}
+
+Action FDUnionProcess::chooseAction(const ProcessStateBase& base) const {
+  const FDUnionState& s = st(base);
+  if (s.pc == Pc::kCheckWrite) {
+    if (s.pairwise != s.written) {
+      return Action::invoke(endpoint(), regBase_ + endpoint(),
+                            sym("write", s.pairwise));
+    }
+    return Action::procStep(endpoint());  // skip to the read sweep
+  }
+  if (s.pc == Pc::kWaitAck) return Action::procDummy(endpoint());
+  if (s.pc == Pc::emit(n_)) {
+    const Value u = s.unionOfViews();
+    if (u != s.lastOutput) {
+      return Action::envDecide(endpoint(), sym("suspect", u));
+    }
+    return Action::procStep(endpoint());  // nothing new; restart the cycle
+  }
+  const int j = (s.pc - 2) / 2;
+  if ((s.pc - 2) % 2 == 0) {
+    return Action::invoke(endpoint(), regBase_ + j, sym("read"));
+  }
+  return Action::procDummy(endpoint());  // WaitRead(j)
+}
+
+void FDUnionProcess::onInit(ProcessStateBase&) const {
+  // The booster runs unprompted; init inputs are ignored.
+}
+
+void FDUnionProcess::onRespond(ProcessStateBase& base, int serviceId,
+                               const Value& resp) const {
+  FDUnionState& s = st(base);
+  if (serviceId >= fdBase_) {
+    // Pairwise perfect-detector delivery: union-accumulate.
+    s.pairwise = s.pairwise.setUnion(types::suspectSet(resp));
+    return;
+  }
+  const int j = serviceId - regBase_;
+  if (j == endpoint() && s.pc == Pc::kWaitAck && resp.tag() == "ack") {
+    s.views[static_cast<std::size_t>(j)] = s.written;
+    s.pc = Pc::read(0);
+    return;
+  }
+  if (s.pc == Pc::waitRead(j)) {
+    s.views[static_cast<std::size_t>(j)] =
+        resp.isNil() ? Value::emptySet() : resp;
+    s.pc = (j + 1 < n_) ? Pc::read(j + 1) : Pc::emit(n_);
+  }
+}
+
+void FDUnionProcess::onLocal(ProcessStateBase& base, const Action& a) const {
+  FDUnionState& s = st(base);
+  switch (a.kind) {
+    case ioa::ActionKind::Invoke:
+      if (a.component == regBase_ + endpoint() && a.payload.tag() == "write") {
+        s.written = a.payload.at(1);
+        s.pc = Pc::kWaitAck;
+      } else {
+        const int j = a.component - regBase_;
+        s.pc = Pc::waitRead(j);
+      }
+      return;
+    case ioa::ActionKind::ProcStep:
+      s.pc = (s.pc == Pc::kCheckWrite) ? Pc::read(0) : Pc::kCheckWrite;
+      return;
+    case ioa::ActionKind::EnvDecide:
+      s.lastOutput = s.unionOfViews();
+      s.pc = Pc::kCheckWrite;
+      return;
+    default:
+      return;
+  }
+}
+
+std::unique_ptr<ioa::System> buildFDBoosterSystem(const FDBoosterSpec& spec) {
+  const int n = spec.processCount;
+  if (n < 2) throw std::logic_error("fd booster: need at least 2 processes");
+  auto sys = std::make_unique<ioa::System>();
+  std::vector<int> all;
+  for (int i = 0; i < n; ++i) {
+    all.push_back(i);
+    sys->addProcess(std::make_shared<FDUnionProcess>(i, n, spec.fdBaseId,
+                                                     spec.regBaseId));
+  }
+  // Dedicated registers R_j, writer j by protocol convention, readable by
+  // everyone (reliable, i.e. wait-free).
+  for (int j = 0; j < n; ++j) {
+    auto reg = std::make_shared<services::CanonicalRegister>(
+        spec.regBaseId + j, all);
+    sys->addService(reg, reg->meta());
+  }
+  // 1-resilient 2-process perfect detectors for every pair.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      services::CanonicalGeneralService::Options opts;
+      opts.policy = spec.policy;
+      opts.coalesceResponses = true;  // bounded buffers for flooding FDs
+      opts.failureAware = true;
+      auto fd = std::make_shared<services::CanonicalGeneralService>(
+          types::perfectFailureDetectorType(), pairFdId(spec, i, j),
+          std::vector<int>{i, j}, /*resilience=*/1, opts);
+      sys->addService(fd, fd->meta());
+    }
+  }
+  return sys;
+}
+
+}  // namespace boosting::processes

@@ -1,0 +1,67 @@
+// Section 6.3: boosting IS possible for failure-aware services with
+// arbitrary connection patterns.
+//
+// The paper's construction: every pair of processes {i, j} shares a
+// 1-resilient 2-process perfect failure detector (wait-free for its two
+// endpoints), and each process i owns a dedicated reliable register R_i.
+// Process i accumulates the suspicions delivered by its n-1 pairwise
+// detectors into R_i, periodically reads every R_j, and outputs the union
+// -- which implements a wait-free n-process perfect failure detector:
+// accurate (only actually-crashed processes are ever suspected, by pairwise
+// accuracy) and complete (every crash is eventually reported by the
+// survivor of its pair and propagated through the registers).
+//
+// Process i's deterministic cycle:
+//   CheckWrite: if the accumulated pairwise suspicions differ from what R_i
+//               holds, write them; else skip ahead;
+//   Read(j):    read R_j for j = 0..n-1;
+//   Emit:       if the union of all views changed, output ("suspect", U).
+//
+// The output action is the process's problem-level output (EnvDecide with a
+// ("suspect", S) payload); sim/properties.h checks accuracy/completeness
+// against the injected failure pattern.
+#pragma once
+
+#include <memory>
+
+#include "ioa/system.h"
+#include "processes/process.h"
+#include "services/canonical_general.h"
+
+namespace boosting::processes {
+
+class FDUnionProcess : public ProcessBase {
+ public:
+  // fdIdOf(j) = id of the pairwise detector shared with j (j != endpoint);
+  // regIdOf(j) = id of R_j. Both encoded via the spec's bases (see below).
+  FDUnionProcess(int endpoint, int processCount, int fdBaseId, int regBaseId);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int n_;
+  int fdBase_;
+  int regBase_;
+};
+
+struct FDBoosterSpec {
+  int processCount = 3;
+  int fdBaseId = 600;   // detector of pair {i,j}, i<j: id = base + i*n + j
+  int regBaseId = 500;  // R_j: id = base + j
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+};
+
+// Pairwise-detector id for {i, j} under the spec (order-insensitive).
+int pairFdId(const FDBoosterSpec& spec, int i, int j);
+
+std::unique_ptr<ioa::System> buildFDBoosterSystem(const FDBoosterSpec& spec);
+
+}  // namespace boosting::processes

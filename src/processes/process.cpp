@@ -1,0 +1,116 @@
+#include "processes/process.h"
+
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace boosting::processes {
+
+using ioa::Action;
+using ioa::ActionKind;
+
+std::size_t ProcessStateBase::baseHash() const {
+  std::size_t h = failed ? 0xf417edu : 0x0a11eeu;
+  util::hashCombine(h, input.hash());
+  util::hashCombine(h, decision.hash());
+  return h;
+}
+
+bool ProcessStateBase::baseEquals(const ProcessStateBase& other) const {
+  return failed == other.failed && input == other.input &&
+         decision == other.decision;
+}
+
+std::string ProcessStateBase::baseStr() const {
+  std::string out;
+  if (failed) out += " FAILED";
+  if (!input.isNil()) out += " in=" + input.str();
+  if (!decision.isNil()) out += " dec=" + decision.str();
+  return out;
+}
+
+std::optional<Action> ProcessBase::enabledAction(const ioa::AutomatonState& s,
+                                                 const ioa::TaskId& t) const {
+  if (t.owner != ioa::TaskOwner::Process || t.component != endpoint_) {
+    return std::nullopt;
+  }
+  const ProcessStateBase& st = stateOf(s);
+  // Paper: from the point of failure onward no output action is enabled,
+  // but some locally controlled action must be -- the dummy.
+  if (st.failed) return Action::procDummy(endpoint_);
+  Action a = chooseAction(st);
+  if (!a.isProcessLocal() || a.endpoint != endpoint_) {
+    throw std::logic_error(name() + ": chooseAction produced non-local " +
+                           a.str());
+  }
+  return a;
+}
+
+void ProcessBase::apply(ioa::AutomatonState& s, const Action& a) const {
+  ProcessStateBase& st = stateOf(s);
+  switch (a.kind) {
+    case ActionKind::EnvInit: {
+      util::Value v = a.payload;
+      if (v.isList() && v.size() == 2 && v.tag() == "init") v = v.at(1);
+      st.input = std::move(v);
+      if (!st.failed) onInit(st);
+      return;
+    }
+    case ActionKind::Fail:
+      st.failed = true;
+      onFail(st);
+      return;
+    case ActionKind::Respond:
+      // Inputs remain enabled after failure (input-enabledness), but a
+      // failed process's state no longer matters; skip the handler to keep
+      // post-failure states stable.
+      if (!st.failed) onRespond(st, a.component, a.payload);
+      return;
+    case ActionKind::EnvDecide: {
+      auto v = ioa::decisionValue(a);
+      st.decision = v ? *v : a.payload;  // technical recording assumption
+      onLocal(st, a);
+      return;
+    }
+    case ActionKind::Invoke:
+    case ActionKind::ProcStep:
+      onLocal(st, a);
+      return;
+    case ActionKind::ProcDummy:
+      return;  // strict no-op
+    default:
+      throw std::logic_error(name() + ": unexpected action " + a.str());
+  }
+}
+
+bool ProcessBase::participates(const Action& a) const {
+  switch (a.kind) {
+    case ActionKind::EnvInit:
+    case ActionKind::EnvDecide:
+    case ActionKind::Invoke:
+    case ActionKind::Respond:
+    case ActionKind::Fail:
+    case ActionKind::ProcStep:
+    case ActionKind::ProcDummy:
+      return a.endpoint == endpoint_;
+    default:
+      return false;
+  }
+}
+
+void ProcessBase::onInit(ProcessStateBase&) const {}
+void ProcessBase::onFail(ProcessStateBase&) const {}
+
+const ProcessStateBase& ProcessBase::stateOf(const ioa::AutomatonState& s) {
+  const auto* p = dynamic_cast<const ProcessStateBase*>(&s);
+  if (p == nullptr) throw std::logic_error("expected ProcessStateBase");
+  return *p;
+}
+
+ProcessStateBase& ProcessBase::stateOf(ioa::AutomatonState& s) {
+  auto* p = dynamic_cast<ProcessStateBase*>(&s);
+  if (p == nullptr) throw std::logic_error("expected ProcessStateBase");
+  return *p;
+}
+
+}  // namespace boosting::processes

@@ -1,0 +1,82 @@
+// ProcessBase: deterministic process automata (Section 2.2.1).
+//
+// A process P_i has inputs init(v)_i (from the environment), b_{i,c}
+// responses (from each connected service), and fail_i; its locally
+// controlled actions are invocations a_{i,c}, problem outputs decide(v)_i,
+// internal steps, and a dummy action. The paper's structural assumptions,
+// all enforced here:
+//
+//   * P_i has a SINGLE task consisting of all its locally controlled
+//     actions, and in every state some action of that task is enabled
+//     (possibly the dummy) -- ProcessBase::enabledAction never returns
+//     nullopt for the process's own task.
+//   * P_i is deterministic (Section 3.1(i)): `chooseAction` is a function
+//     of the state.
+//   * After fail_i, no output action of P_i is enabled; the dummy internal
+//     action remains enabled forever (ProcDummy, a strict no-op).
+//   * When P_i performs decide(v)_i it records v in its state (the
+//     technical assumption used in the proofs of Lemmas 6 and 7).
+//
+// Subclasses implement a protocol by providing the initial state, the
+// locally controlled choice, and input handlers.
+#pragma once
+
+#include <memory>
+
+#include "ioa/automaton.h"
+#include "ioa/execution.h"
+
+namespace boosting::processes {
+
+class ProcessStateBase : public ioa::AutomatonState {
+ public:
+  bool failed = false;
+  util::Value input;     // nil until init(v) received
+  util::Value decision;  // nil until decide(v) performed (recorded value)
+
+ protected:
+  // Contributions of the base fields, for subclasses' hash/equals/str.
+  std::size_t baseHash() const;
+  bool baseEquals(const ProcessStateBase& other) const;
+  std::string baseStr() const;
+};
+
+class ProcessBase : public ioa::Automaton {
+ public:
+  explicit ProcessBase(int endpoint) : endpoint_(endpoint) {}
+
+  int endpoint() const { return endpoint_; }
+
+  // -- Automaton interface -------------------------------------------------
+  std::vector<ioa::TaskId> tasks() const final {
+    return {ioa::TaskId::process(endpoint_)};
+  }
+  std::optional<ioa::Action> enabledAction(const ioa::AutomatonState& s,
+                                           const ioa::TaskId& t) const final;
+  void apply(ioa::AutomatonState& s, const ioa::Action& a) const final;
+  bool participates(const ioa::Action& a) const final;
+
+  static const ProcessStateBase& stateOf(const ioa::AutomatonState& s);
+  static ProcessStateBase& stateOf(ioa::AutomatonState& s);
+
+ protected:
+  // The unique locally controlled action enabled in `s` (never nullopt;
+  // return Action::procDummy(endpoint()) when there is nothing to do).
+  // Must not be called with failed states; the base handles those.
+  virtual ioa::Action chooseAction(const ProcessStateBase& s) const = 0;
+
+  // Input handlers. onInit runs after the base records the input value.
+  virtual void onInit(ProcessStateBase& s) const;
+  virtual void onRespond(ProcessStateBase& s, int serviceId,
+                         const util::Value& resp) const = 0;
+  virtual void onFail(ProcessStateBase& s) const;
+
+  // Effect of the subclass's own locally controlled action (Invoke,
+  // EnvDecide, ProcStep). The base has already recorded decisions.
+  virtual void onLocal(ProcessStateBase& s, const ioa::Action& a) const = 0;
+
+ private:
+  int endpoint_;
+};
+
+}  // namespace boosting::processes

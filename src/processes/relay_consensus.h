@@ -1,0 +1,125 @@
+// RelayConsensusProcess: the canonical boosting *candidate* that the
+// impossibility machinery is exercised against.
+//
+// Each process P_i, upon receiving init(v)_i, invokes ("init", v) on an
+// assigned consensus service and, upon receiving the service's
+// ("decide", w) response, outputs decide(w)_i. When all processes share a
+// single f-resilient consensus object, this system genuinely solves
+// f-resilient consensus (the object keeps responding while at most f
+// endpoints fail); Theorem 2 says -- and the ConsensusAdversary
+// demonstrates mechanically -- that it does NOT solve (f+1)-resilient
+// consensus: failing f+1 processes can silence the object, leaving a
+// correct process waiting forever.
+//
+// The same process also implements the Section-4 set-consensus booster:
+// there, each process's assigned service is the wait-free consensus object
+// of its GROUP, and the composed system solves wait-free 2-set consensus
+// (see set_consensus_booster.h).
+//
+// The "bridge" system is a richer doomed candidate with a nontrivial
+// connection pattern (the theorems allow arbitrary patterns): processes
+// 0..b propose to a consensus object whose endpoints are {0..b}; the bridge
+// process b writes the outcome into a reliable register shared with the
+// remaining processes, which spin-read it and decide. Failure-free the
+// system solves consensus; failing the bridge (or exceeding the object's
+// resilience) starves the readers forever.
+#pragma once
+
+#include <memory>
+
+#include "ioa/system.h"
+#include "processes/process.h"
+#include "services/canonical_general.h"
+
+namespace boosting::processes {
+
+class RelayConsensusProcess : public ProcessBase {
+ public:
+  RelayConsensusProcess(int endpoint, int consensusServiceId);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int serviceId_;
+};
+
+// The bridge: proposes to the consensus object, then writes the outcome to
+// the hand-off register, then decides it.
+class BridgeWriterProcess : public ProcessBase {
+ public:
+  BridgeWriterProcess(int endpoint, int consensusServiceId, int registerId);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int serviceId_;
+  int registerId_;
+};
+
+// A reader: spin-reads the hand-off register until it is non-nil, then
+// decides the value found. (Its own input is proposed nowhere; validity
+// still holds because the register only ever holds a proposer's input.)
+class SpinReaderProcess : public ProcessBase {
+ public:
+  SpinReaderProcess(int endpoint, int registerId);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int registerId_;
+};
+
+// -- System builders ---------------------------------------------------------
+
+struct RelaySystemSpec {
+  int processCount = 2;
+  int objectResilience = 0;  // f of the single shared consensus object
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+  int consensusServiceId = 100;
+  bool addScratchRegister = true;  // a reliable register, as the theorems allow
+  int registerId = 200;
+};
+
+// One f-resilient consensus object shared by all processes (+ an optional
+// reliable register). Solves f-resilient consensus; claimed (f+1)-resilient
+// by the adversary experiments.
+std::unique_ptr<ioa::System> buildRelayConsensusSystem(
+    const RelaySystemSpec& spec);
+
+struct BridgeSystemSpec {
+  int processCount = 3;
+  int bridgeEndpoint = 1;    // proposers are 0..bridgeEndpoint
+  int objectResilience = 0;
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+  int consensusServiceId = 101;
+  int registerId = 201;      // endpoints: bridge + readers
+};
+
+std::unique_ptr<ioa::System> buildBridgeConsensusSystem(
+    const BridgeSystemSpec& spec);
+
+}  // namespace boosting::processes

@@ -1,0 +1,55 @@
+// Crash-uniform reliable broadcast over the failure-oblivious channel
+// fabric -- a classic protocol (relay-before-deliver, Hadzilacos & Toueg
+// style for crash faults) expressed in the paper's framework, and the
+// message-passing counterpart of the 2002 technical-report setting.
+//
+// Protocol: on rbcast(v), a process sends ("rb", origin, v) to every other
+// process and delivers locally. On first receipt of ("rb", origin, v) it
+// RELAYS the message to everyone else before delivering -- so if any
+// correct process delivers, every correct process eventually does, even
+// when the origin crashed mid-broadcast (all-or-nothing among the correct).
+// Deliveries are announced as problem-level outputs ("deliver", origin, v).
+#pragma once
+
+#include <memory>
+
+#include "ioa/system.h"
+#include "processes/process.h"
+#include "services/canonical_general.h"
+
+namespace boosting::processes {
+
+class ReliableBroadcastProcess : public ProcessBase {
+ public:
+  ReliableBroadcastProcess(int endpoint, int processCount, int channelId);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int n_;
+  int channelId_;
+};
+
+struct ReliableBroadcastSpec {
+  int processCount = 3;
+  int channelResilience = 2;  // f of the fabric
+  int channelId = 700;
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+};
+
+std::unique_ptr<ioa::System> buildReliableBroadcastSystem(
+    const ReliableBroadcastSpec& spec);
+
+// The ("deliver", origin, v) outputs of endpoint i in an execution.
+std::vector<util::Value> deliveriesOf(const ioa::Execution& exec,
+                                      int endpoint);
+
+}  // namespace boosting::processes

@@ -1,0 +1,226 @@
+#include "processes/rotating_consensus.h"
+
+#include <stdexcept>
+
+#include "services/register.h"
+#include "types/fd_types.h"
+#include "util/hashing.h"
+
+namespace boosting::processes {
+
+using ioa::Action;
+using util::Value;
+using util::sym;
+
+namespace {
+
+enum class Phase : int {
+  WaitInput = 0,
+  CoordWrite,   // I am the coordinator of this round: write EST[r]
+  WaitAck,
+  ReadEst,      // read EST[r]
+  WaitRead,
+  NeedDecide,
+  Done,
+};
+
+class RotState final : public ProcessStateBase {
+ public:
+  Phase phase = Phase::WaitInput;
+  int round = 0;
+  Value est;
+  Value suspected = Value::emptySet();  // accumulated pairwise suspicions
+
+  std::unique_ptr<ioa::AutomatonState> clone() const override {
+    return std::make_unique<RotState>(*this);
+  }
+  std::size_t hash() const override {
+    std::size_t h = baseHash();
+    util::hashValue(h, static_cast<int>(phase));
+    util::hashValue(h, round);
+    util::hashCombine(h, est.hash());
+    util::hashCombine(h, suspected.hash());
+    return h;
+  }
+  bool equals(const ioa::AutomatonState& other) const override {
+    const auto* o = dynamic_cast<const RotState*>(&other);
+    return o != nullptr && baseEquals(*o) && phase == o->phase &&
+           round == o->round && est == o->est && suspected == o->suspected;
+  }
+  std::string str() const override {
+    return "rot r=" + std::to_string(round) +
+           " phase=" + std::to_string(static_cast<int>(phase)) +
+           " est=" + est.str() + baseStr();
+  }
+};
+
+RotState& st(ProcessStateBase& s) { return dynamic_cast<RotState&>(s); }
+const RotState& st(const ProcessStateBase& s) {
+  return dynamic_cast<const RotState&>(s);
+}
+
+}  // namespace
+
+RotatingConsensusProcess::RotatingConsensusProcess(int endpoint,
+                                                   int processCount,
+                                                   int fdBaseId, int estBaseId)
+    : ProcessBase(endpoint),
+      n_(processCount),
+      fdBase_(fdBaseId),
+      estBase_(estBaseId) {}
+
+std::string RotatingConsensusProcess::name() const {
+  return "P" + std::to_string(endpoint()) + "<rotating>";
+}
+
+std::unique_ptr<ioa::AutomatonState> RotatingConsensusProcess::initialState()
+    const {
+  return std::make_unique<RotState>();
+}
+
+Action RotatingConsensusProcess::chooseAction(
+    const ProcessStateBase& base) const {
+  const RotState& s = st(base);
+  switch (s.phase) {
+    case Phase::CoordWrite:
+      return Action::invoke(endpoint(), estBase_ + s.round,
+                            sym("write", s.est));
+    case Phase::ReadEst:
+      return Action::invoke(endpoint(), estBase_ + s.round, sym("read"));
+    case Phase::NeedDecide:
+      return Action::envDecide(endpoint(), sym("decide", s.est));
+    default:
+      return Action::procDummy(endpoint());
+  }
+}
+
+void RotatingConsensusProcess::onInit(ProcessStateBase& base) const {
+  RotState& s = st(base);
+  if (s.phase != Phase::WaitInput) return;
+  s.est = s.input;
+  s.round = 0;
+  s.phase = (endpoint() == 0) ? Phase::CoordWrite : Phase::ReadEst;
+}
+
+void RotatingConsensusProcess::onRespond(ProcessStateBase& base, int serviceId,
+                                         const Value& resp) const {
+  RotState& s = st(base);
+  if (serviceId >= fdBase_) {
+    s.suspected = s.suspected.setUnion(types::suspectSet(resp));
+    // A pending spin may now be resolvable; the spin check happens on the
+    // next read response (or immediately below if we are mid-wait with a
+    // nil view -- the read is simply retried and the suspicion consulted).
+    return;
+  }
+  if (s.phase == Phase::WaitAck && serviceId == estBase_ + s.round) {
+    // Coordinator write acknowledged; advance.
+    s.round += 1;
+    if (s.round == n_) {
+      s.phase = Phase::NeedDecide;
+    } else {
+      s.phase = (endpoint() == s.round) ? Phase::CoordWrite : Phase::ReadEst;
+    }
+    return;
+  }
+  if (s.phase == Phase::WaitRead && serviceId == estBase_ + s.round) {
+    if (!resp.isNil()) {
+      s.est = resp;  // adopt the coordinator's estimate
+    } else if (!s.suspected.setContains(Value(s.round))) {
+      s.phase = Phase::ReadEst;  // spin: coordinator alive but not written
+      return;
+    }
+    // Either adopted or the coordinator is suspected: advance.
+    s.round += 1;
+    if (s.round == n_) {
+      s.phase = Phase::NeedDecide;
+    } else {
+      s.phase = (endpoint() == s.round) ? Phase::CoordWrite : Phase::ReadEst;
+    }
+    return;
+  }
+}
+
+void RotatingConsensusProcess::onLocal(ProcessStateBase& base,
+                                       const Action& a) const {
+  RotState& s = st(base);
+  if (a.kind == ioa::ActionKind::Invoke) {
+    s.phase = (s.phase == Phase::CoordWrite) ? Phase::WaitAck : Phase::WaitRead;
+  } else if (a.kind == ioa::ActionKind::EnvDecide) {
+    s.phase = Phase::Done;
+  }
+}
+
+std::unique_ptr<ioa::System> buildRotatingConsensusSystem(
+    const RotatingConsensusSpec& spec) {
+  const int n = spec.processCount;
+  if (n < 2) {
+    throw std::logic_error("rotating consensus: need at least 2 processes");
+  }
+  auto sys = std::make_unique<ioa::System>();
+  std::vector<int> all;
+  for (int i = 0; i < n; ++i) {
+    all.push_back(i);
+    sys->addProcess(std::make_shared<RotatingConsensusProcess>(
+        i, n, spec.fdBaseId, spec.estBaseId));
+  }
+  for (int r = 0; r < n; ++r) {
+    auto reg = std::make_shared<services::CanonicalRegister>(
+        spec.estBaseId + r, all);
+    sys->addService(reg, reg->meta());
+  }
+  FDBoosterSpec fdSpec;
+  fdSpec.processCount = n;
+  fdSpec.fdBaseId = spec.fdBaseId;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      services::CanonicalGeneralService::Options opts;
+      opts.policy = spec.policy;
+      opts.coalesceResponses = true;
+      opts.failureAware = true;
+      auto fd = std::make_shared<services::CanonicalGeneralService>(
+          types::perfectFailureDetectorType(), pairFdId(fdSpec, i, j),
+          std::vector<int>{i, j}, /*resilience=*/1, opts);
+      sys->addService(fd, fd->meta());
+    }
+  }
+  return sys;
+}
+
+std::unique_ptr<ioa::System> buildSingleFDRotatingConsensusSystem(
+    const SingleFDConsensusSpec& spec) {
+  const int n = spec.processCount;
+  if (n < 2) {
+    throw std::logic_error("single-FD consensus: need at least 2 processes");
+  }
+  if (spec.fdId <= spec.estBaseId) {
+    throw std::logic_error(
+        "single-FD consensus: fdId must exceed estBaseId (the process "
+        "routes responses by 'serviceId >= fd base')");
+  }
+  auto sys = std::make_unique<ioa::System>();
+  std::vector<int> all;
+  for (int i = 0; i < n; ++i) {
+    all.push_back(i);
+    // The process treats every service id >= fdBaseId as a detector, so
+    // pointing fdBaseId at the single shared detector reuses the protocol
+    // unchanged.
+    sys->addProcess(std::make_shared<RotatingConsensusProcess>(
+        i, n, spec.fdId, spec.estBaseId));
+  }
+  for (int r = 0; r < n; ++r) {
+    auto reg = std::make_shared<services::CanonicalRegister>(
+        spec.estBaseId + r, all);
+    sys->addService(reg, reg->meta());
+  }
+  services::CanonicalGeneralService::Options opts;
+  opts.policy = spec.policy;
+  opts.coalesceResponses = true;  // keep the analysis state space finite
+  opts.failureAware = true;
+  auto fd = std::make_shared<services::CanonicalGeneralService>(
+      types::perfectFailureDetectorType(), spec.fdId, all, spec.fdResilience,
+      opts);
+  sys->addService(fd, fd->meta());
+  return sys;
+}
+
+}  // namespace boosting::processes

@@ -1,0 +1,86 @@
+// Rotating-coordinator consensus from pairwise perfect failure detectors
+// and reliable registers -- the consequence the paper draws from the
+// Section-6.3 booster: "f-resilient consensus, for any f, can be
+// implemented using wait-free registers and 1-resilient failure detector
+// services."
+//
+// Protocol (shared-memory rotating coordinator with a perfect FD):
+//   est := input; for round r = 0 .. n-1:
+//     if i == r:  write EST[r] := est, proceed;
+//     else:       spin { read EST[r]; if non-nil -> est := EST[r], proceed;
+//                        else if r is suspected by the pairwise detector
+//                        S_{i,r} -> proceed (skip the round) }
+//   decide est.
+//
+// Correctness with perfect detectors: let r* be the first round whose
+// coordinator is correct. r* is never suspected (pairwise accuracy), so
+// every process that completes round r* waited for EST[r*] and adopted the
+// single value written there; all later coordinators therefore carry that
+// value and all correct processes decide it. Wait-freedom (resilience
+// n-1): every spin exits, because a crashed coordinator is eventually
+// suspected by its pairwise detector (completeness) and a correct one
+// eventually writes.
+//
+// This is the system that shows Theorem 10's all-process-connection
+// assumption is necessary: each failure detector here has only two
+// endpoints, so no set of f+1 failures can silence all of them.
+#pragma once
+
+#include <memory>
+
+#include "ioa/system.h"
+#include "processes/fd_booster.h"
+#include "processes/process.h"
+
+namespace boosting::processes {
+
+class RotatingConsensusProcess : public ProcessBase {
+ public:
+  RotatingConsensusProcess(int endpoint, int processCount, int fdBaseId,
+                           int estBaseId);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int n_;
+  int fdBase_;
+  int estBase_;
+};
+
+struct RotatingConsensusSpec {
+  int processCount = 3;
+  int fdBaseId = 600;   // pairwise detectors, same scheme as FDBoosterSpec
+  int estBaseId = 500;  // EST[r]: id = base + r, endpoints = all
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+};
+
+std::unique_ptr<ioa::System> buildRotatingConsensusSystem(
+    const RotatingConsensusSpec& spec);
+
+// The Theorem-10 DOOMED variant: the same rotating-coordinator protocol,
+// but all suspicions come from ONE f-resilient perfect failure detector
+// connected to every process (the connection pattern Theorem 10 requires).
+// This system solves f-resilient consensus; failing f+1 processes silences
+// the single detector, so waiters can neither read the coordinator's
+// estimate nor ever suspect it -- the adversary engine refutes the claimed
+// (f+1)-resilience exactly as the theorem predicts.
+struct SingleFDConsensusSpec {
+  int processCount = 2;
+  int fdResilience = 0;  // f of the single all-process detector
+  int fdId = 650;
+  int estBaseId = 500;
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+};
+
+std::unique_ptr<ioa::System> buildSingleFDRotatingConsensusSystem(
+    const SingleFDConsensusSpec& spec);
+
+}  // namespace boosting::processes

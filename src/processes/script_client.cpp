@@ -1,0 +1,99 @@
+#include "processes/script_client.h"
+
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace boosting::processes {
+
+using ioa::Action;
+using util::Value;
+
+namespace {
+
+class ClientState final : public ProcessStateBase {
+ public:
+  std::size_t issued = 0;     // script positions already invoked
+  std::size_t completed = 0;  // responses received
+  Value::List responses;      // in arrival order
+
+  std::unique_ptr<ioa::AutomatonState> clone() const override {
+    return std::make_unique<ClientState>(*this);
+  }
+  std::size_t hash() const override {
+    std::size_t h = baseHash();
+    util::hashValue(h, issued);
+    util::hashValue(h, completed);
+    for (const Value& v : responses) util::hashCombine(h, v.hash());
+    return h;
+  }
+  bool equals(const ioa::AutomatonState& other) const override {
+    const auto* o = dynamic_cast<const ClientState*>(&other);
+    return o != nullptr && baseEquals(*o) && issued == o->issued &&
+           completed == o->completed && responses == o->responses;
+  }
+  std::string str() const override {
+    return "client issued=" + std::to_string(issued) +
+           " done=" + std::to_string(completed) + baseStr();
+  }
+};
+
+ClientState& st(ProcessStateBase& s) {
+  return dynamic_cast<ClientState&>(s);
+}
+const ClientState& st(const ProcessStateBase& s) {
+  return dynamic_cast<const ClientState&>(s);
+}
+
+}  // namespace
+
+ScriptClientProcess::ScriptClientProcess(int endpoint, int serviceId,
+                                         std::vector<Value> script,
+                                         int pipelineDepth)
+    : ProcessBase(endpoint),
+      serviceId_(serviceId),
+      script_(std::move(script)),
+      pipelineDepth_(pipelineDepth) {
+  if (pipelineDepth_ < 1) {
+    throw std::logic_error("script client: pipeline depth must be >= 1");
+  }
+}
+
+std::string ScriptClientProcess::name() const {
+  return "P" + std::to_string(endpoint()) + "<client:" +
+         std::to_string(script_.size()) + "ops>";
+}
+
+std::unique_ptr<ioa::AutomatonState> ScriptClientProcess::initialState()
+    const {
+  return std::make_unique<ClientState>();
+}
+
+Action ScriptClientProcess::chooseAction(const ProcessStateBase& base) const {
+  const ClientState& s = st(base);
+  const std::size_t outstanding = s.issued - s.completed;
+  if (s.issued < script_.size() &&
+      outstanding < static_cast<std::size_t>(pipelineDepth_)) {
+    return Action::invoke(endpoint(), serviceId_, script_[s.issued]);
+  }
+  return Action::procDummy(endpoint());
+}
+
+void ScriptClientProcess::onInit(ProcessStateBase&) const {
+  // The script runs unprompted; init inputs are ignored.
+}
+
+void ScriptClientProcess::onRespond(ProcessStateBase& base, int serviceId,
+                                    const Value& resp) const {
+  if (serviceId != serviceId_) return;
+  ClientState& s = st(base);
+  s.completed += 1;
+  s.responses.push_back(resp);
+}
+
+void ScriptClientProcess::onLocal(ProcessStateBase& base,
+                                  const Action& a) const {
+  if (a.kind == ioa::ActionKind::Invoke) st(base).issued += 1;
+}
+
+}  // namespace boosting::processes

@@ -1,0 +1,47 @@
+// ScriptClientProcess: a deterministic workload driver for exercising
+// canonical services.
+//
+// The paper's process model explicitly allows a process to issue several
+// invocations, on the same or different services, WITHOUT waiting for
+// responses (Section 2.2.1) -- the canonical object's per-endpoint FIFO
+// buffers exist precisely to serve such pipelined operations in order.
+// This client plays a fixed script of invocations against one service with
+// a configurable pipeline depth (1 = closed-loop RPC, larger = overlapped
+// operations at one endpoint), consuming responses as they arrive. It is
+// the workload generator behind the linearizability fuzz tests and the
+// canonical-object benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ioa/system.h"
+#include "processes/process.h"
+
+namespace boosting::processes {
+
+class ScriptClientProcess : public ProcessBase {
+ public:
+  // `script`: invocations to issue, in order. `pipelineDepth` >= 1 bounds
+  // how many may be outstanding simultaneously.
+  ScriptClientProcess(int endpoint, int serviceId,
+                      std::vector<util::Value> script,
+                      int pipelineDepth = 1);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int serviceId_;
+  std::vector<util::Value> script_;
+  int pipelineDepth_;
+};
+
+}  // namespace boosting::processes

@@ -1,0 +1,55 @@
+#include "processes/set_consensus_booster.h"
+
+#include <stdexcept>
+
+#include "processes/relay_consensus.h"
+#include "services/canonical_atomic.h"
+#include "types/builtin_types.h"
+
+namespace boosting::processes {
+
+int boosterGroupOf(const SetConsensusBoosterSpec& spec, int endpoint) {
+  return endpoint % spec.groups;
+}
+
+int boosterSetBound(const SetConsensusBoosterSpec& spec) {
+  return spec.groups * spec.groupSetSize;
+}
+
+std::unique_ptr<ioa::System> buildSetConsensusBoosterSystem(
+    const SetConsensusBoosterSpec& spec) {
+  if (spec.groups < 1 || spec.processCount < spec.groups) {
+    throw std::logic_error(
+        "set-consensus booster: need processCount >= groups >= 1");
+  }
+  if (spec.groupSetSize < 1) {
+    throw std::logic_error("set-consensus booster: groupSetSize must be >= 1");
+  }
+  auto sys = std::make_unique<ioa::System>();
+  std::vector<std::vector<int>> members(
+      static_cast<std::size_t>(spec.groups));
+  for (int i = 0; i < spec.processCount; ++i) {
+    const int g = boosterGroupOf(spec, i);
+    // The booster process is exactly the relay process: forward the input
+    // to the group's service, output its response (Section 4).
+    sys->addProcess(std::make_shared<RelayConsensusProcess>(
+        i, spec.firstServiceId + g));
+    members[static_cast<std::size_t>(g)].push_back(i);
+  }
+  const types::SequentialType groupType =
+      spec.groupSetSize == 1 ? types::consensusType()
+                             : types::kSetConsensusType(spec.groupSetSize);
+  for (int g = 0; g < spec.groups; ++g) {
+    const auto& ends = members[static_cast<std::size_t>(g)];
+    services::CanonicalAtomicObject::Options opts;
+    opts.policy = spec.policy;
+    // f' = n' - 1: each group service is wait-free for its group.
+    auto object = std::make_shared<services::CanonicalAtomicObject>(
+        groupType, spec.firstServiceId + g, ends,
+        static_cast<int>(ends.size()) - 1, opts);
+    sys->addService(object, object->meta());
+  }
+  return sys;
+}
+
+}  // namespace boosting::processes

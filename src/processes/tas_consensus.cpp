@@ -1,0 +1,150 @@
+#include "processes/tas_consensus.h"
+
+#include "services/canonical_atomic.h"
+#include "services/register.h"
+#include "types/builtin_types.h"
+#include "util/hashing.h"
+
+namespace boosting::processes {
+
+using ioa::Action;
+using util::Value;
+using util::sym;
+
+namespace {
+
+enum class Phase : int {
+  Idle = 0,
+  WriteOwn,    // publish the input in R_me
+  WaitAck,
+  DoTas,       // race on the test&set object
+  WaitTas,
+  ReadOther,   // lost: fetch the winner's input
+  WaitRead,
+  NeedDecide,
+  Done,
+};
+
+class TASState final : public ProcessStateBase {
+ public:
+  Phase phase = Phase::Idle;
+  Value outcome;
+
+  std::unique_ptr<ioa::AutomatonState> clone() const override {
+    return std::make_unique<TASState>(*this);
+  }
+  std::size_t hash() const override {
+    std::size_t h = baseHash();
+    util::hashValue(h, static_cast<int>(phase));
+    util::hashCombine(h, outcome.hash());
+    return h;
+  }
+  bool equals(const ioa::AutomatonState& other) const override {
+    const auto* o = dynamic_cast<const TASState*>(&other);
+    return o != nullptr && baseEquals(*o) && phase == o->phase &&
+           outcome == o->outcome;
+  }
+  std::string str() const override {
+    return "tas phase=" + std::to_string(static_cast<int>(phase)) + baseStr();
+  }
+};
+
+TASState& st(ProcessStateBase& s) { return dynamic_cast<TASState&>(s); }
+const TASState& st(const ProcessStateBase& s) {
+  return dynamic_cast<const TASState&>(s);
+}
+
+}  // namespace
+
+TASConsensusProcess::TASConsensusProcess(int endpoint, int regBaseId,
+                                         int tasId)
+    : ProcessBase(endpoint), regBase_(regBaseId), tasId_(tasId) {}
+
+std::string TASConsensusProcess::name() const {
+  return "P" + std::to_string(endpoint()) + "<tas-consensus>";
+}
+
+std::unique_ptr<ioa::AutomatonState> TASConsensusProcess::initialState()
+    const {
+  return std::make_unique<TASState>();
+}
+
+Action TASConsensusProcess::chooseAction(const ProcessStateBase& base) const {
+  const TASState& s = st(base);
+  switch (s.phase) {
+    case Phase::WriteOwn:
+      return Action::invoke(endpoint(), regBase_ + endpoint(),
+                            sym("write", s.input));
+    case Phase::DoTas:
+      return Action::invoke(endpoint(), tasId_, sym("tas"));
+    case Phase::ReadOther:
+      return Action::invoke(endpoint(), regBase_ + (1 - endpoint()),
+                            sym("read"));
+    case Phase::NeedDecide:
+      return Action::envDecide(endpoint(), sym("decide", s.outcome));
+    default:
+      return Action::procDummy(endpoint());
+  }
+}
+
+void TASConsensusProcess::onInit(ProcessStateBase& base) const {
+  TASState& s = st(base);
+  if (s.phase == Phase::Idle) s.phase = Phase::WriteOwn;
+}
+
+void TASConsensusProcess::onRespond(ProcessStateBase& base, int serviceId,
+                                    const Value& resp) const {
+  TASState& s = st(base);
+  if (s.phase == Phase::WaitAck && serviceId == regBase_ + endpoint()) {
+    s.phase = Phase::DoTas;
+  } else if (s.phase == Phase::WaitTas && serviceId == tasId_) {
+    if (resp == Value(0)) {
+      s.outcome = s.input;  // won the race: our value is the decision
+      s.phase = Phase::NeedDecide;
+    } else {
+      s.phase = Phase::ReadOther;  // lost: adopt the winner's value
+    }
+  } else if (s.phase == Phase::WaitRead &&
+             serviceId == regBase_ + (1 - endpoint())) {
+    s.outcome = resp;  // the winner wrote before its tas: always non-nil
+    s.phase = Phase::NeedDecide;
+  }
+}
+
+void TASConsensusProcess::onLocal(ProcessStateBase& base,
+                                  const Action& a) const {
+  TASState& s = st(base);
+  if (a.kind == ioa::ActionKind::Invoke) {
+    switch (s.phase) {
+      case Phase::WriteOwn: s.phase = Phase::WaitAck; break;
+      case Phase::DoTas: s.phase = Phase::WaitTas; break;
+      case Phase::ReadOther: s.phase = Phase::WaitRead; break;
+      default: break;
+    }
+  } else if (a.kind == ioa::ActionKind::EnvDecide) {
+    s.phase = Phase::Done;
+  }
+}
+
+std::unique_ptr<ioa::System> buildTASConsensusSystem(
+    const TASConsensusSpec& spec) {
+  auto sys = std::make_unique<ioa::System>();
+  for (int i = 0; i < 2; ++i) {
+    sys->addProcess(std::make_shared<TASConsensusProcess>(i, spec.regBaseId,
+                                                          spec.tasId));
+  }
+  const std::vector<int> both{0, 1};
+  for (int i = 0; i < 2; ++i) {
+    auto reg = std::make_shared<services::CanonicalRegister>(
+        spec.regBaseId + i, both);
+    sys->addService(reg, reg->meta());
+  }
+  services::CanonicalAtomicObject::Options opts;
+  opts.policy = spec.policy;
+  auto tas = std::make_shared<services::CanonicalAtomicObject>(
+      types::testAndSetType(), spec.tasId, both, /*resilience=*/1, opts);
+  sys->addService(tas, tas->meta());
+  return sys;
+}
+
+}  // namespace boosting::processes

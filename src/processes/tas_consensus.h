@@ -1,0 +1,60 @@
+// Two-process consensus from a wait-free test&set object and registers --
+// the classic consensus-number-2 construction (Herlihy [11], which the
+// paper leans on for the universality of consensus).
+//
+// Protocol for processes {0, 1}:
+//   1. write your input into your own register R_i;
+//   2. invoke tas() on the shared test&set object;
+//   3. if you got 0 (you won): decide your own input;
+//      if you got 1 (you lost): read the winner's register and decide it.
+//
+// Correctness: the winner wrote R_w before its tas, which preceded the
+// loser's tas, which preceded the loser's read -- so the loser always
+// finds the winner's value. With wait-free primitives the construction is
+// wait-free: it tolerates the failure of the other process.
+//
+// Together with compose::SystemAsService this yields an implemented
+// 1-resilient 2-process consensus SERVICE from test&set -- the bottom rung
+// of the universality ladder, checkable against the consensus sequential
+// type with the linearizability checker.
+#pragma once
+
+#include <memory>
+
+#include "ioa/system.h"
+#include "processes/process.h"
+#include "services/canonical_general.h"
+
+namespace boosting::processes {
+
+class TASConsensusProcess : public ProcessBase {
+ public:
+  // Registers: R_i has id regBaseId + i; the test&set object has tasId.
+  TASConsensusProcess(int endpoint, int regBaseId, int tasId);
+
+  std::string name() const override;
+  std::unique_ptr<ioa::AutomatonState> initialState() const override;
+
+ protected:
+  ioa::Action chooseAction(const ProcessStateBase& s) const override;
+  void onInit(ProcessStateBase& s) const override;
+  void onRespond(ProcessStateBase& s, int serviceId,
+                 const util::Value& resp) const override;
+  void onLocal(ProcessStateBase& s, const ioa::Action& a) const override;
+
+ private:
+  int regBase_;
+  int tasId_;
+};
+
+struct TASConsensusSpec {
+  int regBaseId = 210;  // R_0 = 210, R_1 = 211
+  int tasId = 220;
+  services::DummyPolicy policy = services::DummyPolicy::PreferReal;
+};
+
+// Always two processes (test&set has consensus number exactly 2).
+std::unique_ptr<ioa::System> buildTASConsensusSystem(
+    const TASConsensusSpec& spec);
+
+}  // namespace boosting::processes

@@ -1,0 +1,125 @@
+#include "processes/tob_consensus.h"
+
+#include "services/canonical_oblivious.h"
+#include "types/tob_type.h"
+#include "util/hashing.h"
+
+namespace boosting::processes {
+
+using ioa::Action;
+using util::Value;
+using util::sym;
+
+namespace {
+
+class TOBState final : public ProcessStateBase {
+ public:
+  bool bcastPending = false;
+  bool decidePending = false;
+  bool done = false;
+  Value firstMessage;
+
+  std::unique_ptr<ioa::AutomatonState> clone() const override {
+    return std::make_unique<TOBState>(*this);
+  }
+  std::size_t hash() const override {
+    std::size_t h = baseHash();
+    util::hashValue(h, (bcastPending ? 1 : 0) | (decidePending ? 2 : 0) |
+                           (done ? 4 : 0));
+    util::hashCombine(h, firstMessage.hash());
+    return h;
+  }
+  bool equals(const ioa::AutomatonState& other) const override {
+    const auto* o = dynamic_cast<const TOBState*>(&other);
+    return o != nullptr && baseEquals(*o) && bcastPending == o->bcastPending &&
+           decidePending == o->decidePending && done == o->done &&
+           firstMessage == o->firstMessage;
+  }
+  std::string str() const override {
+    return std::string("tob") + (bcastPending ? " bcast!" : "") +
+           (decidePending ? " decide!" : "") + (done ? " done" : "") +
+           baseStr();
+  }
+};
+
+TOBState& tobState(ProcessStateBase& s) { return dynamic_cast<TOBState&>(s); }
+const TOBState& tobState(const ProcessStateBase& s) {
+  return dynamic_cast<const TOBState&>(s);
+}
+
+}  // namespace
+
+TOBConsensusProcess::TOBConsensusProcess(int endpoint, int tobServiceId)
+    : ProcessBase(endpoint), serviceId_(tobServiceId) {}
+
+std::string TOBConsensusProcess::name() const {
+  return "P" + std::to_string(endpoint()) + "<tob-consensus>";
+}
+
+std::unique_ptr<ioa::AutomatonState> TOBConsensusProcess::initialState()
+    const {
+  return std::make_unique<TOBState>();
+}
+
+Action TOBConsensusProcess::chooseAction(const ProcessStateBase& s) const {
+  const TOBState& st = tobState(s);
+  // Broadcast first so the process's own value enters the total order,
+  // then decide; the decision is always the FIRST delivery ever received
+  // (which may have arrived before our own bcast -- ignoring it would
+  // break agreement).
+  if (st.bcastPending) {
+    return Action::invoke(endpoint(), serviceId_, sym("bcast", st.input));
+  }
+  if (st.decidePending) {
+    return Action::envDecide(endpoint(), sym("decide", st.firstMessage));
+  }
+  return Action::procDummy(endpoint());
+}
+
+void TOBConsensusProcess::onInit(ProcessStateBase& s) const {
+  TOBState& st = tobState(s);
+  if (!st.done && st.input.isNil() == false && !st.bcastPending) {
+    st.bcastPending = true;
+  }
+}
+
+void TOBConsensusProcess::onRespond(ProcessStateBase& s, int serviceId,
+                                    const Value& resp) const {
+  TOBState& st = tobState(s);
+  if (serviceId != serviceId_ || resp.tag() != "rcv") return;
+  if (st.firstMessage.isNil() && !st.done) {
+    st.firstMessage = resp.at(1);
+    st.decidePending = true;
+  }
+  // Later deliveries are consumed and ignored.
+}
+
+void TOBConsensusProcess::onLocal(ProcessStateBase& s, const Action& a) const {
+  TOBState& st = tobState(s);
+  if (a.kind == ioa::ActionKind::Invoke) {
+    st.bcastPending = false;
+  } else if (a.kind == ioa::ActionKind::EnvDecide) {
+    st.decidePending = false;
+    st.done = true;
+  }
+}
+
+std::unique_ptr<ioa::System> buildTOBConsensusSystem(
+    const TOBConsensusSpec& spec) {
+  auto sys = std::make_unique<ioa::System>();
+  std::vector<int> all;
+  for (int i = 0; i < spec.processCount; ++i) {
+    all.push_back(i);
+    sys->addProcess(
+        std::make_shared<TOBConsensusProcess>(i, spec.tobServiceId));
+  }
+  services::CanonicalObliviousService::Options opts;
+  opts.policy = spec.policy;
+  auto tob = std::make_shared<services::CanonicalObliviousService>(
+      types::totallyOrderedBroadcastType(), spec.tobServiceId, all,
+      spec.serviceResilience, opts);
+  sys->addService(tob, tob->meta());
+  return sys;
+}
+
+}  // namespace boosting::processes

@@ -1,0 +1,35 @@
+#include "services/canonical_atomic.h"
+
+#include "types/service_type.h"
+
+namespace boosting::services {
+
+namespace {
+CanonicalGeneralService::Options lowerOptions(
+    const CanonicalAtomicObject::Options& o) {
+  CanonicalGeneralService::Options out;
+  out.policy = o.policy;
+  out.coalesceResponses = false;
+  out.failureAware = false;
+  out.isRegister = o.isRegister;
+  return out;
+}
+}  // namespace
+
+CanonicalAtomicObject::CanonicalAtomicObject(const types::SequentialType& type,
+                                             int id,
+                                             std::vector<int> endpoints,
+                                             int resilience, Options options)
+    : CanonicalGeneralService(
+          types::liftOblivious(types::liftSequential(types::determinize(type))),
+          id, std::move(endpoints), resilience, lowerOptions(options)),
+      seqType_(types::determinize(type)) {}
+
+CanonicalAtomicObject::CanonicalAtomicObject(const types::SequentialType& type,
+                                             int id,
+                                             std::vector<int> endpoints,
+                                             int resilience)
+    : CanonicalAtomicObject(type, id, std::move(endpoints), resilience,
+                            Options{}) {}
+
+}  // namespace boosting::services

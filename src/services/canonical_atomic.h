@@ -1,0 +1,40 @@
+// CanonicalAtomicObject: the canonical f-resilient atomic object of
+// Section 2.1.3 (Fig. 1), realized as the paper's Section-5.1 embedding of
+// a sequential type into a failure-oblivious service type: glob is empty,
+// and each perform step applies the sequential transition relation delta to
+// the head of the invoking endpoint's inv-buffer, appending the single
+// response to that endpoint's resp-buffer.
+//
+// Per Section 3.1 assumption (ii), the sequential type is determinized at
+// construction (unique initial value, single-valued delta); this is the
+// WLOG restriction under which the impossibility proofs operate, and it is
+// also what makes runs replayable. The full nondeterministic relation
+// remains available on the SequentialType itself for the linearizability
+// checker.
+#pragma once
+
+#include "services/canonical_general.h"
+#include "types/sequential_type.h"
+
+namespace boosting::services {
+
+class CanonicalAtomicObject : public CanonicalGeneralService {
+ public:
+  struct Options {
+    DummyPolicy policy = DummyPolicy::PreferReal;
+    bool isRegister = false;
+  };
+
+  CanonicalAtomicObject(const types::SequentialType& type, int id,
+                        std::vector<int> endpoints, int resilience,
+                        Options options);
+  CanonicalAtomicObject(const types::SequentialType& type, int id,
+                        std::vector<int> endpoints, int resilience);
+
+  const types::SequentialType& sequentialType() const { return seqType_; }
+
+ private:
+  types::SequentialType seqType_;  // determinized copy
+};
+
+}  // namespace boosting::services

@@ -1,0 +1,22 @@
+#include "services/register.h"
+
+#include "types/builtin_types.h"
+
+namespace boosting::services {
+
+namespace {
+CanonicalAtomicObject::Options registerOptions() {
+  CanonicalAtomicObject::Options o;
+  o.isRegister = true;
+  return o;
+}
+}  // namespace
+
+CanonicalRegister::CanonicalRegister(int id, std::vector<int> endpoints,
+                                     util::Value initialValue)
+    : CanonicalAtomicObject(types::registerType(std::move(initialValue)), id,
+                            endpoints,
+                            static_cast<int>(endpoints.size()) - 1,
+                            registerOptions()) {}
+
+}  // namespace boosting::services

@@ -1,0 +1,18 @@
+// CanonicalRegister: a canonical reliable (wait-free) multi-writer
+// multi-reader register (Section 2.1.3), i.e. the canonical atomic object
+// of the read/write sequential type with resilience |J| - 1. The systems of
+// all three theorems are built from f-resilient services PLUS these
+// reliable registers.
+#pragma once
+
+#include "services/canonical_atomic.h"
+
+namespace boosting::services {
+
+class CanonicalRegister : public CanonicalAtomicObject {
+ public:
+  CanonicalRegister(int id, std::vector<int> endpoints,
+                    util::Value initialValue = util::Value::nil());
+};
+
+}  // namespace boosting::services

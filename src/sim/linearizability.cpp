@@ -1,0 +1,166 @@
+#include "sim/linearizability.h"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/hashing.h"
+
+namespace boosting::sim {
+
+using util::Value;
+
+std::vector<Operation> extractHistory(const ioa::Execution& exec,
+                                      int serviceId) {
+  std::vector<Operation> ops;
+  for (std::size_t idx = 0; idx < exec.actions().size(); ++idx) {
+    const ioa::Action& a = exec.actions()[idx];
+    if (a.component != serviceId) continue;
+    if (a.kind == ioa::ActionKind::Invoke) {
+      Operation op;
+      op.endpoint = a.endpoint;
+      op.invocation = a.payload;
+      op.invokedAt = idx;
+      ops.push_back(std::move(op));
+    } else if (a.kind == ioa::ActionKind::Respond) {
+      // FIFO matching per endpoint, the canonical buffer discipline.
+      for (Operation& op : ops) {
+        if (op.endpoint == a.endpoint && !op.completed) {
+          op.completed = true;
+          op.response = a.payload;
+          op.respondedAt = idx;
+          break;
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+namespace {
+
+struct SearchContext {
+  const types::SequentialType& type;
+  const std::vector<Operation>& ops;
+  std::vector<std::uint64_t> mustPrecede;  // ops that must precede op i
+  std::uint64_t completedMask = 0;
+  std::size_t maxStates;
+  std::size_t visitedCount = 0;
+  std::unordered_set<std::size_t> visited;  // hash of (mask, value)
+  std::vector<std::size_t> order;
+  bool exhausted = false;
+
+  SearchContext(const types::SequentialType& t,
+                const std::vector<Operation>& o, std::size_t maxS)
+      : type(t), ops(o), maxStates(maxS) {
+    mustPrecede.assign(ops.size(), 0);
+    for (std::size_t b = 0; b < ops.size(); ++b) {
+      for (std::size_t a = 0; a < ops.size(); ++a) {
+        if (a == b) continue;
+        // Real-time order: a completed before b was invoked.
+        const bool realTime =
+            ops[a].completed && ops[a].respondedAt < ops[b].invokedAt;
+        // Per-endpoint FIFO order of the canonical object's buffers.
+        const bool fifo = ops[a].endpoint == ops[b].endpoint &&
+                          ops[a].invokedAt < ops[b].invokedAt;
+        if (realTime || fifo) mustPrecede[b] |= (1ULL << a);
+      }
+      if (ops[b].completed) completedMask |= (1ULL << b);
+    }
+  }
+
+  bool allCompletedLinearized(std::uint64_t mask) const {
+    return (mask & completedMask) == completedMask;
+  }
+
+  bool dfs(std::uint64_t mask, const Value& val) {
+    if (allCompletedLinearized(mask)) return true;
+    if (++visitedCount > maxStates) {
+      exhausted = true;
+      return false;
+    }
+    std::size_t key = mask;
+    util::hashCombine(key, val.hash());
+    if (!visited.insert(key).second) return false;
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::uint64_t bit = 1ULL << i;
+      if ((mask & bit) != 0) continue;
+      if ((mustPrecede[i] & ~mask) != 0) continue;  // predecessors missing
+      const Operation& op = ops[i];
+      for (const auto& [resp, next] : type.deltaAll(op.invocation, val)) {
+        // A completed op must take its observed response; a pending op may
+        // take any allowed response (it may have taken effect already).
+        if (op.completed && !(resp == op.response)) continue;
+        order.push_back(i);
+        if (dfs(mask | bit, next)) return true;
+        order.pop_back();
+        if (exhausted) return false;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+LinearizabilityResult checkLinearizable(const types::SequentialType& type,
+                                        const std::vector<Operation>& ops,
+                                        std::size_t maxStates) {
+  if (ops.size() > 63) {
+    throw std::logic_error(
+        "checkLinearizable: histories are limited to 63 operations");
+  }
+  LinearizabilityResult result;
+  SearchContext ctx(type, ops, maxStates);
+  for (const Value& v0 : type.initialValues) {
+    ctx.visited.clear();
+    ctx.order.clear();
+    if (ctx.dfs(0, v0)) {
+      result.linearizable = true;
+      result.witness = ctx.order;
+      break;
+    }
+    if (ctx.exhausted) break;
+  }
+  result.exhausted = ctx.exhausted;
+  result.statesVisited = ctx.visitedCount;
+  return result;
+}
+
+std::string checkImplementsAtomic(const types::SequentialType& type,
+                                  const ioa::Execution& exec, int serviceId,
+                                  std::size_t maxStates) {
+  // Well-formedness first: a malformed history would make the Wing-Gong
+  // matching meaningless.
+  {
+    // properties.h is layered above this header; inline the check to keep
+    // the dependency one-directional.
+    std::map<int, int> outstanding;
+    for (const ioa::Action& a : exec.actions()) {
+      if (a.component != serviceId) continue;
+      if (a.kind == ioa::ActionKind::Invoke) {
+        outstanding[a.endpoint] += 1;
+      } else if (a.kind == ioa::ActionKind::Respond) {
+        if (--outstanding[a.endpoint] < 0) {
+          return "history is not well-formed: spontaneous response at "
+                 "endpoint " +
+                 std::to_string(a.endpoint);
+        }
+      }
+    }
+  }
+  auto ops = extractHistory(exec, serviceId);
+  auto result = checkLinearizable(type, ops, maxStates);
+  if (result.exhausted) {
+    return "linearizability search exhausted its budget (" +
+           std::to_string(result.statesVisited) + " states)";
+  }
+  if (!result.linearizable) {
+    return "history of " + std::to_string(ops.size()) +
+           " operations is not linearizable for type '" + type.name + "'";
+  }
+  return {};
+}
+
+}  // namespace boosting::sim

@@ -1,0 +1,69 @@
+// Wing-Gong linearizability checker.
+//
+// Clause 2 of the paper's "implements" definition (Section 2.1.4) is what
+// makes a service an ATOMIC object: every trace of the implementation must
+// be a trace of the canonical object, i.e. the history of invocations and
+// responses must be linearizable with respect to the sequential type
+// (Herlihy & Wing). This module provides the standard decision procedure:
+// search for a total order of operations that (a) respects real-time
+// precedence (an operation that responded before another was invoked comes
+// first), (b) respects per-endpoint invocation order (the canonical
+// object's FIFO buffers), and (c) is legal for the sequential type from
+// one of its initial values.
+//
+// Pending operations (invoked, no response) are handled per Wing-Gong: each
+// may either be excluded or included with any type-allowed response --
+// necessary because a canonical object may have performed an operation
+// (taken its effect) without the response having been delivered yet.
+//
+// The checker works with the full NONDETERMINISTIC transition relation
+// (SequentialType::deltaAll), so nondeterministic types such as
+// k-set-consensus are checked exactly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ioa/execution.h"
+#include "types/sequential_type.h"
+
+namespace boosting::sim {
+
+struct Operation {
+  int endpoint = -1;
+  util::Value invocation;
+  util::Value response;          // meaningful iff completed
+  bool completed = false;
+  std::size_t invokedAt = 0;     // index of the Invoke action in the history
+  std::size_t respondedAt = 0;   // index of the Respond action (if completed)
+};
+
+struct LinearizabilityResult {
+  bool linearizable = false;
+  bool exhausted = false;            // search budget hit before a verdict
+  std::vector<std::size_t> witness;  // linearization order (op indices)
+  std::size_t statesVisited = 0;
+};
+
+// Extract the operation history of service `serviceId` from an execution.
+// Invocations and responses at the same endpoint are matched FIFO, which is
+// exactly the canonical object's buffer discipline.
+std::vector<Operation> extractHistory(const ioa::Execution& exec,
+                                      int serviceId);
+
+// Decide linearizability of `ops` against `type`. `maxStates` bounds the
+// memoized search (histories in this library's tests are small).
+LinearizabilityResult checkLinearizable(const types::SequentialType& type,
+                                        const std::vector<Operation>& ops,
+                                        std::size_t maxStates = 1u << 20);
+
+// Clause 2 of the paper's "implements" relation (Section 2.1.4), observed
+// on one execution: the history of `serviceId` is well-formed (responses
+// answer outstanding invocations) AND linearizable for `type`. Returns the
+// first violation's description; empty = conforms.
+std::string checkImplementsAtomic(const types::SequentialType& type,
+                                  const ioa::Execution& exec, int serviceId,
+                                  std::size_t maxStates = 1u << 20);
+
+}  // namespace boosting::sim

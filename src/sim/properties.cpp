@@ -1,0 +1,222 @@
+#include "sim/properties.h"
+
+#include <map>
+
+namespace boosting::sim {
+
+using util::Value;
+
+namespace {
+
+PropertyVerdict fail(std::string detail) {
+  return PropertyVerdict{false, std::move(detail)};
+}
+
+std::map<int, Value> initsOf(const RunResult& r) { return r.exec.inits(); }
+
+}  // namespace
+
+PropertyVerdict checkAgreement(const RunResult& r) {
+  const Value* first = nullptr;
+  int firstEndpoint = -1;
+  for (const auto& [i, v] : r.decisions) {
+    if (first == nullptr) {
+      first = &v;
+      firstEndpoint = i;
+    } else if (!(*first == v)) {
+      return fail("agreement violated: P" + std::to_string(firstEndpoint) +
+                  " decided " + first->str() + " but P" + std::to_string(i) +
+                  " decided " + v.str());
+    }
+  }
+  return {};
+}
+
+PropertyVerdict checkKSetAgreement(const RunResult& r, int k) {
+  std::set<Value> distinct;
+  for (const auto& [i, v] : r.decisions) {
+    (void)i;
+    distinct.insert(v);
+  }
+  if (static_cast<int>(distinct.size()) > k) {
+    return fail("k-set agreement violated: " +
+                std::to_string(distinct.size()) + " distinct decisions > k=" +
+                std::to_string(k));
+  }
+  return {};
+}
+
+PropertyVerdict checkValidity(const RunResult& r) {
+  const auto inits = initsOf(r);
+  std::set<Value> proposed;
+  for (const auto& [i, v] : inits) {
+    (void)i;
+    proposed.insert(v);
+  }
+  for (const auto& [i, v] : r.decisions) {
+    if (proposed.count(v) == 0) {
+      return fail("validity violated: P" + std::to_string(i) + " decided " +
+                  v.str() + ", which no process proposed");
+    }
+  }
+  return {};
+}
+
+PropertyVerdict checkModifiedTermination(const RunResult& r) {
+  for (const auto& [i, v] : initsOf(r)) {
+    (void)v;
+    if (r.failed.count(i) != 0) continue;
+    if (r.decisions.count(i) == 0) {
+      return fail("termination violated: non-faulty P" + std::to_string(i) +
+                  " received an input but never decided (run ended: " +
+                  std::to_string(static_cast<int>(r.reason)) + ")");
+    }
+  }
+  return {};
+}
+
+PropertyVerdict checkConsensus(const RunResult& r) {
+  if (auto v = checkAgreement(r); !v) return v;
+  if (auto v = checkValidity(r); !v) return v;
+  return checkModifiedTermination(r);
+}
+
+namespace {
+
+// The last output of each correct process is a ("suspect", S) set recorded
+// in RunResult::decisions (decisionValue unwraps only "decide" payloads, so
+// the payload here is the full ("suspect", S) record).
+std::map<int, Value> finalSuspectSets(const RunResult& r) {
+  std::map<int, Value> out;
+  for (const ioa::Action& a : r.exec.actions()) {
+    if (a.kind == ioa::ActionKind::EnvDecide && a.payload.tag() == "suspect") {
+      out.insert_or_assign(a.endpoint, a.payload.at(1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PropertyVerdict checkFDAccuracy(const RunResult& r) {
+  for (const ioa::Action& a : r.exec.actions()) {
+    if (a.kind != ioa::ActionKind::EnvDecide || a.payload.tag() != "suspect") {
+      continue;
+    }
+    for (const Value& s : a.payload.at(1).asList()) {
+      // Accuracy: a suspected endpoint must have failed by the end of the
+      // run (suspicions are only ever emitted after the fail event, so
+      // checking against the final failed set is sound for perfect FDs).
+      if (r.failed.count(static_cast<int>(s.asInt())) == 0) {
+        return PropertyVerdict{
+            false, "accuracy violated: P" + std::to_string(a.endpoint) +
+                       " suspected alive process " + s.str()};
+      }
+    }
+  }
+  return {};
+}
+
+PropertyVerdict checkFDExactness(const RunResult& r) {
+  if (auto v = checkFDAccuracy(r); !v) return v;
+  Value::List expected;
+  for (int i : r.failed) expected.emplace_back(i);
+  const Value expectedSet = Value::set(std::move(expected));
+  const auto finals = finalSuspectSets(r);
+  for (int i = 0; i < 64; ++i) {
+    // Only endpoints that produced output and are correct are checked.
+    auto it = finals.find(i);
+    if (it == finals.end()) continue;
+    if (r.failed.count(i) != 0) continue;
+    if (!(it->second == expectedSet)) {
+      return PropertyVerdict{
+          false, "completeness violated: P" + std::to_string(i) +
+                     " final suspicion " + it->second.str() +
+                     " != failed set " + expectedSet.str()};
+    }
+  }
+  return {};
+}
+
+PropertyVerdict checkTOBConformance(const ioa::Execution& exec,
+                                    int serviceId) {
+  // Broadcasts per sender, in invocation order.
+  std::map<int, std::vector<Value>> bcasts;
+  // Deliveries per receiving endpoint, in delivery order: (m, sender).
+  std::map<int, std::vector<std::pair<Value, int>>> deliveries;
+  for (const ioa::Action& a : exec.actions()) {
+    if (a.component != serviceId) continue;
+    if (a.kind == ioa::ActionKind::Invoke && a.payload.tag() == "bcast") {
+      bcasts[a.endpoint].push_back(a.payload.at(1));
+    } else if (a.kind == ioa::ActionKind::Respond &&
+               a.payload.tag() == "rcv") {
+      deliveries[a.endpoint].emplace_back(
+          a.payload.at(1), static_cast<int>(a.payload.at(2).asInt()));
+    }
+  }
+
+  // Total order: all delivery sequences are prefixes of the longest one.
+  const std::vector<std::pair<Value, int>>* longest = nullptr;
+  int longestAt = -1;
+  for (const auto& [i, seq] : deliveries) {
+    if (longest == nullptr || seq.size() > longest->size()) {
+      longest = &seq;
+      longestAt = i;
+    }
+  }
+  if (longest == nullptr) return {};  // nothing delivered, trivially fine
+  for (const auto& [i, seq] : deliveries) {
+    for (std::size_t k = 0; k < seq.size(); ++k) {
+      if (!(seq[k] == (*longest)[k])) {
+        return fail("total order violated: endpoint " + std::to_string(i) +
+                    " delivery #" + std::to_string(k) + " is (" +
+                    seq[k].first.str() + ", " + std::to_string(seq[k].second) +
+                    ") but endpoint " + std::to_string(longestAt) + " saw (" +
+                    (*longest)[k].first.str() + ", " +
+                    std::to_string((*longest)[k].second) + ")");
+      }
+    }
+  }
+
+  // No creation + sender FIFO: the sender-restricted subsequence of the
+  // common order is a prefix of that sender's broadcast sequence.
+  std::map<int, std::size_t> consumed;
+  for (const auto& [m, sender] : *longest) {
+    auto it = bcasts.find(sender);
+    const std::size_t idx = consumed[sender]++;
+    if (it == bcasts.end() || idx >= it->second.size()) {
+      return fail("creation violated: delivery of (" + m.str() + ", " +
+                  std::to_string(sender) + ") has no matching bcast");
+    }
+    if (!(it->second[idx] == m)) {
+      return fail("sender FIFO violated: sender " + std::to_string(sender) +
+                  "'s delivery #" + std::to_string(idx) + " is " + m.str() +
+                  " but it broadcast " + it->second[idx].str() +
+                  " at that position");
+    }
+  }
+  return {};
+}
+
+PropertyVerdict checkAtomicServiceWellFormed(const ioa::Execution& exec,
+                                             int serviceId) {
+  std::map<int, int> outstanding;
+  std::size_t idx = 0;
+  for (const ioa::Action& a : exec.actions()) {
+    ++idx;
+    if (a.component != serviceId) continue;
+    if (a.kind == ioa::ActionKind::Invoke) {
+      outstanding[a.endpoint] += 1;
+    } else if (a.kind == ioa::ActionKind::Respond) {
+      if (--outstanding[a.endpoint] < 0) {
+        return fail("well-formedness violated: response to endpoint " +
+                    std::to_string(a.endpoint) + " at action #" +
+                    std::to_string(idx - 1) +
+                    " has no outstanding invocation");
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace boosting::sim

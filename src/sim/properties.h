@@ -1,0 +1,70 @@
+// Property checkers for the problems the paper studies.
+//
+// Consensus (Section 2.2.4, and Appendix B):
+//   Agreement            -- no two processes decide differently;
+//   Validity             -- every decided value is some process's input;
+//   Modified termination -- in a fair execution with at most f failures,
+//                           every non-faulty process that received an input
+//                           decides. (Checked against a RunResult whose
+//                           scheduler ran to completion or budget.)
+//
+// k-set-consensus (Section 4): agreement is relaxed to "at most k distinct
+// decided values"; validity and termination are unchanged.
+//
+// Failure-detector outputs (Sections 6.2/6.3): accuracy -- every suspected
+// endpoint had failed; completeness -- after quiescence every failed
+// endpoint is suspected by every correct observer that keeps outputting.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sim/runner.h"
+
+namespace boosting::sim {
+
+struct PropertyVerdict {
+  bool holds = true;
+  std::string detail;  // first violation found, empty if none
+
+  explicit operator bool() const { return holds; }
+};
+
+// Agreement + validity from a run's recorded decisions and inits.
+PropertyVerdict checkAgreement(const RunResult& r);
+PropertyVerdict checkKSetAgreement(const RunResult& r, int k);
+PropertyVerdict checkValidity(const RunResult& r);
+
+// Modified termination: every initialized endpoint outside `r.failed`
+// decided. Meaningful when the run ended with AllDecided / Livelock /
+// StepLimit under a fair scheduler and a generous budget.
+PropertyVerdict checkModifiedTermination(const RunResult& r);
+
+// All three consensus conditions at once.
+PropertyVerdict checkConsensus(const RunResult& r);
+
+// Failure-detector checks against the final ("suspect", S) output of each
+// correct process (RunResult::decisions holds the last recorded output).
+PropertyVerdict checkFDAccuracy(const RunResult& r);
+// Exactness = accuracy + completeness: final outputs equal the failed set.
+PropertyVerdict checkFDExactness(const RunResult& r);
+
+// Conformance of a totally-ordered-broadcast service trace (Section 5.2):
+//   no creation  -- every rcv(m, i) delivery corresponds to a bcast(m)
+//                   actually invoked by endpoint i;
+//   total order  -- the per-endpoint delivery sequences are prefixes of one
+//                   common sequence (the service delivers each ordered
+//                   message to every endpoint atomically);
+//   sender FIFO  -- each sender's messages are delivered in the order that
+//                   sender broadcast them.
+PropertyVerdict checkTOBConformance(const ioa::Execution& exec,
+                                    int serviceId);
+
+// Engine invariant for atomic-object traces: at every endpoint, at every
+// prefix of the execution, responses never outnumber invocations (each
+// response answers the earliest outstanding invocation -- the canonical
+// FIFO buffer discipline of Fig. 1).
+PropertyVerdict checkAtomicServiceWellFormed(const ioa::Execution& exec,
+                                             int serviceId);
+
+}  // namespace boosting::sim

@@ -1,0 +1,128 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace boosting::sim {
+
+using ioa::Action;
+using ioa::SystemState;
+
+std::vector<std::pair<int, util::Value>> binaryInits(int processCount,
+                                                     unsigned bitmask) {
+  std::vector<std::pair<int, util::Value>> out;
+  out.reserve(static_cast<std::size_t>(processCount));
+  for (int i = 0; i < processCount; ++i) {
+    out.emplace_back(i, util::Value(static_cast<int>((bitmask >> i) & 1u)));
+  }
+  return out;
+}
+
+RunResult run(const ioa::System& sys, const RunConfig& cfg) {
+  RunResult result;
+  SystemState state = cfg.startState ? *cfg.startState : sys.initialState();
+
+  // Sort failure schedule by step, stable.
+  std::vector<std::pair<std::size_t, int>> failures = cfg.failures;
+  std::stable_sort(failures.begin(), failures.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t nextFailure = 0;
+
+  // Input-first: all init actions before any locally controlled step.
+  for (const auto& [endpoint, v] : cfg.inits) {
+    Action a = Action::envInit(endpoint, v);
+    sys.applyInPlace(state, a);
+    result.exec.append(std::move(a));
+  }
+
+  std::set<int> initialized;
+  for (const auto& [endpoint, v] : cfg.inits) {
+    (void)v;
+    initialized.insert(endpoint);
+  }
+
+  ioa::RoundRobinScheduler rr(sys);
+  ioa::RandomScheduler random(sys, cfg.seed);
+  ioa::Scheduler& sched = (cfg.scheduler == RunConfig::Sched::RoundRobin)
+                              ? static_cast<ioa::Scheduler&>(rr)
+                              : static_cast<ioa::Scheduler&>(random);
+
+  std::map<int, util::Value>& decisions = result.decisions;
+
+  auto allDecided = [&]() {
+    if (initialized.empty()) return false;
+    for (int i : initialized) {
+      if (result.failed.count(i) != 0) continue;
+      if (decisions.count(i) == 0) return false;
+    }
+    return true;
+  };
+
+  // Livelock detection bookkeeping (round-robin only).
+  const bool livelockEnabled =
+      cfg.detectLivelock && cfg.scheduler == RunConfig::Sched::RoundRobin;
+  std::unordered_map<std::size_t, std::vector<std::pair<SystemState, std::size_t>>>
+      seen;
+
+  for (std::size_t step = 0; step < cfg.maxSteps; ++step) {
+    // Deliver scheduled failures due at this step.
+    while (nextFailure < failures.size() &&
+           failures[nextFailure].first <= step) {
+      const int endpoint = failures[nextFailure].second;
+      Action a = Action::fail(endpoint);
+      sys.applyInPlace(state, a);
+      result.exec.append(std::move(a));
+      result.failed.insert(endpoint);
+      ++nextFailure;
+    }
+
+    if (livelockEnabled && nextFailure >= failures.size()) {
+      const std::size_t h = state.hash();
+      auto& bucket = seen[h];
+      for (const auto& [prev, cursor] : bucket) {
+        if (cursor == rr.cursor() && prev.equals(state)) {
+          result.reason = RunResult::Reason::Livelock;
+          result.finalState = std::move(state);
+          result.steps = step;
+          return result;
+        }
+      }
+      bucket.emplace_back(state, rr.cursor());
+    }
+
+    auto fired = sched.step(state);
+    if (!fired) {
+      result.reason = RunResult::Reason::Deadlock;
+      result.finalState = std::move(state);
+      result.steps = step;
+      return result;
+    }
+    if (fired->action.kind == ioa::ActionKind::EnvDecide) {
+      if (auto v = ioa::decisionValue(fired->action)) {
+        decisions.insert_or_assign(fired->action.endpoint, *v);
+      }
+    }
+    result.exec.append(fired->action);
+    result.tasks.push_back(fired->task);
+
+    if (cfg.stop && cfg.stop(state, result.exec)) {
+      result.reason = RunResult::Reason::Custom;
+      result.finalState = std::move(state);
+      result.steps = step + 1;
+      return result;
+    }
+    if (cfg.stopWhenAllDecided && allDecided()) {
+      result.reason = RunResult::Reason::AllDecided;
+      result.finalState = std::move(state);
+      result.steps = step + 1;
+      return result;
+    }
+  }
+
+  result.reason = RunResult::Reason::StepLimit;
+  result.finalState = std::move(state);
+  result.steps = cfg.maxSteps;
+  return result;
+}
+
+}  // namespace boosting::sim

@@ -1,0 +1,83 @@
+// Runner: drive a System through a (prefix of a) fair execution.
+//
+// The runner implements the paper's execution discipline:
+//   * input-first executions (Section 3.2): all init(v)_i inputs are
+//     injected before any locally controlled step;
+//   * failure injection: fail_i events are delivered at configured step
+//     indices (step 0 = before any locally controlled action), routed to
+//     the process and all its services as in Section 2.2.3;
+//   * fair scheduling via RoundRobinScheduler (deterministic) or
+//     RandomScheduler (seeded);
+//   * livelock detection (round-robin only): a repeat of the pair
+//     (system state, scheduler cursor) after all injections certifies an
+//     infinite fair execution with exactly the injected failure pattern --
+//     the finite-state witness for "some correct process never decides".
+//
+// Stop conditions: all initialized, non-failed processes decided (the
+// modified termination condition's success case), livelock, step budget, or
+// a caller-provided predicate.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ioa/execution.h"
+#include "ioa/scheduler.h"
+#include "ioa/system.h"
+
+namespace boosting::sim {
+
+struct RunConfig {
+  // Start from this state instead of the system's initial state (used by
+  // the adversary engine to extend a hook endpoint, Lemmas 6/7).
+  std::optional<ioa::SystemState> startState;
+
+  // Input-first initialization: (endpoint, value) pairs injected at start.
+  std::vector<std::pair<int, util::Value>> inits;
+
+  // Failure schedule: fail `endpoint` immediately before locally controlled
+  // step `beforeStep` (0 = before anything runs).
+  std::vector<std::pair<std::size_t, int>> failures;
+
+  std::size_t maxSteps = 200000;
+
+  enum class Sched { RoundRobin, Random };
+  Sched scheduler = Sched::RoundRobin;
+  std::uint64_t seed = 1;
+
+  // Stop when every initialized, non-failed endpoint has decided.
+  bool stopWhenAllDecided = true;
+
+  // Detect fair livelock (round-robin scheduler only). Stores visited
+  // states, so enable it only for small/analysis systems.
+  bool detectLivelock = false;
+
+  // Optional custom stop predicate, checked after every step.
+  std::function<bool(const ioa::SystemState&, const ioa::Execution&)> stop;
+};
+
+struct RunResult {
+  enum class Reason { AllDecided, Livelock, StepLimit, Deadlock, Custom };
+
+  Reason reason = Reason::StepLimit;
+  ioa::Execution exec;           // all actions, including injected inputs
+  std::vector<ioa::TaskId> tasks;  // fired task per locally controlled step
+  ioa::SystemState finalState;
+  std::size_t steps = 0;         // locally controlled steps taken
+  std::map<int, util::Value> decisions;  // endpoint -> decided value
+  std::set<int> failed;
+
+  bool livelocked() const { return reason == Reason::Livelock; }
+  bool allDecided() const { return reason == Reason::AllDecided; }
+};
+
+RunResult run(const ioa::System& sys, const RunConfig& cfg);
+
+// Convenience: binary-consensus inits 0/1 from a bitmask over endpoints.
+std::vector<std::pair<int, util::Value>> binaryInits(int processCount,
+                                                     unsigned bitmask);
+
+}  // namespace boosting::sim

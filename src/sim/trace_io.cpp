@@ -1,0 +1,208 @@
+#include "sim/trace_io.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace boosting::sim {
+
+using ioa::Action;
+using ioa::ActionKind;
+using util::Value;
+
+namespace {
+
+bool isBareSymbol(const std::string& s) {
+  if (s.empty() || s == "nil") return false;
+  if (std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-') {
+    return false;
+  }
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '&' || c == '-' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return pos >= text.size();
+  }
+
+  Value value() {
+    skipSpace();
+    if (pos >= text.size()) {
+      failed = true;
+      return {};
+    }
+    const char c = text[pos];
+    if (c == '(') {
+      ++pos;
+      Value::List items;
+      for (;;) {
+        skipSpace();
+        if (pos >= text.size()) {
+          failed = true;
+          return {};
+        }
+        if (text[pos] == ')') {
+          ++pos;
+          return Value(std::move(items));
+        }
+        items.push_back(value());
+        if (failed) return {};
+      }
+    }
+    if (c == '"') {
+      ++pos;
+      std::string out;
+      while (pos < text.size() && text[pos] != '"') {
+        if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+        out += text[pos++];
+      }
+      if (pos >= text.size()) {
+        failed = true;
+        return {};
+      }
+      ++pos;  // closing quote
+      return Value(std::move(out));
+    }
+    // Bare token: integer, nil, or symbol.
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[pos])) &&
+           text[pos] != '(' && text[pos] != ')') {
+      ++pos;
+    }
+    std::string token = text.substr(start, pos - start);
+    if (token.empty()) {
+      failed = true;
+      return {};
+    }
+    if (token == "nil") return Value::nil();
+    const bool numeric =
+        (token[0] == '-' && token.size() > 1) ||
+        std::isdigit(static_cast<unsigned char>(token[0]));
+    if (numeric) {
+      try {
+        return Value(static_cast<std::int64_t>(std::stoll(token)));
+      } catch (...) {
+        failed = true;
+        return {};
+      }
+    }
+    return Value(std::move(token));
+  }
+};
+
+std::optional<ActionKind> kindFromName(const std::string& name) {
+  using K = ActionKind;
+  static const std::pair<const char*, K> kTable[] = {
+      {"init", K::EnvInit},           {"decide", K::EnvDecide},
+      {"invoke", K::Invoke},          {"respond", K::Respond},
+      {"perform", K::Perform},        {"dummy_perform", K::DummyPerform},
+      {"dummy_output", K::DummyOutput}, {"compute", K::Compute},
+      {"dummy_compute", K::DummyCompute}, {"fail", K::Fail},
+      {"step", K::ProcStep},          {"proc_dummy", K::ProcDummy},
+  };
+  for (const auto& [n, k] : kTable) {
+    if (name == n) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string renderValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Nil:
+      return "nil";
+    case Value::Kind::Int:
+      return std::to_string(v.asInt());
+    case Value::Kind::Str: {
+      const std::string& s = v.asStr();
+      if (isBareSymbol(s)) return s;
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      return out + "\"";
+    }
+    case Value::Kind::List: {
+      std::string out = "(";
+      const auto& xs = v.asList();
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += renderValue(xs[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "nil";
+}
+
+std::optional<Value> parseValue(const std::string& text) {
+  Parser p{text};
+  Value v = p.value();
+  if (p.failed || !p.atEnd()) return std::nullopt;
+  return v;
+}
+
+std::string renderExecution(const ioa::Execution& exec) {
+  std::string out;
+  out += "# boosting-resilience execution trace: " +
+         std::to_string(exec.size()) + " actions\n";
+  for (const Action& a : exec.actions()) {
+    out += std::string(ioa::actionKindName(a.kind)) + " " +
+           std::to_string(a.endpoint) + " " + std::to_string(a.component) +
+           " " + std::to_string(a.gtask) + " " + renderValue(a.payload) +
+           "\n";
+  }
+  return out;
+}
+
+std::optional<ioa::Execution> parseExecution(const std::string& text) {
+  ioa::Execution exec;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::string kindName;
+    int endpoint = 0, component = 0, gtask = 0;
+    if (!(ls >> kindName >> endpoint >> component >> gtask)) {
+      return std::nullopt;
+    }
+    auto kind = kindFromName(kindName);
+    if (!kind) return std::nullopt;
+    std::string rest;
+    std::getline(ls, rest);
+    auto payload = parseValue(rest.empty() ? "nil" : rest);
+    if (!payload) return std::nullopt;
+    Action a;
+    a.kind = *kind;
+    a.endpoint = endpoint;
+    a.component = component;
+    a.gtask = gtask;
+    a.payload = std::move(*payload);
+    exec.append(std::move(a));
+  }
+  return exec;
+}
+
+}  // namespace boosting::sim

@@ -1,0 +1,40 @@
+// Trace (de)serialization: write witness executions to a line-oriented
+// text format and load them back for replay.
+//
+// The adversary engine's product is an execution -- a counterexample a
+// human or another tool should be able to inspect, archive, and re-run.
+// The format is one action per line:
+//
+//     <kind> <endpoint> <component> <gtask> <payload>
+//
+// with the payload in the Value s-expression syntax (nil, 64-bit integers,
+// bare or quoted symbols, parenthesised lists), e.g.
+//
+//     init 0 -1 -1 1
+//     invoke 0 100 -1 (init 1)
+//     perform 0 100 -1 nil
+//     fail 1 -1 -1 nil
+//
+// Lines starting with '#' are comments. parseValue/renderValue are exposed
+// because several tools (the DOT exporter, loggers) want the same syntax.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ioa/execution.h"
+
+namespace boosting::sim {
+
+// -- Value syntax --------------------------------------------------------
+std::string renderValue(const util::Value& v);
+// Parses a single value; returns nullopt on syntax errors.
+std::optional<util::Value> parseValue(const std::string& text);
+
+// -- Executions ----------------------------------------------------------
+std::string renderExecution(const ioa::Execution& exec);
+// Parses the format above; returns nullopt on any malformed line. Comments
+// and blank lines are skipped.
+std::optional<ioa::Execution> parseExecution(const std::string& text);
+
+}  // namespace boosting::sim

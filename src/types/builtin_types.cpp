@@ -1,0 +1,203 @@
+#include "types/builtin_types.h"
+
+#include <stdexcept>
+
+#include "util/value.h"
+
+namespace boosting::types {
+
+using util::sym;
+using Options = std::vector<std::pair<Value, Value>>;
+
+namespace {
+
+[[noreturn]] void badInvocation(const std::string& type, const Value& inv) {
+  throw std::logic_error("type '" + type + "': unknown invocation " +
+                         inv.str());
+}
+
+}  // namespace
+
+SequentialType registerType(Value v0) {
+  SequentialType t;
+  t.name = "register";
+  t.initialValues = {std::move(v0)};
+  t.deltaAll = [](const Value& inv, const Value& val) -> Options {
+    const std::string tag = inv.tag();
+    if (tag == "read") return {{val, val}};
+    if (tag == "write") return {{sym("ack"), inv.at(1)}};
+    badInvocation("register", inv);
+  };
+  t.sampleInvocations = {sym("read"), sym("write", 0), sym("write", 1),
+                         sym("write", 2)};
+  return t;
+}
+
+SequentialType binaryConsensusType() {
+  SequentialType t = consensusType();
+  t.name = "binary-consensus";
+  t.sampleInvocations = {sym("init", 0), sym("init", 1)};
+  return t;
+}
+
+SequentialType consensusType() {
+  SequentialType t;
+  t.name = "consensus";
+  // Value: nil while undecided, else {v} -- we store the bare chosen value
+  // with a ("chosen", v) wrapper so that v = nil remains distinguishable.
+  t.initialValues = {Value::nil()};
+  t.deltaAll = [](const Value& inv, const Value& val) -> Options {
+    if (inv.tag() != "init") badInvocation("consensus", inv);
+    if (val.isNil()) {
+      const Value& v = inv.at(1);
+      return {{sym("decide", v), sym("chosen", v)}};
+    }
+    return {{sym("decide", val.at(1)), val}};
+  };
+  t.sampleInvocations = {sym("init", 0), sym("init", 1), sym("init", 2)};
+  return t;
+}
+
+SequentialType kSetConsensusType(int k) {
+  if (k < 1) throw std::logic_error("kSetConsensusType: k must be >= 1");
+  SequentialType t;
+  t.name = "set-consensus(" + std::to_string(k) + ")";
+  t.initialValues = {Value::emptySet()};
+  t.deltaAll = [k](const Value& inv, const Value& val) -> Options {
+    if (inv.tag() != "init") badInvocation("set-consensus", inv);
+    const Value& v = inv.at(1);
+    Options out;
+    if (static_cast<int>(val.size()) < k) {
+      // |W| < k: remember v, return any v' in W U {v}. Deterministic
+      // choice = echo the proposer's own value (first option).
+      const Value next = val.setInsert(v);
+      out.emplace_back(sym("decide", v), next);
+      for (const Value& w : val.asList()) {
+        if (w != v) out.emplace_back(sym("decide", w), next);
+      }
+    } else {
+      // |W| = k: return any remembered value; minimum first.
+      for (const Value& w : val.asList()) {
+        out.emplace_back(sym("decide", w), val);
+      }
+    }
+    return out;
+  };
+  t.deterministic = false;
+  t.sampleInvocations = {sym("init", 0), sym("init", 1), sym("init", 2),
+                         sym("init", 3)};
+  return t;
+}
+
+SequentialType testAndSetType() {
+  SequentialType t;
+  t.name = "test&set";
+  t.initialValues = {Value(0)};
+  t.deltaAll = [](const Value& inv, const Value& val) -> Options {
+    const std::string tag = inv.tag();
+    if (tag == "tas") return {{val, Value(1)}};
+    if (tag == "reset") return {{sym("ack"), Value(0)}};
+    if (tag == "read") return {{val, val}};
+    badInvocation("test&set", inv);
+  };
+  t.sampleInvocations = {sym("tas"), sym("reset"), sym("read")};
+  return t;
+}
+
+SequentialType compareAndSwapType(Value v0) {
+  SequentialType t;
+  t.name = "compare&swap";
+  t.initialValues = {std::move(v0)};
+  t.deltaAll = [](const Value& inv, const Value& val) -> Options {
+    const std::string tag = inv.tag();
+    if (tag == "cas") {
+      if (val == inv.at(1)) return {{val, inv.at(2)}};
+      return {{val, val}};
+    }
+    if (tag == "read") return {{val, val}};
+    badInvocation("compare&swap", inv);
+  };
+  t.sampleInvocations = {sym("cas", 0, 1), sym("cas", 1, 2), sym("read")};
+  return t;
+}
+
+SequentialType counterType() {
+  SequentialType t;
+  t.name = "counter";
+  t.initialValues = {Value(0)};
+  t.deltaAll = [](const Value& inv, const Value& val) -> Options {
+    const std::string tag = inv.tag();
+    if (tag == "inc") return {{sym("ack"), Value(val.asInt() + 1)}};
+    if (tag == "read") return {{val, val}};
+    badInvocation("counter", inv);
+  };
+  t.sampleInvocations = {sym("inc"), sym("read")};
+  return t;
+}
+
+SequentialType fetchAddType() {
+  SequentialType t;
+  t.name = "fetch&add";
+  t.initialValues = {Value(0)};
+  t.deltaAll = [](const Value& inv, const Value& val) -> Options {
+    if (inv.tag() == "faa") {
+      return {{val, Value(val.asInt() + inv.at(1).asInt())}};
+    }
+    if (inv.tag() == "read") return {{val, val}};
+    badInvocation("fetch&add", inv);
+  };
+  t.sampleInvocations = {sym("faa", 1), sym("faa", 2), sym("read")};
+  return t;
+}
+
+SequentialType queueType() {
+  SequentialType t;
+  t.name = "queue";
+  t.initialValues = {Value(Value::List{})};
+  t.deltaAll = [](const Value& inv, const Value& val) -> Options {
+    const std::string tag = inv.tag();
+    if (tag == "enq") {
+      Value::List xs = val.asList();
+      xs.push_back(inv.at(1));
+      return {{sym("ack"), Value(std::move(xs))}};
+    }
+    if (tag == "deq") {
+      if (val.size() == 0) return {{sym("empty"), val}};
+      Value::List xs = val.asList();
+      Value head = xs.front();
+      xs.erase(xs.begin());
+      return {{head, Value(std::move(xs))}};
+    }
+    badInvocation("queue", inv);
+  };
+  t.sampleInvocations = {sym("enq", 0), sym("enq", 1), sym("deq")};
+  return t;
+}
+
+SequentialType snapshotType(int segments) {
+  if (segments < 1) throw std::logic_error("snapshotType: segments >= 1");
+  SequentialType t;
+  t.name = "snapshot(" + std::to_string(segments) + ")";
+  t.initialValues = {
+      Value(Value::List(static_cast<std::size_t>(segments), Value::nil()))};
+  t.deltaAll = [segments](const Value& inv, const Value& val) -> Options {
+    const std::string tag = inv.tag();
+    if (tag == "scan") return {{val, val}};
+    if (tag == "update") {
+      const auto idx = inv.at(1).asInt();
+      if (idx < 0 || idx >= segments) {
+        throw std::logic_error("snapshot: segment index out of range: " +
+                               inv.str());
+      }
+      Value::List cells = val.asList();
+      cells[static_cast<std::size_t>(idx)] = inv.at(2);
+      return {{sym("ack"), Value(std::move(cells))}};
+    }
+    badInvocation("snapshot", inv);
+  };
+  t.sampleInvocations = {sym("scan"), sym("update", 0, 1),
+                         sym("update", segments - 1, 2)};
+  return t;
+}
+
+}  // namespace boosting::types

@@ -1,0 +1,54 @@
+// Built-in sequential types.
+//
+// These are the sequential types named by the paper: the read/write type of
+// registers, the binary consensus type (Section 2.1.2), the k-set-consensus
+// type (nondeterministic; Section 2.1.2 and Section 4), plus the classical
+// shared-object types the introduction lists as examples of services
+// (read-modify-write flavors: test&set, compare&swap, counter, fetch&add,
+// and a FIFO queue).
+//
+// Invocation / response conventions:
+//   register:    ("read") -> v             ("write", v) -> ("ack")
+//   consensus:   ("init", v) -> ("decide", w)
+//   k-set:       ("init", v) -> ("decide", w)
+//   test&set:    ("tas") -> old value in {0,1}; ("reset") -> ("ack")
+//   cas:         ("cas", exp, new) -> old value;  ("read") -> v
+//   counter:     ("inc") -> ("ack");  ("read") -> v
+//   fetch&add:   ("faa", d) -> old value
+//   queue:       ("enq", v) -> ("ack");  ("deq") -> v or ("empty")
+#pragma once
+
+#include "types/sequential_type.h"
+
+namespace boosting::types {
+
+// Multi-writer multi-reader read/write register with initial value v0.
+SequentialType registerType(Value v0 = Value::nil());
+
+// Binary consensus: first init wins, every operation returns the winner.
+SequentialType binaryConsensusType();
+
+// Consensus over an arbitrary value domain (same first-wins semantics);
+// used by the Section-4 construction where proposals are process indices.
+SequentialType consensusType();
+
+// k-set-consensus over proposals {0..n-1}: the first k distinct proposals
+// are remembered; every operation returns one of the remembered values.
+// Nondeterministic (which remembered value is returned is unconstrained);
+// determinize() echoes the proposer's own value while |W| < k, then the
+// minimum remembered value.
+SequentialType kSetConsensusType(int k);
+
+SequentialType testAndSetType();
+SequentialType compareAndSwapType(Value v0 = Value(0));
+SequentialType counterType();
+SequentialType fetchAddType();
+SequentialType queueType();
+
+// Atomic snapshot over `segments` single-writer cells (an example of the
+// "concurrently-accessible data structures" the introduction lists):
+//   ("update", idx, v) -> ("ack")     write segment idx
+//   ("scan")           -> (v0 ... v_{segments-1})  atomic view of all cells
+SequentialType snapshotType(int segments);
+
+}  // namespace boosting::types

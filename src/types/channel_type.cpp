@@ -1,0 +1,40 @@
+#include "types/channel_type.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace boosting::types {
+
+using util::sym;
+
+ServiceType pointToPointChannelType() {
+  ServiceType u;
+  u.name = "p2p-channel";
+  u.initialValue = Value::nil();  // stateless fabric
+  u.globalTaskCount = 0;
+
+  u.delta1 = [](const Value& inv, int i, const Value& val,
+                const std::vector<int>& endpoints) {
+    if (inv.tag() != "send" || inv.size() != 3) {
+      throw std::logic_error("p2p-channel: malformed invocation " +
+                             inv.str());
+    }
+    const int to = static_cast<int>(inv.at(1).asInt());
+    if (std::find(endpoints.begin(), endpoints.end(), to) ==
+        endpoints.end()) {
+      throw std::logic_error("p2p-channel: destination " +
+                             std::to_string(to) + " is not an endpoint");
+    }
+    ResponseMap rm;
+    rm.append(to, sym("msg", Value(i), inv.at(2)));
+    return std::make_pair(std::move(rm), val);
+  };
+  u.delta2 = [](int g, const Value&, const std::vector<int>&)
+      -> std::pair<ResponseMap, Value> {
+    throw std::logic_error("p2p-channel has no global task g" +
+                           std::to_string(g));
+  };
+  return u;
+}
+
+}  // namespace boosting::types

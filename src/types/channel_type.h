@@ -1,0 +1,22 @@
+// Asynchronous point-to-point message passing as a failure-oblivious
+// service.
+//
+// The paper's basic results first appeared in a message-passing technical
+// report (Attie, Lynch, Rajsbaum 2002); in the unified framework of the
+// journal version, a reliable asynchronous network is just another
+// failure-oblivious service: an invocation ("send", to, m) from endpoint i
+// is processed by a perform step whose delta1 places the single response
+// ("msg", i, m) into endpoint `to`'s response buffer. Delivery order is
+// FIFO per (sender, receiver) pair (the receiver's buffer is FIFO and
+// perform steps process each sender's invocations in order), messages are
+// neither created nor duplicated, and -- like every service -- an
+// f-resilient fabric may go silent once more than f of its endpoints fail.
+#pragma once
+
+#include "types/service_type.h"
+
+namespace boosting::types {
+
+ServiceType pointToPointChannelType();
+
+}  // namespace boosting::types

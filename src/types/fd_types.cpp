@@ -1,0 +1,98 @@
+#include "types/fd_types.h"
+
+#include <stdexcept>
+
+namespace boosting::types {
+
+using util::sym;
+
+namespace {
+
+Value failedAsSet(const std::set<int>& failed) {
+  Value::List xs;
+  xs.reserve(failed.size());
+  for (int i : failed) xs.emplace_back(i);
+  return Value::set(std::move(xs));  // already sorted; set() normalizes
+}
+
+[[noreturn]] void noInvocations(const std::string& name, const Value& inv) {
+  throw std::logic_error(name + ": failure detectors have no invocations (" +
+                         inv.str() + ")");
+}
+
+}  // namespace
+
+Value suspectSet(const Value& response) {
+  if (response.tag() != "suspect") {
+    throw std::logic_error("suspectSet: not a suspect response: " +
+                           response.str());
+  }
+  return response.at(1);
+}
+
+GeneralServiceType perfectFailureDetectorType() {
+  GeneralServiceType t;
+  t.name = "perfect-fd";
+  t.initialValue = Value::nil();  // V = {v-bar}: no internal state (Fig. 9)
+  t.globalTaskCount = -1;  // resolved per-endpoint-count by the service;
+                           // see CanonicalGeneralService, which replaces -1
+                           // with |J| at construction time.
+  t.delta1 = [](const Value& inv, int, const Value&, const std::vector<int>&,
+                const std::set<int>&) -> std::pair<ResponseMap, Value> {
+    noInvocations("perfect-fd", inv);
+  };
+  // Global task g = position of endpoint in J: report the failed set to it.
+  t.delta2 = [](int g, const Value& val, const std::vector<int>& endpoints,
+                const std::set<int>& failed) {
+    ResponseMap rm;
+    rm.append(endpoints.at(static_cast<std::size_t>(g)),
+              sym("suspect", failedAsSet(failed)));
+    return std::make_pair(std::move(rm), val);
+  };
+  return t;
+}
+
+GeneralServiceType eventuallyPerfectFailureDetectorType(
+    int stabilizationSteps) {
+  if (stabilizationSteps < 0) {
+    throw std::logic_error("eventuallyPerfectFailureDetectorType: negative "
+                           "stabilization");
+  }
+  GeneralServiceType t;
+  t.name = "eventually-perfect-fd";
+  // val = remaining imperfect steps; 0 means mode = perfect (Fig. 10).
+  t.initialValue = Value(stabilizationSteps);
+  t.globalTaskCount = -2;  // |J| suspicion tasks + 1 mode task; resolved by
+                           // the service engine to |J| + 1.
+  t.delta1 = [](const Value& inv, int, const Value&, const std::vector<int>&,
+                const std::set<int>&) -> std::pair<ResponseMap, Value> {
+    noInvocations("eventually-perfect-fd", inv);
+  };
+  t.delta2 = [](int g, const Value& val, const std::vector<int>& endpoints,
+                const std::set<int>& failed) -> std::pair<ResponseMap, Value> {
+    const int n = static_cast<int>(endpoints.size());
+    if (g == n) {
+      // Mode task (Fig. 11, second transition): count down to perfect.
+      const std::int64_t left = val.asInt();
+      return {ResponseMap{}, Value(left > 0 ? left - 1 : 0)};
+    }
+    const int me = endpoints.at(static_cast<std::size_t>(g));
+    ResponseMap rm;
+    if (val.asInt() > 0) {
+      // Imperfect mode: arbitrary suspicions; we emit the adversarial
+      // worst case (suspect every other endpoint).
+      Value::List others;
+      for (int j : endpoints) {
+        if (j != me) others.emplace_back(j);
+      }
+      rm.append(me, sym("suspect", Value::set(std::move(others))));
+    } else {
+      // Perfect mode: recent and accurate (Fig. 11, first transition).
+      rm.append(me, sym("suspect", failedAsSet(failed)));
+    }
+    return {std::move(rm), val};
+  };
+  return t;
+}
+
+}  // namespace boosting::types

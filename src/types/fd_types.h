@@ -1,0 +1,35 @@
+// Failure detectors as general (failure-aware) services (Section 6.2).
+//
+// Both detectors have no invocations: their only inputs are fail_i actions,
+// and they push ("suspect", S) responses -- S a set of endpoint indices --
+// into per-endpoint response buffers via global compute tasks.
+//
+// Perfect failure detector P (Section 6.2.1, Fig. 9): glob has one task per
+// endpoint; task i's delta2 appends suspect(failed) to endpoint i's buffer.
+// Suspicions are therefore always accurate (a suspected endpoint HAS
+// failed) and complete in fair executions (the compute task keeps running
+// while at most f endpoints of the service have failed).
+//
+// Eventually perfect failure detector <>P (Section 6.2.2, Figs. 10-11): the
+// value holds a mode in {imperfect, perfect}. While imperfect, endpoint i
+// is fed an arbitrary (here: worst-case "suspect everyone else") set; a
+// dedicated mode task eventually switches to perfect -- the library makes
+// the switch happen after `stabilizationSteps` firings so that tests can
+// observe both phases deterministically.
+#pragma once
+
+#include "types/service_type.h"
+
+namespace boosting::types {
+
+GeneralServiceType perfectFailureDetectorType();
+
+// glob = one suspicion task per endpoint + one mode task (the last index).
+GeneralServiceType eventuallyPerfectFailureDetectorType(
+    int stabilizationSteps);
+
+// Decode a ("suspect", S) response into the set S (as a sorted Value list).
+// Throws on non-suspect payloads.
+Value suspectSet(const Value& response);
+
+}  // namespace boosting::types

@@ -1,0 +1,44 @@
+#include "types/sequential_type.h"
+
+#include <stdexcept>
+
+namespace boosting::types {
+
+std::pair<Value, Value> SequentialType::delta(const Value& inv,
+                                              const Value& val) const {
+  auto options = deltaAll(inv, val);
+  if (options.empty()) {
+    throw std::logic_error("sequential type '" + name +
+                           "' violates totality for invocation " + inv.str() +
+                           " at value " + val.str());
+  }
+  return options.front();
+}
+
+const Value& SequentialType::initialValue() const {
+  if (initialValues.empty()) {
+    throw std::logic_error("sequential type '" + name +
+                           "' has empty V0 (must be nonempty)");
+  }
+  return initialValues.front();
+}
+
+SequentialType determinize(SequentialType t) {
+  SequentialType out = std::move(t);
+  out.initialValues.resize(1);
+  auto inner = out.deltaAll;
+  out.deltaAll = [inner, name = out.name](const Value& inv, const Value& val)
+      -> std::vector<std::pair<Value, Value>> {
+    auto options = inner(inv, val);
+    if (options.empty()) {
+      throw std::logic_error("sequential type '" + name +
+                             "' violates totality for invocation " +
+                             inv.str() + " at value " + val.str());
+    }
+    return {options.front()};
+  };
+  out.deterministic = true;
+  return out;
+}
+
+}  // namespace boosting::types

@@ -1,0 +1,60 @@
+// SequentialType: allowable sequential behaviour of atomic objects
+// (Section 2.1.2).
+//
+// A sequential type T = <V, V0, invs, resps, delta> gives, for every
+// invocation and current value, the allowed (response, new value) pairs.
+// The library represents the transition relation as a function returning
+// ALL options (deltaAll) so that nondeterministic types -- such as
+// k-set-consensus, which the paper notes cannot be expressed
+// deterministically -- are first-class; a deterministic restriction
+// (Section 3.1, assumption (ii)) is obtained by `determinize`, which fixes
+// the initial value and always picks the first option.
+//
+// Values, invocations and responses are util::Value records following the
+// symbolic convention of the built-ins, e.g. invocation ("write", 3) with
+// response ("ack"), or ("init", 1) with response ("decide", 1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/value.h"
+
+namespace boosting::types {
+
+using util::Value;
+
+struct SequentialType {
+  std::string name;
+
+  // V0; the deterministic built-ins have a single element.
+  std::vector<Value> initialValues;
+
+  // delta: (invocation, value) -> all allowed (response, new value) pairs.
+  // Totality (the paper requires at least one option per (a, v)) is a
+  // proof obligation on each concrete type; the canonical service engine
+  // throws if violated.
+  std::function<std::vector<std::pair<Value, Value>>(const Value& inv,
+                                                     const Value& val)>
+      deltaAll;
+
+  // A finite sample of invocations used by fuzzers and the linearizability
+  // checker's history generators (invs may be conceptually infinite).
+  std::vector<Value> sampleInvocations;
+
+  bool deterministic = true;
+
+  // Convenience: the canonical deterministic choice (first option).
+  std::pair<Value, Value> delta(const Value& inv, const Value& val) const;
+
+  const Value& initialValue() const;
+};
+
+// Deterministic restriction per Section 3.1: unique initial value (the
+// first), first delta option. The result implements a sub-behaviour of the
+// original type, which is exactly what the WLOG argument requires.
+SequentialType determinize(SequentialType t);
+
+}  // namespace boosting::types

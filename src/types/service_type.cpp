@@ -1,0 +1,48 @@
+#include "types/service_type.h"
+
+#include <stdexcept>
+
+namespace boosting::types {
+
+ServiceType liftSequential(const SequentialType& t) {
+  ServiceType u;
+  u.name = t.name;
+  u.initialValue = t.initialValue();
+  u.globalTaskCount = 0;
+  u.delta1 = [t](const Value& inv, int i, const Value& val,
+                 const std::vector<int>& endpoints) {
+    (void)endpoints;
+    auto [resp, next] = t.delta(inv, val);
+    ResponseMap rm;
+    rm.append(i, std::move(resp));
+    return std::make_pair(std::move(rm), std::move(next));
+  };
+  u.delta2 = [name = t.name](int g, const Value&, const std::vector<int>&)
+      -> std::pair<ResponseMap, Value> {
+    throw std::logic_error("lifted sequential type '" + name +
+                           "' has no global task g" + std::to_string(g));
+  };
+  return u;
+}
+
+GeneralServiceType liftOblivious(const ServiceType& u) {
+  GeneralServiceType g;
+  g.name = u.name;
+  g.initialValue = u.initialValue;
+  g.globalTaskCount = u.globalTaskCount;
+  g.delta1 = [d1 = u.delta1](const Value& inv, int i, const Value& val,
+                             const std::vector<int>& endpoints,
+                             const std::set<int>& failed) {
+    (void)failed;  // failure-oblivious by construction
+    return d1(inv, i, val, endpoints);
+  };
+  g.delta2 = [d2 = u.delta2](int gt, const Value& val,
+                             const std::vector<int>& endpoints,
+                             const std::set<int>& failed) {
+    (void)failed;
+    return d2(gt, val, endpoints);
+  };
+  return g;
+}
+
+}  // namespace boosting::types

@@ -1,0 +1,90 @@
+// Service types: failure-oblivious (Section 5.1) and general (Section 6.1).
+//
+// A failure-oblivious service type U = <V, V0, invs, resps, glob, d1, d2>
+// generalizes a sequential type: an invocation handled by a perform step
+// may produce responses for ANY set of endpoints (a ResponseMap), and
+// spontaneous compute steps (one per global task g in glob) may do the same.
+// The key restriction is that neither d1 nor d2 sees failure events.
+//
+// A general service type additionally passes the current failed set to both
+// transition functions -- this is the only difference, exactly as in the
+// paper (Fig. 8 vs. Fig. 4).
+//
+// The paper's two embeddings are implemented as lifting functions:
+//   liftSequential:  sequential type T  -> oblivious type U   (Sec. 5.1)
+//   liftOblivious:   oblivious type U   -> general type U'    (Sec. 6.1)
+// so one canonical engine (services/canonical_general.h) executes all three
+// service classes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/sequential_type.h"
+#include "util/value.h"
+
+namespace boosting::types {
+
+// Mapping from endpoints to finite sequences of responses, to be appended
+// to the respective response buffers by a perform or compute step.
+struct ResponseMap {
+  std::map<int, std::vector<Value>> out;
+
+  void append(int endpoint, Value resp) {
+    out[endpoint].push_back(std::move(resp));
+  }
+  bool empty() const { return out.empty(); }
+};
+
+// Failure-oblivious service type (Section 5.1). Both transition functions
+// receive the endpoint set J so that broadcast-style services (e.g. totally
+// ordered broadcast, Figs. 5-7) can address every endpoint.
+struct ServiceType {
+  std::string name;
+  Value initialValue;
+  int globalTaskCount = 0;  // |glob|; task names are indices 0..count-1
+
+  // d1: (invocation, invoking endpoint, value, J) -> (ResponseMap, value').
+  std::function<std::pair<ResponseMap, Value>(
+      const Value& inv, int i, const Value& val,
+      const std::vector<int>& endpoints)>
+      delta1;
+
+  // d2: (global task g, value, J) -> (ResponseMap, value'). Must be total:
+  // defined for every g and every value (identity steps are fine).
+  std::function<std::pair<ResponseMap, Value>(
+      int g, const Value& val, const std::vector<int>& endpoints)>
+      delta2;
+};
+
+// General (possibly failure-aware) service type (Section 6.1): d1/d2
+// additionally observe the current failed set.
+struct GeneralServiceType {
+  std::string name;
+  Value initialValue;
+  int globalTaskCount = 0;
+
+  std::function<std::pair<ResponseMap, Value>(
+      const Value& inv, int i, const Value& val,
+      const std::vector<int>& endpoints, const std::set<int>& failed)>
+      delta1;
+
+  std::function<std::pair<ResponseMap, Value>(
+      int g, const Value& val, const std::vector<int>& endpoints,
+      const std::set<int>& failed)>
+      delta2;
+};
+
+// Section 5.1 embedding: glob is empty, d2 is vacuous, and d1 responds to
+// the invoking endpoint only, with the (deterministically chosen) response
+// of the sequential type.
+ServiceType liftSequential(const SequentialType& t);
+
+// Section 6.1 embedding: ignore the failed set.
+GeneralServiceType liftOblivious(const ServiceType& u);
+
+}  // namespace boosting::types

@@ -1,0 +1,44 @@
+#include "types/tob_type.h"
+
+#include <stdexcept>
+
+namespace boosting::types {
+
+using util::sym;
+
+ServiceType totallyOrderedBroadcastType() {
+  ServiceType u;
+  u.name = "totally-ordered-broadcast";
+  u.initialValue = Value(Value::List{});  // msgs, initially empty (Fig. 5)
+  u.globalTaskCount = 1;                  // glob = {g}
+
+  // Fig. 6: move the invocation into msgs; no responses yet.
+  u.delta1 = [](const Value& inv, int i, const Value& val,
+                const std::vector<int>& endpoints) {
+    (void)endpoints;
+    if (inv.tag() != "bcast") {
+      throw std::logic_error("totally-ordered-broadcast: unknown invocation " +
+                             inv.str());
+    }
+    Value::List msgs = val.asList();
+    msgs.push_back(Value::list({inv.at(1), Value(i)}));
+    return std::make_pair(ResponseMap{}, Value(std::move(msgs)));
+  };
+
+  // Fig. 7: deliver the head of msgs to every endpoint, atomically.
+  u.delta2 = [](int g, const Value& val, const std::vector<int>& endpoints)
+      -> std::pair<ResponseMap, Value> {
+    (void)g;
+    if (val.size() == 0) return {ResponseMap{}, val};  // identity step
+    const Value& head = val.at(0);
+    const Value& m = head.at(0);
+    const Value& sender = head.at(1);
+    ResponseMap rm;
+    for (int j : endpoints) rm.append(j, sym("rcv", m, sender));
+    Value::List rest(val.asList().begin() + 1, val.asList().end());
+    return {std::move(rm), Value(std::move(rest))};
+  };
+  return u;
+}
+
+}  // namespace boosting::types

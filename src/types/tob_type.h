@@ -1,0 +1,23 @@
+// Totally ordered broadcast as a failure-oblivious service (Section 5.2,
+// Figs. 5-7).
+//
+// The value is a queue `msgs` of (message, sender) pairs that have been
+// totally ordered. delta1 processes a bcast(m) invocation from endpoint i
+// by appending (m, i) to msgs and producing no responses. The single global
+// task's delta2 removes the head of msgs and appends rcv(m, i) to EVERY
+// endpoint's response buffer (or is the identity when msgs is empty).
+//
+// The paper uses this service to show that failure-oblivious services
+// strictly generalize atomic objects: one invocation triggers many
+// responses, so no sequential type can express it.
+//
+// Conventions: invocation ("bcast", m); response ("rcv", m, i).
+#pragma once
+
+#include "types/service_type.h"
+
+namespace boosting::types {
+
+ServiceType totallyOrderedBroadcastType();
+
+}  // namespace boosting::types

@@ -1,0 +1,36 @@
+// Hash-combination helpers used by all value-semantic state types.
+//
+// The analysis engine (state graphs, valence memoization, livelock
+// detection) keys hash tables by the hash of entire system states, so every
+// state type in the library must provide a stable, well-mixed hash. These
+// helpers implement the boost-style combine with a 64-bit mixer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace boosting::util {
+
+// splitmix64 finalizer; good avalanche for combining heterogeneous fields.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Fold `v` into the running hash `seed`.
+constexpr void hashCombine(std::size_t& seed, std::size_t v) noexcept {
+  seed = static_cast<std::size_t>(
+      mix64(static_cast<std::uint64_t>(seed) ^
+            mix64(static_cast<std::uint64_t>(v))));
+}
+
+// Convenience: hash an arbitrary value with std::hash and fold it in.
+template <typename T>
+void hashValue(std::size_t& seed, const T& v) {
+  hashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace boosting::util

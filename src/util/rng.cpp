@@ -1,0 +1,56 @@
+#include "util/rng.h"
+
+#include "util/hashing.h"
+
+namespace boosting::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Seed the four lanes with splitmix64 of successive seed increments, per
+  // the xoshiro authors' recommendation.
+  std::uint64_t x = seed;
+  for (auto& lane : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    lane = mix64(x);
+  }
+  // Avoid the all-zero state (cannot occur with mix64 of distinct inputs in
+  // practice, but cheap to guarantee).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) noexcept {
+  // Debiased modulo via rejection sampling on the top of the range.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::nextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : nextBelow(span));
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) noexcept {
+  return nextBelow(den) < num;
+}
+
+}  // namespace boosting::util

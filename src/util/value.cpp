@@ -1,0 +1,149 @@
+#include "util/value.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hashing.h"
+
+namespace boosting::util {
+
+Value Value::set(List elems) {
+  std::sort(elems.begin(), elems.end());
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  return Value(std::move(elems));
+}
+
+std::int64_t Value::asInt() const {
+  if (const auto* p = std::get_if<std::int64_t>(&rep_)) return *p;
+  throw std::logic_error("Value::asInt on non-int: " + str());
+}
+
+const std::string& Value::asStr() const {
+  if (const auto* p = std::get_if<std::string>(&rep_)) return *p;
+  throw std::logic_error("Value::asStr on non-string: " + str());
+}
+
+const Value::List& Value::asList() const {
+  if (const auto* p = std::get_if<List>(&rep_)) return *p;
+  throw std::logic_error("Value::asList on non-list: " + str());
+}
+
+std::string Value::tag() const {
+  if (isStr()) return asStr();
+  if (isList() && !asList().empty() && asList().front().isStr()) {
+    return asList().front().asStr();
+  }
+  return {};
+}
+
+const Value& Value::at(std::size_t i) const {
+  const List& xs = asList();
+  if (i >= xs.size()) {
+    throw std::logic_error("Value::at out of range on " + str());
+  }
+  return xs[i];
+}
+
+std::size_t Value::size() const {
+  if (const auto* p = std::get_if<List>(&rep_)) return p->size();
+  return 0;
+}
+
+bool Value::setContains(const Value& v) const {
+  const List& xs = asList();
+  return std::binary_search(xs.begin(), xs.end(), v);
+}
+
+Value Value::setInsert(const Value& v) const {
+  List xs = asList();
+  auto it = std::lower_bound(xs.begin(), xs.end(), v);
+  if (it != xs.end() && *it == v) return *this;
+  xs.insert(it, v);
+  return Value(std::move(xs));
+}
+
+Value Value::setUnion(const Value& other) const {
+  List out;
+  const List& a = asList();
+  const List& b = other.asList();
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return Value(std::move(out));
+}
+
+bool Value::operator==(const Value& other) const { return rep_ == other.rep_; }
+
+bool Value::operator<(const Value& other) const {
+  if (rep_.index() != other.rep_.index()) {
+    return rep_.index() < other.rep_.index();
+  }
+  switch (kind()) {
+    case Kind::Nil:
+      return false;
+    case Kind::Int:
+      return std::get<std::int64_t>(rep_) < std::get<std::int64_t>(other.rep_);
+    case Kind::Str:
+      return std::get<std::string>(rep_) < std::get<std::string>(other.rep_);
+    case Kind::List: {
+      const List& a = std::get<List>(rep_);
+      const List& b = std::get<List>(other.rep_);
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end());
+    }
+  }
+  return false;
+}
+
+std::size_t Value::hash() const {
+  std::size_t h = static_cast<std::size_t>(rep_.index()) * 0x9e3779b9u;
+  switch (kind()) {
+    case Kind::Nil:
+      break;
+    case Kind::Int:
+      hashValue(h, std::get<std::int64_t>(rep_));
+      break;
+    case Kind::Str:
+      hashValue(h, std::get<std::string>(rep_));
+      break;
+    case Kind::List:
+      for (const Value& v : std::get<List>(rep_)) hashCombine(h, v.hash());
+      break;
+  }
+  return h;
+}
+
+std::string Value::str() const {
+  switch (kind()) {
+    case Kind::Nil:
+      return "nil";
+    case Kind::Int:
+      return std::to_string(std::get<std::int64_t>(rep_));
+    case Kind::Str:
+      return std::get<std::string>(rep_);
+    case Kind::List: {
+      std::string out = "(";
+      const List& xs = std::get<List>(rep_);
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += xs[i].str();
+      }
+      out += ')';
+      return out;
+    }
+  }
+  return "?";
+}
+
+Value sym(std::string tag) { return Value::list({Value(std::move(tag))}); }
+Value sym(std::string tag, Value a) {
+  return Value::list({Value(std::move(tag)), std::move(a)});
+}
+Value sym(std::string tag, Value a, Value b) {
+  return Value::list({Value(std::move(tag)), std::move(a), std::move(b)});
+}
+Value sym(std::string tag, Value a, Value b, Value c) {
+  return Value::list(
+      {Value(std::move(tag)), std::move(a), std::move(b), std::move(c)});
+}
+
+}  // namespace boosting::util

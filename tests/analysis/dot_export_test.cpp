@@ -1,0 +1,91 @@
+// DOT export of G(C): structure, valence colouring, hook highlighting.
+#include "analysis/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bivalence.h"
+#include "processes/relay_consensus.h"
+
+namespace boosting::analysis {
+namespace {
+
+using processes::buildRelayConsensusSystem;
+using processes::RelaySystemSpec;
+
+std::unique_ptr<ioa::System> relay() {
+  RelaySystemSpec spec;
+  spec.processCount = 2;
+  spec.objectResilience = 0;
+  spec.addScratchRegister = false;
+  return buildRelayConsensusSystem(spec);
+}
+
+TEST(DotExport, ProducesWellFormedDigraph) {
+  auto sys = relay();
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  std::string dot = exportDot(g, va, root);
+  EXPECT_EQ(dot.rfind("digraph GC {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(DotExport, ColoursReflectValence) {
+  auto sys = relay();
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  std::string dot = exportDot(g, va, root);
+  EXPECT_NE(dot.find("khaki"), std::string::npos);      // bivalent nodes
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);  // 0-valent nodes
+  EXPECT_NE(dot.find("salmon"), std::string::npos);     // 1-valent nodes
+}
+
+TEST(DotExport, NodeBudgetRespected) {
+  auto sys = relay();
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  DotOptions opts;
+  opts.maxNodes = 3;
+  std::string dot = exportDot(g, va, root, opts);
+  // Count node declaration lines (contain "fillcolor").
+  std::size_t count = 0, pos = 0;
+  while ((pos = dot.find("fillcolor", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_LE(count, 3u);
+}
+
+TEST(DotExport, HookEdgesHighlighted) {
+  auto sys = relay();
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  auto biv = findBivalentInitialization(g, va);
+  auto outcome = findHook(g, va, biv.bivalent->node);
+  ASSERT_TRUE(outcome.hook);
+  DotOptions opts;
+  opts.maxNodes = 500;
+  opts.highlightHook = outcome.hook;
+  std::string dot = exportDot(g, va, biv.bivalent->node, opts);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(DotExport, StateLabelsOptIn) {
+  auto sys = relay();
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  DotOptions opts;
+  opts.includeStateLabels = true;
+  opts.maxNodes = 2;
+  std::string dot = exportDot(g, va, root, opts);
+  EXPECT_NE(dot.find("val="), std::string::npos);  // service state dump
+}
+
+}  // namespace
+}  // namespace boosting::analysis

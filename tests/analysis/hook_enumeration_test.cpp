@@ -1,0 +1,100 @@
+// Exhaustive Fig.-2 scan: hook density, and cross-validation of the
+// directed Fig.-3 search against the full enumeration.
+#include <gtest/gtest.h>
+
+#include "analysis/bivalence.h"
+#include "analysis/hook.h"
+#include "processes/relay_consensus.h"
+
+namespace boosting::analysis {
+namespace {
+
+using processes::buildRelayConsensusSystem;
+using processes::RelaySystemSpec;
+
+std::unique_ptr<ioa::System> relay(int n, int f) {
+  RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return buildRelayConsensusSystem(spec);
+}
+
+TEST(HookEnumeration, FindsHooksInRelayGraph) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  auto biv = findBivalentInitialization(g, va);
+  ASSERT_TRUE(biv.bivalent);
+  auto all = enumerateHooks(g, va, biv.bivalent->node);
+  EXPECT_GT(all.hooks.size(), 0u);
+  EXPECT_GT(all.bivalentNodes, 0u);
+  EXPECT_GE(all.nodesScanned, all.bivalentNodes);
+}
+
+TEST(HookEnumeration, EveryEnumeratedHookIsGenuine) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  auto biv = findBivalentInitialization(g, va);
+  auto all = enumerateHooks(g, va, biv.bivalent->node);
+  for (const Hook& h : all.hooks) {
+    EXPECT_TRUE(isGenuineHook(g, va, h));
+  }
+}
+
+TEST(HookEnumeration, DirectedSearchResultIsGenuine) {
+  for (auto [n, f] : {std::pair{2, 0}, std::pair{3, 0}, std::pair{3, 1}}) {
+    auto sys = relay(n, f);
+    StateGraph g(*sys);
+    ValenceAnalyzer va(g);
+    auto biv = findBivalentInitialization(g, va);
+    auto outcome = findHook(g, va, biv.bivalent->node);
+    ASSERT_TRUE(outcome.hook) << "n=" << n << " f=" << f;
+    EXPECT_TRUE(isGenuineHook(g, va, *outcome.hook)) << "n=" << n << " f=" << f;
+  }
+}
+
+TEST(HookEnumeration, MaxHooksBudgetRespected) {
+  auto sys = relay(3, 0);
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  auto biv = findBivalentInitialization(g, va);
+  auto capped = enumerateHooks(g, va, biv.bivalent->node, 3);
+  EXPECT_LE(capped.hooks.size(), 3u);
+}
+
+TEST(HookEnumeration, BothOrientationsOccur) {
+  // Hooks exist with e(alpha) 0-valent and with e(alpha) 1-valent: the
+  // pattern is symmetric in the decision labels.
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  auto biv = findBivalentInitialization(g, va);
+  auto all = enumerateHooks(g, va, biv.bivalent->node);
+  bool zeroFirst = false, oneFirst = false;
+  for (const Hook& h : all.hooks) {
+    if (h.alpha0Valence == Valence::Zero) zeroFirst = true;
+    if (h.alpha0Valence == Valence::One) oneFirst = true;
+  }
+  EXPECT_TRUE(zeroFirst);
+  EXPECT_TRUE(oneFirst);
+}
+
+TEST(HookEnumeration, GenuineRejectsCorruptedHook) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  auto biv = findBivalentInitialization(g, va);
+  auto outcome = findHook(g, va, biv.bivalent->node);
+  ASSERT_TRUE(outcome.hook);
+  Hook broken = *outcome.hook;
+  broken.ePrime = broken.e;  // violates Claim 1
+  EXPECT_FALSE(isGenuineHook(g, va, broken));
+  Hook swapped = *outcome.hook;
+  std::swap(swapped.alpha0, swapped.alpha1);  // endpoints mismatched
+  EXPECT_FALSE(isGenuineHook(g, va, swapped));
+}
+
+}  // namespace
+}  // namespace boosting::analysis

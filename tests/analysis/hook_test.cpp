@@ -1,0 +1,133 @@
+// Lemma 5 / Fig. 3: the hook search finds, from a bivalent initialization,
+// a vertex alpha and tasks e, e' with e(alpha) 0-valent and e(e'(alpha))
+// 1-valent (up to label swap) -- the exact Fig. 2 pattern.
+#include "analysis/hook.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bivalence.h"
+#include "processes/relay_consensus.h"
+#include "processes/tob_consensus.h"
+
+namespace boosting::analysis {
+namespace {
+
+using processes::buildRelayConsensusSystem;
+using processes::RelaySystemSpec;
+
+std::unique_ptr<ioa::System> relay(int n, int f) {
+  RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return buildRelayConsensusSystem(spec);
+}
+
+struct HookFixture {
+  std::unique_ptr<ioa::System> sys;
+  std::unique_ptr<StateGraph> g;
+  std::unique_ptr<ValenceAnalyzer> va;
+  HookSearchOutcome outcome;
+
+  explicit HookFixture(std::unique_ptr<ioa::System> system)
+      : sys(std::move(system)) {
+    g = std::make_unique<StateGraph>(*sys);
+    va = std::make_unique<ValenceAnalyzer>(*g);
+    auto biv = findBivalentInitialization(*g, *va);
+    EXPECT_TRUE(biv.bivalent.has_value());
+    outcome = findHook(*g, *va, biv.bivalent->node);
+  }
+};
+
+TEST(Hook, FoundForTwoProcessRelay) {
+  HookFixture fx(relay(2, 0));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+  EXPECT_FALSE(fx.outcome.fairCycle);
+}
+
+TEST(Hook, StructureMatchesFigTwo) {
+  HookFixture fx(relay(2, 0));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+  const Hook& h = *fx.outcome.hook;
+  // alpha is bivalent; the two e-extensions have opposite valences.
+  EXPECT_EQ(fx.va->valence(h.alpha), Valence::Bivalent);
+  EXPECT_EQ(fx.va->valence(h.alpha0), h.alpha0Valence);
+  EXPECT_EQ(fx.va->valence(h.alpha1), h.alpha1Valence);
+  EXPECT_NE(h.alpha0Valence, h.alpha1Valence);
+  // Structural equations of Fig. 2.
+  auto e0 = fx.g->successorVia(h.alpha, h.e);
+  ASSERT_TRUE(e0);
+  EXPECT_EQ(e0->to, h.alpha0);
+  auto ep = fx.g->successorVia(h.alpha, h.ePrime);
+  ASSERT_TRUE(ep);
+  EXPECT_EQ(ep->to, h.alphaPrime);
+  auto e1 = fx.g->successorVia(h.alphaPrime, h.e);
+  ASSERT_TRUE(e1);
+  EXPECT_EQ(e1->to, h.alpha1);
+}
+
+TEST(Hook, TasksDiffer) {
+  // Claim 1 of Lemma 8: e != e' for any genuine hook.
+  HookFixture fx(relay(2, 0));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+  EXPECT_NE(fx.outcome.hook->e, fx.outcome.hook->ePrime);
+}
+
+TEST(Hook, AlphaPrimeRemainBivalentOrCommitting) {
+  // e'(alpha) extends a bivalent alpha; since e(e'(alpha)) is univalent in
+  // one direction and alpha0 in the other, alpha' itself must still allow
+  // both decisions or be univalent toward alpha1's side.
+  HookFixture fx(relay(2, 0));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+  const Hook& h = *fx.outcome.hook;
+  const Valence vp = fx.va->valence(h.alphaPrime);
+  EXPECT_TRUE(vp == Valence::Bivalent || vp == h.alpha1Valence);
+}
+
+TEST(Hook, FoundForThreeProcessRelay) {
+  HookFixture fx(relay(3, 0));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+}
+
+TEST(Hook, FoundForOneResilientObject) {
+  HookFixture fx(relay(3, 1));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+}
+
+TEST(Hook, FoundForBridgeCandidate) {
+  processes::BridgeSystemSpec spec;
+  HookFixture fx(processes::buildBridgeConsensusSystem(spec));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+}
+
+TEST(Hook, FoundForTOBCandidate) {
+  processes::TOBConsensusSpec spec;
+  spec.processCount = 2;
+  spec.serviceResilience = 0;
+  HookFixture fx(processes::buildTOBConsensusSystem(spec));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+}
+
+TEST(Hook, CommittingTaskTouchesTheSharedObject) {
+  // For the relay candidate the only way to commit a decision is the
+  // consensus object's perform step, so e (or the hook context) must
+  // involve service 100.
+  HookFixture fx(relay(2, 0));
+  ASSERT_TRUE(fx.outcome.hook.has_value());
+  const Hook& h = *fx.outcome.hook;
+  const bool eOnService = h.e.owner != ioa::TaskOwner::Process &&
+                          h.e.component == 100;
+  EXPECT_TRUE(eOnService) << "e = " << h.e.str();
+}
+
+TEST(Hook, ThrowsOnNonBivalentStart) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  NodeId zero = g.intern(canonicalInitialization(*sys, 0));
+  va.explore(zero);
+  EXPECT_THROW(findHook(g, va, zero), std::logic_error);
+}
+
+}  // namespace
+}  // namespace boosting::analysis

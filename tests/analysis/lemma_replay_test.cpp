@@ -1,0 +1,152 @@
+// Executable Lemmas 6 and 7: task sequences that avoid the exempted
+// process/service fire IDENTICAL actions from similar configurations --
+// the replay correspondence that transplants the deciding extension in the
+// proofs -- and similarity is preserved along the way.
+#include "analysis/lemma_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/adversary.h"
+#include "analysis/bivalence.h"
+#include "analysis/similarity.h"
+#include "processes/relay_consensus.h"
+#include "services/canonical_general.h"
+
+namespace boosting::analysis {
+namespace {
+
+using processes::buildRelayConsensusSystem;
+using processes::RelaySystemSpec;
+using util::sym;
+using util::Value;
+
+std::unique_ptr<ioa::System> relay(int n, int f) {
+  RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return buildRelayConsensusSystem(spec);
+}
+
+// Two initializations differing only in P_j's input are j-similar.
+std::pair<ioa::SystemState, ioa::SystemState> jSimilarPair(
+    const ioa::System& sys, int j) {
+  ioa::SystemState a = sys.initialState();
+  ioa::SystemState b = sys.initialState();
+  for (int i = 0; i < sys.processCount(); ++i) {
+    sys.injectInit(a, i, Value(i == j ? 0 : 1));
+    sys.injectInit(b, i, Value(1));
+  }
+  return {std::move(a), std::move(b)};
+}
+
+TEST(LemmaSixReplay, AvoidedRunsCorrespondAndDecideTheSame) {
+  auto sys = relay(3, 2);
+  const int j = 1;
+  auto [a, b] = jSimilarPair(*sys, j);
+  ASSERT_TRUE(jSimilar(*sys, a, b, j));
+
+  AvoidSpec avoid;
+  avoid.endpoint = j;
+  auto run = runSynchronized(*sys, a, b, avoid, 2000, /*stopOnDecide=*/false);
+  EXPECT_TRUE(run.corresponded) << "diverged at step " << run.divergedAt;
+  // Both runs decide, identically, for every non-exempt process.
+  auto decA = run.execA.decisions();
+  auto decB = run.execB.decisions();
+  ASSERT_EQ(decA.size(), 2u);  // P0 and P2 decide; P1 is exempted
+  EXPECT_EQ(decA, decB);
+  EXPECT_EQ(decA.count(j), 0u);
+}
+
+TEST(LemmaSixReplay, SimilarityIsPreserved) {
+  auto sys = relay(3, 2);
+  const int j = 2;
+  auto [a, b] = jSimilarPair(*sys, j);
+  AvoidSpec avoid;
+  avoid.endpoint = j;
+  auto run = runSynchronized(*sys, a, b, avoid, 500, false);
+  ASSERT_TRUE(run.corresponded);
+  EXPECT_TRUE(jSimilar(*sys, run.finalA, run.finalB, j));
+}
+
+TEST(LemmaSixReplay, WithoutAvoidanceTheRunsDiverge) {
+  // Sanity of the divergence detector: if P_j is allowed to run, its
+  // invocation payloads differ and the correspondence breaks.
+  auto sys = relay(3, 2);
+  const int j = 0;
+  auto [a, b] = jSimilarPair(*sys, j);
+  auto run = runSynchronized(*sys, a, b, AvoidSpec{}, 500, false);
+  EXPECT_FALSE(run.corresponded);
+}
+
+TEST(LemmaSevenReplay, ServiceAvoidedRunsCorrespond) {
+  auto sys = relay(2, 0);
+  // k-similar pair: mutate only the consensus object's value in b.
+  ioa::SystemState a = canonicalInitialization(*sys, 1);
+  ioa::SystemState b = canonicalInitialization(*sys, 1);
+  auto& svc = services::CanonicalGeneralService::stateOf(
+      b.part(sys->slotForService(100)));
+  svc.val = sym("chosen", 0);
+  ASSERT_TRUE(kSimilar(*sys, a, b, 100));
+
+  AvoidSpec avoid;
+  avoid.serviceId = 100;
+  auto run = runSynchronized(*sys, a, b, avoid, 500, false);
+  EXPECT_TRUE(run.corresponded) << "diverged at step " << run.divergedAt;
+  // With the only consensus object silenced, nobody can decide -- in
+  // EITHER run (the operational content of Lemma 7's gamma).
+  EXPECT_TRUE(run.execA.decisions().empty());
+  EXPECT_TRUE(run.execB.decisions().empty());
+  EXPECT_TRUE(kSimilar(*sys, run.finalA, run.finalB, 100));
+}
+
+TEST(LemmaReplay, HookEndpointsReplayPerClassification) {
+  // From a real hook: run the avoidance schedule prescribed by the
+  // classification from both hook endpoints -- the correspondence must
+  // hold (this is the step the proofs of Lemmas 6/7 rely on).
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  ValenceAnalyzer va(g);
+  auto biv = findBivalentInitialization(g, va);
+  auto outcome = findHook(g, va, biv.bivalent->node);
+  ASSERT_TRUE(outcome.hook);
+  auto cls = classifyHook(g, *outcome.hook);
+  ASSERT_NE(cls.kind, HookClassification::Kind::Unclassified);
+
+  AvoidSpec avoid;
+  if (cls.kind == HookClassification::Kind::ProcessSimilar) {
+    avoid.endpoint = cls.index;
+  } else {
+    avoid.serviceId = cls.index;
+  }
+  const ioa::SystemState& s0 = g.state(outcome.hook->alpha0);
+  const ioa::SystemState& s1 = g.state(outcome.hook->alpha1);
+  auto run = runSynchronized(*sys, s0, s1, avoid, 2000, false);
+  EXPECT_TRUE(run.corresponded) << "diverged at step " << run.divergedAt;
+  // Opposite valences + correspondence => neither side may decide along
+  // the avoided schedule (a decide would transplant to the other side and
+  // contradict its valence).
+  EXPECT_TRUE(run.execA.decisions().empty());
+  EXPECT_TRUE(run.execB.decisions().empty());
+}
+
+TEST(LemmaReplay, AvoidSpecExcludesTheRightTasks) {
+  AvoidSpec byEndpoint;
+  byEndpoint.endpoint = 1;
+  EXPECT_TRUE(byEndpoint.excludes(ioa::TaskId::process(1)));
+  EXPECT_TRUE(byEndpoint.excludes(ioa::TaskId::servicePerform(100, 1)));
+  EXPECT_TRUE(byEndpoint.excludes(ioa::TaskId::serviceOutput(200, 1)));
+  EXPECT_FALSE(byEndpoint.excludes(ioa::TaskId::process(0)));
+  EXPECT_FALSE(byEndpoint.excludes(ioa::TaskId::serviceCompute(100, 1)));
+
+  AvoidSpec byService;
+  byService.serviceId = 100;
+  EXPECT_TRUE(byService.excludes(ioa::TaskId::servicePerform(100, 0)));
+  EXPECT_TRUE(byService.excludes(ioa::TaskId::serviceOutput(100, 2)));
+  EXPECT_TRUE(byService.excludes(ioa::TaskId::serviceCompute(100, 0)));
+  EXPECT_FALSE(byService.excludes(ioa::TaskId::process(100)));
+  EXPECT_FALSE(byService.excludes(ioa::TaskId::servicePerform(200, 0)));
+}
+
+}  // namespace
+}  // namespace boosting::analysis

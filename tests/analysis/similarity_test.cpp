@@ -1,0 +1,159 @@
+// Similarity (Section 3.5) and the Lemma 8 case analysis on concrete
+// hooks: the hook endpoints are always connected by a similarity relation
+// (or the tasks commute, which exhaustive valence rules out).
+#include "analysis/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bivalence.h"
+#include "processes/relay_consensus.h"
+#include "processes/tob_consensus.h"
+
+namespace boosting::analysis {
+namespace {
+
+using processes::buildRelayConsensusSystem;
+using processes::RelaySystemSpec;
+using util::sym;
+using util::Value;
+
+std::unique_ptr<ioa::System> relay(int n, int f) {
+  RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return buildRelayConsensusSystem(spec);
+}
+
+TEST(Similarity, IdenticalStatesAreSimilarEverywhere) {
+  auto sys = relay(2, 0);
+  ioa::SystemState s = canonicalInitialization(*sys, 1);
+  for (int j = 0; j < 2; ++j) EXPECT_TRUE(jSimilar(*sys, s, s, j));
+  EXPECT_TRUE(kSimilar(*sys, s, s, 100));
+}
+
+TEST(Similarity, JSimilarToleratesOnlyThatProcess) {
+  auto sys = relay(2, 0);
+  ioa::SystemState a = canonicalInitialization(*sys, 1);
+  ioa::SystemState b = canonicalInitialization(*sys, 1);
+  // Step P0 only in b: states differ in P0 and in the object's buffer(0).
+  sys->applyInPlace(b, ioa::Action::invoke(0, 100, sym("init", 1)));
+  EXPECT_TRUE(jSimilar(*sys, a, b, 0));
+  EXPECT_FALSE(jSimilar(*sys, a, b, 1));
+}
+
+TEST(Similarity, JSimilarRejectsValDifferences) {
+  auto sys = relay(2, 0);
+  ioa::SystemState a = canonicalInitialization(*sys, 1);
+  ioa::SystemState b = canonicalInitialization(*sys, 1);
+  // Drive b until the object's val changes (perform of P0's init).
+  sys->applyInPlace(b, ioa::Action::invoke(0, 100, sym("init", 1)));
+  sys->applyInPlace(b, ioa::Action::perform(0, 100));
+  // The object's val differs, which no j-similarity may ignore.
+  EXPECT_FALSE(jSimilar(*sys, a, b, 0));
+  EXPECT_FALSE(jSimilar(*sys, a, b, 1));
+}
+
+TEST(Similarity, KSimilarToleratesOnlyThatService) {
+  auto sys = relay(2, 0);
+  ioa::SystemState a = canonicalInitialization(*sys, 1);
+  ioa::SystemState b = canonicalInitialization(*sys, 1);
+  sys->applyInPlace(b, ioa::Action::invoke(0, 100, sym("init", 1)));
+  // b differs from a in P0's state AND the object: not k-similar for the
+  // object (process states must match exactly).
+  EXPECT_FALSE(kSimilar(*sys, a, b, 100));
+  // Mutate ONLY the object in a copy: k-similar for it.
+  ioa::SystemState c = canonicalInitialization(*sys, 1);
+  auto& svc = services::CanonicalGeneralService::stateOf(
+      c.part(sys->slotForService(100)));
+  svc.val = sym("chosen", 1);
+  EXPECT_TRUE(kSimilar(*sys, canonicalInitialization(*sys, 1), c, 100));
+  EXPECT_FALSE(jSimilar(*sys, canonicalInitialization(*sys, 1), c, 0));
+}
+
+TEST(Similarity, KSimilarWithRegisterPresent) {
+  RelaySystemSpec spec;
+  spec.processCount = 2;
+  spec.objectResilience = 0;
+  spec.addScratchRegister = true;
+  auto sys = buildRelayConsensusSystem(spec);
+  ioa::SystemState a = canonicalInitialization(*sys, 1);
+  ioa::SystemState b = canonicalInitialization(*sys, 1);
+  auto& reg = services::CanonicalGeneralService::stateOf(
+      b.part(sys->slotForService(200)));
+  reg.val = Value(7);
+  EXPECT_TRUE(kSimilar(*sys, a, b, 200));
+  EXPECT_FALSE(kSimilar(*sys, a, b, 100));
+}
+
+struct ClassifiedHook {
+  std::unique_ptr<ioa::System> sys;
+  std::unique_ptr<StateGraph> g;
+  std::unique_ptr<ValenceAnalyzer> va;
+  Hook hook;
+  HookClassification cls;
+
+  explicit ClassifiedHook(std::unique_ptr<ioa::System> system)
+      : sys(std::move(system)) {
+    g = std::make_unique<StateGraph>(*sys);
+    va = std::make_unique<ValenceAnalyzer>(*g);
+    auto biv = findBivalentInitialization(*g, *va);
+    auto outcome = findHook(*g, *va, biv.bivalent->node);
+    hook = *outcome.hook;
+    cls = classifyHook(*g, hook);
+  }
+};
+
+TEST(HookClassification, RelayHookIsClassified) {
+  ClassifiedHook fx(relay(2, 0));
+  EXPECT_NE(fx.cls.kind, HookClassification::Kind::Unclassified)
+      << fx.cls.narrative;
+  // Commuting is impossible when valences are certified opposite.
+  EXPECT_NE(fx.cls.kind, HookClassification::Kind::Commute);
+}
+
+TEST(HookClassification, RelayHookEndpointsDifferOnlyAtTheObject) {
+  // For the relay, the hook's committing task is the object's perform;
+  // Lemma 8 Claim 4 case 1/4 predicts k-similarity at the object (or
+  // j-similarity at the invoking process).
+  ClassifiedHook fx(relay(2, 0));
+  if (fx.cls.kind == HookClassification::Kind::ServiceSimilar) {
+    EXPECT_EQ(fx.cls.index, 100);
+  } else {
+    EXPECT_EQ(fx.cls.kind, HookClassification::Kind::ProcessSimilar);
+    EXPECT_GE(fx.cls.index, 0);
+    EXPECT_LT(fx.cls.index, 2);
+  }
+}
+
+TEST(HookClassification, ThreeProcessHooksClassified) {
+  for (auto [n, f] : {std::pair{3, 0}, std::pair{3, 1}}) {
+    ClassifiedHook fx(relay(n, f));
+    EXPECT_NE(fx.cls.kind, HookClassification::Kind::Unclassified)
+        << "n=" << n << " f=" << f << ": " << fx.cls.narrative;
+  }
+}
+
+TEST(HookClassification, TOBHookClassified) {
+  processes::TOBConsensusSpec spec;
+  spec.processCount = 2;
+  spec.serviceResilience = 0;
+  ClassifiedHook fx(processes::buildTOBConsensusSystem(spec));
+  EXPECT_NE(fx.cls.kind, HookClassification::Kind::Unclassified)
+      << fx.cls.narrative;
+}
+
+TEST(HookClassification, BridgeHookClassified) {
+  processes::BridgeSystemSpec spec;
+  ClassifiedHook fx(processes::buildBridgeConsensusSystem(spec));
+  EXPECT_NE(fx.cls.kind, HookClassification::Kind::Unclassified)
+      << fx.cls.narrative;
+}
+
+TEST(HookClassification, NarrativeMentionsTheLemma) {
+  ClassifiedHook fx(relay(2, 0));
+  EXPECT_NE(fx.cls.narrative.find("Lemma"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace boosting::analysis

@@ -1,0 +1,141 @@
+// StateGraph: canonical interning, deterministic per-task successors
+// (Section 3.1's "task sequence determines the execution"), parent-path
+// reconstruction.
+#include "analysis/state_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bivalence.h"
+#include "processes/relay_consensus.h"
+
+namespace boosting::analysis {
+namespace {
+
+using processes::buildRelayConsensusSystem;
+using processes::RelaySystemSpec;
+
+std::unique_ptr<ioa::System> relay(int n, int f) {
+  RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return buildRelayConsensusSystem(spec);
+}
+
+TEST(StateGraph, InternCanonicalizesEqualStates) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId a = g.intern(sys->initialState());
+  NodeId b = g.intern(sys->initialState());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(StateGraph, InternDistinguishesDifferentStates) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId a = g.intern(sys->initialState());
+  NodeId b = g.intern(canonicalInitialization(*sys, 1));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(StateGraph, SuccessorsOnePerApplicableTask) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  const auto& edges = g.successors(root);
+  // Only the two process tasks are applicable initially (service buffers
+  // are empty, failure-free so no dummies).
+  EXPECT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) {
+    EXPECT_EQ(e.task.owner, ioa::TaskOwner::Process);
+    EXPECT_EQ(e.action.kind, ioa::ActionKind::Invoke);
+  }
+}
+
+TEST(StateGraph, SuccessorsAreCached) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  const auto& e1 = g.successors(root);
+  const auto& e2 = g.successors(root);
+  EXPECT_EQ(&e1, &e2);
+}
+
+TEST(StateGraph, SuccessorViaFindsTaskEdge) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  auto edge = g.successorVia(root, ioa::TaskId::process(0));
+  ASSERT_TRUE(edge);
+  EXPECT_EQ(edge->action.endpoint, 0);
+  // Service perform task not applicable yet.
+  EXPECT_FALSE(g.successorVia(root, ioa::TaskId::servicePerform(100, 0)));
+}
+
+TEST(StateGraph, SelfLoopsForNoOpSteps) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  // Without inits, process tasks are dummies: self-loop edges.
+  NodeId root = g.intern(sys->initialState());
+  for (const Edge& e : g.successors(root)) {
+    EXPECT_EQ(e.to, root);
+    EXPECT_EQ(e.action.kind, ioa::ActionKind::ProcDummy);
+  }
+}
+
+TEST(StateGraph, PathToReconstructsDiscoveryPath) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  // Expand two levels.
+  NodeId mid = g.successors(root)[0].to;
+  NodeId leaf = kNoNode;
+  for (const Edge& e : g.successors(mid)) {
+    if (e.to != mid) {
+      leaf = e.to;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kNoNode);
+  auto path = g.pathTo(leaf);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path.back().to, leaf);
+  EXPECT_EQ(g.rootOf(leaf), root);
+  // Replaying the path from the root state reaches the leaf state.
+  ioa::SystemState s = g.state(root);
+  for (const Edge& e : path) sys->applyInPlace(s, e.action);
+  EXPECT_TRUE(s.equals(g.state(leaf)));
+}
+
+TEST(StateGraph, RootHasEmptyPath) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId root = g.intern(canonicalInitialization(*sys, 0));
+  EXPECT_TRUE(g.pathTo(root).empty());
+  EXPECT_EQ(g.rootOf(root), root);
+}
+
+TEST(StateGraph, FullReachableSetIsFinite) {
+  auto sys = relay(2, 0);
+  StateGraph g(*sys);
+  NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  // Exhaustive BFS terminates: the candidate has a finite failure-free
+  // reachable configuration space.
+  std::vector<NodeId> frontier{root};
+  std::set<NodeId> seen{root};
+  while (!frontier.empty()) {
+    NodeId x = frontier.back();
+    frontier.pop_back();
+    for (const Edge& e : g.successors(x)) {
+      if (seen.insert(e.to).second) frontier.push_back(e.to);
+    }
+    ASSERT_LT(g.size(), 100000u);
+  }
+  EXPECT_GT(seen.size(), 10u);
+  EXPECT_LT(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace boosting::analysis

@@ -1,0 +1,109 @@
+// The brute-force termination adversary: finds the f+1-failure livelock on
+// every doomed candidate independently of the hook machinery, and -- the
+// negative control -- finds NOTHING against genuinely resilient systems.
+#include <gtest/gtest.h>
+
+#include "analysis/adversary.h"
+#include "processes/flooding_consensus.h"
+#include "processes/relay_consensus.h"
+#include "processes/rotating_consensus.h"
+#include "processes/set_consensus_booster.h"
+
+namespace boosting::analysis {
+namespace {
+
+TEST(TerminationSearch, FindsWitnessAgainstRelay) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = 3;
+  spec.objectResilience = 1;
+  spec.addScratchRegister = false;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  auto report = searchTerminationCounterexample(*sys, 2);
+  ASSERT_TRUE(report.counterexampleFound);
+  EXPECT_EQ(report.failureSet.size(), 2u);  // f+1 failures are required
+  EXPECT_FALSE(report.witness.empty());
+  EXPECT_EQ(report.witness.failedEndpoints(), report.failureSet);
+}
+
+TEST(TerminationSearch, MinimalFailureCountRespectsResilience) {
+  // With only f failures allowed, the relay candidate CANNOT be broken:
+  // the search must come back empty at maxFailures = f.
+  processes::RelaySystemSpec spec;
+  spec.processCount = 3;
+  spec.objectResilience = 1;
+  spec.addScratchRegister = false;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  auto report = searchTerminationCounterexample(*sys, 1);
+  EXPECT_FALSE(report.counterexampleFound);
+  EXPECT_GT(report.runsDecided, 0u);
+  EXPECT_EQ(report.runsDecided, report.runsTried);
+}
+
+TEST(TerminationSearch, FindsWitnessAgainstFlooding) {
+  processes::FloodingConsensusSpec spec;
+  spec.processCount = 3;
+  spec.channelResilience = 0;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = processes::buildFloodingConsensusSystem(spec);
+  auto report = searchTerminationCounterexample(*sys, 1);
+  ASSERT_TRUE(report.counterexampleFound);
+  EXPECT_EQ(report.failureSet.size(), 1u);
+}
+
+TEST(TerminationSearch, NegativeControlRotatingConsensus) {
+  // The Section-6.3 system genuinely tolerates n-1 failures: the search
+  // must certify every run decided.
+  processes::RotatingConsensusSpec spec;
+  spec.processCount = 3;
+  auto sys = processes::buildRotatingConsensusSystem(spec);
+  auto report = searchTerminationCounterexample(*sys, 2);
+  EXPECT_FALSE(report.counterexampleFound);
+  EXPECT_EQ(report.runsDecided, report.runsTried);
+  EXPECT_GT(report.runsTried, 20u);  // 6 failure sets x 4 initializations
+}
+
+TEST(TerminationSearch, NegativeControlSetConsensusBooster) {
+  // Wait-free 2-set consensus: all runs decide under every failure set.
+  // (The checker here is termination, not agreement; the k-set sweeps are
+  // in set_consensus_test.cpp.)
+  processes::SetConsensusBoosterSpec spec;
+  spec.processCount = 4;
+  spec.groups = 2;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = processes::buildSetConsensusBoosterSystem(spec);
+  auto report = searchTerminationCounterexample(*sys, 3);
+  EXPECT_FALSE(report.counterexampleFound);
+  EXPECT_EQ(report.runsDecided, report.runsTried);
+}
+
+TEST(TerminationSearch, AgreesWithProofGuidedEngine) {
+  // Both adversaries refute the same candidate with the same number of
+  // failures.
+  processes::RelaySystemSpec spec;
+  spec.processCount = 2;
+  spec.objectResilience = 0;
+  spec.addScratchRegister = false;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+
+  AdversaryConfig cfg;
+  cfg.claimedFailures = 1;
+  auto guided = analyzeConsensusCandidate(*sys, cfg);
+  auto brute = searchTerminationCounterexample(*sys, 1);
+  ASSERT_EQ(guided.verdict, AdversaryReport::Verdict::TerminationViolation);
+  ASSERT_TRUE(brute.counterexampleFound);
+  EXPECT_EQ(guided.witnessFailures.size(), brute.failureSet.size());
+}
+
+TEST(TerminationSearch, ValidatesArguments) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = 2;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  EXPECT_THROW(searchTerminationCounterexample(*sys, 0), std::logic_error);
+  EXPECT_THROW(searchTerminationCounterexample(*sys, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace boosting::analysis

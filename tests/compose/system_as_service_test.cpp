@@ -1,0 +1,165 @@
+// Composition of implementations (Section 2.1.4): a whole system wrapped
+// as a single service, used by a higher-level implementation.
+//
+// The headline: wrap the Section-6.3 rotating-coordinator system (built
+// from 1-resilient pairwise detectors + registers) as an (n-1)-resilient
+// consensus SERVICE; outer relay processes use it exactly like a canonical
+// consensus object, its histories are linearizable for the consensus type,
+// and it keeps answering under n-1 failures -- the boosted object itself,
+// as an artifact.
+#include "compose/system_as_service.h"
+
+#include <gtest/gtest.h>
+
+#include "processes/relay_consensus.h"
+#include "processes/rotating_consensus.h"
+#include "sim/linearizability.h"
+#include "sim/properties.h"
+#include "sim/runner.h"
+#include "types/builtin_types.h"
+
+namespace boosting::compose {
+namespace {
+
+using sim::binaryInits;
+using sim::RunConfig;
+using util::sym;
+using util::Value;
+
+constexpr int kWrappedId = 1000;
+
+// Outer system: n relay processes using the wrapped implementation as
+// their consensus service.
+std::unique_ptr<ioa::System> outerOverWrapped(
+    std::shared_ptr<const ioa::System> inner, int n, int resilience,
+    bool failureAware) {
+  auto outer = std::make_unique<ioa::System>();
+  for (int i = 0; i < n; ++i) {
+    outer->addProcess(
+        std::make_shared<processes::RelayConsensusProcess>(i, kWrappedId));
+  }
+  auto wrapped = std::make_shared<SystemAsService>(std::move(inner),
+                                                   kWrappedId, resilience,
+                                                   failureAware);
+  outer->addService(wrapped, wrapped->meta());
+  return outer;
+}
+
+std::shared_ptr<const ioa::System> rotatingInner(int n) {
+  processes::RotatingConsensusSpec spec;
+  spec.processCount = n;
+  return std::shared_ptr<const ioa::System>(
+      processes::buildRotatingConsensusSystem(spec));
+}
+
+std::shared_ptr<const ioa::System> relayInner(int n, int f) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return std::shared_ptr<const ioa::System>(
+      processes::buildRelayConsensusSystem(spec));
+}
+
+TEST(SystemAsService, WrappedRelayAnswersLikeAConsensusObject) {
+  auto outer = outerOverWrapped(relayInner(3, 2), 3, 2, false);
+  RunConfig cfg;
+  cfg.inits = binaryInits(3, 0b011);
+  cfg.maxSteps = 400000;
+  auto r = sim::run(*outer, cfg);
+  ASSERT_TRUE(r.allDecided());
+  auto verdict = sim::checkConsensus(r);
+  EXPECT_TRUE(verdict) << verdict.detail;
+}
+
+TEST(SystemAsService, WrappedRotatingConsensusIsBoostedService) {
+  // The wrapped implementation tolerates n-1 failures even though every
+  // service inside it is only 1-resilient: the boosting of Section 6.3,
+  // packaged as an object.
+  const int n = 3;
+  auto outer = outerOverWrapped(rotatingInner(n), n, n - 1, true);
+  for (unsigned mask = 0; mask < (1u << n); mask += 3) {
+    RunConfig cfg;
+    cfg.inits = binaryInits(n, mask);
+    cfg.maxSteps = 400000;
+    auto r = sim::run(*outer, cfg);
+    ASSERT_TRUE(r.allDecided()) << "mask " << mask;
+    auto verdict = sim::checkConsensus(r);
+    EXPECT_TRUE(verdict) << verdict.detail;
+  }
+}
+
+TEST(SystemAsService, WrappedServiceSurvivesMinorityAndMajorityFailures) {
+  const int n = 3;
+  auto outer = outerOverWrapped(rotatingInner(n), n, n - 1, true);
+  // Fail two of three outer processes: fail_i reaches the inner P_i and
+  // its inner services; the wrapped protocol still serves the survivor.
+  RunConfig cfg;
+  cfg.inits = binaryInits(n, 0b001);
+  cfg.failures = {{6, 1}, {14, 2}};
+  cfg.maxSteps = 400000;
+  auto r = sim::run(*outer, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_EQ(r.decisions.count(0), 1u);
+  auto agree = sim::checkAgreement(r);
+  EXPECT_TRUE(agree) << agree.detail;
+}
+
+TEST(SystemAsService, HistoriesAreLinearizableForConsensus) {
+  const int n = 3;
+  auto outer = outerOverWrapped(rotatingInner(n), n, n - 1, true);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    RunConfig cfg;
+    cfg.scheduler = RunConfig::Sched::Random;
+    cfg.seed = seed;
+    cfg.inits = binaryInits(n, static_cast<unsigned>(seed % 8));
+    cfg.maxSteps = 800000;
+    auto r = sim::run(*outer, cfg);
+    ASSERT_TRUE(r.allDecided()) << "seed " << seed;
+    auto ops = sim::extractHistory(r.exec, kWrappedId);
+    auto lin = sim::checkLinearizable(types::binaryConsensusType(), ops);
+    EXPECT_TRUE(lin.linearizable) << "seed " << seed;
+  }
+}
+
+TEST(SystemAsService, MetaReflectsWrapping) {
+  auto svc = SystemAsService(rotatingInner(3), kWrappedId, 2, true);
+  auto m = svc.meta();
+  EXPECT_EQ(m.id, kWrappedId);
+  EXPECT_EQ(m.endpoints, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(m.resilience, 2);
+  EXPECT_TRUE(m.failureAware);
+}
+
+TEST(SystemAsService, TasksCoverInnerTasksAndOutputs) {
+  auto inner = rotatingInner(2);
+  const std::size_t innerTasks = inner->allTasks().size();
+  auto svc = SystemAsService(inner, kWrappedId, 1, true);
+  EXPECT_EQ(svc.tasks().size(), innerTasks + 2);
+}
+
+TEST(SystemAsService, EachEndpointAnsweredOnce) {
+  const int n = 2;
+  auto outer = outerOverWrapped(rotatingInner(n), n, n - 1, true);
+  RunConfig cfg;
+  cfg.inits = binaryInits(n, 0b10);
+  cfg.maxSteps = 400000;
+  auto r = sim::run(*outer, cfg);
+  ASSERT_TRUE(r.allDecided());
+  int responsesTo0 = 0;
+  for (const ioa::Action& a : r.exec.actions()) {
+    if (a.kind == ioa::ActionKind::Respond && a.component == kWrappedId &&
+        a.endpoint == 0) {
+      ++responsesTo0;
+    }
+  }
+  EXPECT_EQ(responsesTo0, 1);
+}
+
+TEST(SystemAsService, RejectsEmptyInner) {
+  EXPECT_THROW(SystemAsService(std::make_shared<ioa::System>(), 1, 0, false),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace boosting::compose

@@ -1,0 +1,116 @@
+#include "ioa/action.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ioa/task.h"
+
+namespace boosting::ioa {
+namespace {
+
+using util::sym;
+
+TEST(Action, FactoriesSetFields) {
+  Action a = Action::invoke(2, 100, sym("init", 1));
+  EXPECT_EQ(a.kind, ActionKind::Invoke);
+  EXPECT_EQ(a.endpoint, 2);
+  EXPECT_EQ(a.component, 100);
+  EXPECT_EQ(a.payload.tag(), "init");
+
+  Action c = Action::compute(3, 7);
+  EXPECT_EQ(c.gtask, 3);
+  EXPECT_EQ(c.component, 7);
+  EXPECT_EQ(c.endpoint, -1);
+}
+
+TEST(Action, ExternalClassification) {
+  // External actions of the complete system: init, decide, fail.
+  EXPECT_TRUE(Action::envInit(0, util::Value(1)).isExternal());
+  EXPECT_TRUE(Action::envDecide(0, sym("decide", 1)).isExternal());
+  EXPECT_TRUE(Action::fail(0).isExternal());
+  EXPECT_FALSE(Action::invoke(0, 1, sym("read")).isExternal());
+  EXPECT_FALSE(Action::respond(0, 1, util::Value(0)).isExternal());
+  EXPECT_FALSE(Action::perform(0, 1).isExternal());
+}
+
+TEST(Action, EnvironmentInputs) {
+  EXPECT_TRUE(Action::envInit(0, util::Value(1)).isEnvironmentInput());
+  EXPECT_TRUE(Action::fail(3).isEnvironmentInput());
+  EXPECT_FALSE(Action::envDecide(0, util::Value(1)).isEnvironmentInput());
+}
+
+TEST(Action, LocalControlClassification) {
+  // Respond is locally controlled by the service, Invoke by the process.
+  EXPECT_TRUE(Action::respond(0, 1, util::Value(0)).isServiceLocal());
+  EXPECT_TRUE(Action::perform(0, 1).isServiceLocal());
+  EXPECT_TRUE(Action::compute(0, 1).isServiceLocal());
+  EXPECT_FALSE(Action::invoke(0, 1, sym("read")).isServiceLocal());
+
+  EXPECT_TRUE(Action::invoke(0, 1, sym("read")).isProcessLocal());
+  EXPECT_TRUE(Action::envDecide(0, util::Value(0)).isProcessLocal());
+  EXPECT_TRUE(Action::procStep(0).isProcessLocal());
+  EXPECT_TRUE(Action::procDummy(0).isProcessLocal());
+  EXPECT_FALSE(Action::respond(0, 1, util::Value(0)).isProcessLocal());
+}
+
+TEST(Action, DummyClassification) {
+  EXPECT_TRUE(Action::dummyPerform(0, 1).isDummy());
+  EXPECT_TRUE(Action::dummyOutput(0, 1).isDummy());
+  EXPECT_TRUE(Action::dummyCompute(0, 1).isDummy());
+  EXPECT_TRUE(Action::procDummy(0).isDummy());
+  EXPECT_FALSE(Action::perform(0, 1).isDummy());
+  EXPECT_FALSE(Action::procStep(0).isDummy());
+}
+
+TEST(Action, EqualityIncludesPayload) {
+  Action a = Action::invoke(0, 1, sym("init", 0));
+  Action b = Action::invoke(0, 1, sym("init", 0));
+  Action c = Action::invoke(0, 1, sym("init", 1));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, Action::invoke(1, 1, sym("init", 0)));
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Action, StrMentionsParticipants) {
+  EXPECT_EQ(Action::fail(2).str(), "fail_2");
+  EXPECT_NE(Action::perform(1, 9).str().find("S9"), std::string::npos);
+  EXPECT_NE(Action::envDecide(1, sym("decide", 0)).str().find("decide"),
+            std::string::npos);
+}
+
+TEST(TaskId, FactoriesAndOrdering) {
+  TaskId p = TaskId::process(1);
+  TaskId sp = TaskId::servicePerform(5, 1);
+  TaskId so = TaskId::serviceOutput(5, 1);
+  TaskId sc = TaskId::serviceCompute(5, 0);
+  EXPECT_EQ(p.owner, TaskOwner::Process);
+  EXPECT_NE(sp, so);
+  EXPECT_LT(p, sp);   // Process < ServicePerform in owner order
+  EXPECT_LT(sp, so);  // ServicePerform < ServiceOutput
+  EXPECT_LT(so, sc);
+  EXPECT_EQ(sp, TaskId::servicePerform(5, 1));
+}
+
+TEST(TaskId, HashDistinguishesTasks) {
+  std::unordered_set<TaskId> set;
+  set.insert(TaskId::process(0));
+  set.insert(TaskId::process(1));
+  set.insert(TaskId::servicePerform(0, 0));
+  set.insert(TaskId::serviceOutput(0, 0));
+  set.insert(TaskId::serviceCompute(0, 0));
+  set.insert(TaskId::process(0));  // dup
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(TaskId, StrIsInformative) {
+  EXPECT_EQ(TaskId::process(3).str(), "task(P3)");
+  EXPECT_NE(TaskId::servicePerform(7, 2).str().find("perform"),
+            std::string::npos);
+  EXPECT_NE(TaskId::serviceCompute(7, 1).str().find("compute"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace boosting::ioa

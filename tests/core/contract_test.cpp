@@ -1,0 +1,126 @@
+// The model contract (determinism, value semantics, input-enabledness,
+// task ownership) checked by random walk over EVERY system family in the
+// repository, across seeds.
+#include <gtest/gtest.h>
+
+#include "compose/system_as_service.h"
+#include "processes/evp_consensus.h"
+#include "processes/fd_booster.h"
+#include "processes/flooding_consensus.h"
+#include "processes/relay_consensus.h"
+#include "processes/reliable_broadcast.h"
+#include "processes/rotating_consensus.h"
+#include "processes/set_consensus_booster.h"
+#include "processes/tob_consensus.h"
+#include "support/automaton_contract.h"
+
+namespace boosting::testing {
+namespace {
+
+class Contract : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Contract, RelaySystem) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = 3;
+  spec.objectResilience = 1;
+  checkSystemContract(*processes::buildRelayConsensusSystem(spec), GetParam(),
+                      50);
+}
+
+TEST_P(Contract, RelaySystemPreferDummy) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = 2;
+  spec.objectResilience = 0;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  checkSystemContract(*processes::buildRelayConsensusSystem(spec), GetParam(),
+                      50);
+}
+
+TEST_P(Contract, BridgeSystem) {
+  processes::BridgeSystemSpec spec;
+  checkSystemContract(*processes::buildBridgeConsensusSystem(spec), GetParam(),
+                      50);
+}
+
+TEST_P(Contract, TOBSystem) {
+  processes::TOBConsensusSpec spec;
+  spec.processCount = 3;
+  spec.serviceResilience = 1;
+  checkSystemContract(*processes::buildTOBConsensusSystem(spec), GetParam(),
+                      50);
+}
+
+TEST_P(Contract, SetConsensusBooster) {
+  processes::SetConsensusBoosterSpec spec;
+  spec.processCount = 4;
+  spec.groups = 2;
+  checkSystemContract(*processes::buildSetConsensusBoosterSystem(spec),
+                      GetParam(), 50);
+}
+
+TEST_P(Contract, FDBooster) {
+  processes::FDBoosterSpec spec;
+  spec.processCount = 3;
+  checkSystemContract(*processes::buildFDBoosterSystem(spec), GetParam(), 40);
+}
+
+TEST_P(Contract, RotatingConsensus) {
+  processes::RotatingConsensusSpec spec;
+  spec.processCount = 3;
+  checkSystemContract(*processes::buildRotatingConsensusSystem(spec),
+                      GetParam(), 40);
+}
+
+TEST_P(Contract, SingleFDConsensus) {
+  processes::SingleFDConsensusSpec spec;
+  spec.processCount = 3;
+  spec.fdResilience = 1;
+  checkSystemContract(*processes::buildSingleFDRotatingConsensusSystem(spec),
+                      GetParam(), 40);
+}
+
+TEST_P(Contract, EvPConsensus) {
+  processes::EvPConsensusSpec spec;
+  spec.processCount = 3;
+  spec.stabilizationSteps = 3;
+  spec.maxRounds = 4;  // small register bank keeps the walk cheap
+  checkSystemContract(*processes::buildEvPConsensusSystem(spec), GetParam(),
+                      30);
+}
+
+TEST_P(Contract, FloodingConsensus) {
+  processes::FloodingConsensusSpec spec;
+  spec.processCount = 3;
+  spec.channelResilience = 1;
+  checkSystemContract(*processes::buildFloodingConsensusSystem(spec),
+                      GetParam(), 50);
+}
+
+TEST_P(Contract, ReliableBroadcast) {
+  processes::ReliableBroadcastSpec spec;
+  spec.processCount = 3;
+  checkSystemContract(*processes::buildReliableBroadcastSystem(spec),
+                      GetParam(), 50);
+}
+
+TEST_P(Contract, WrappedSystemService) {
+  processes::RotatingConsensusSpec innerSpec;
+  innerSpec.processCount = 2;
+  auto inner = std::shared_ptr<const ioa::System>(
+      processes::buildRotatingConsensusSystem(innerSpec));
+  auto outer = std::make_unique<ioa::System>();
+  for (int i = 0; i < 2; ++i) {
+    outer->addProcess(
+        std::make_shared<processes::RelayConsensusProcess>(i, 1000));
+  }
+  auto wrapped =
+      std::make_shared<compose::SystemAsService>(inner, 1000, 1, true);
+  outer->addService(wrapped, wrapped->meta());
+  checkSystemContract(*outer, GetParam(), 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Contract,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace boosting::testing

@@ -1,0 +1,91 @@
+// Execution record helpers: trace projection, decision/init extraction,
+// decision-value decoding, rendering.
+#include "ioa/execution.h"
+
+#include <gtest/gtest.h>
+
+namespace boosting::ioa {
+namespace {
+
+using util::sym;
+using util::Value;
+
+Execution sample() {
+  Execution e;
+  e.append(Action::envInit(0, Value(1)));
+  e.append(Action::envInit(1, Value(0)));
+  e.append(Action::invoke(0, 7, sym("init", 1)));
+  e.append(Action::perform(0, 7));
+  e.append(Action::respond(0, 7, sym("decide", 1)));
+  e.append(Action::envDecide(0, sym("decide", 1)));
+  e.append(Action::fail(1));
+  return e;
+}
+
+TEST(Execution, TraceKeepsOnlyExternalActions) {
+  auto trace = sample().trace();
+  ASSERT_EQ(trace.size(), 4u);  // 2 inits, 1 decide, 1 fail
+  EXPECT_EQ(trace[0].kind, ActionKind::EnvInit);
+  EXPECT_EQ(trace[2].kind, ActionKind::EnvDecide);
+  EXPECT_EQ(trace[3].kind, ActionKind::Fail);
+}
+
+TEST(Execution, DecisionsExtractFirstPerEndpoint) {
+  Execution e = sample();
+  e.append(Action::envDecide(0, sym("decide", 0)));  // later, ignored
+  auto d = e.decisions();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.at(0), Value(1));
+}
+
+TEST(Execution, InitsUnwrapBothConventions) {
+  Execution e;
+  e.append(Action::envInit(0, Value(1)));            // raw value
+  e.append(Action::envInit(1, sym("init", 0)));      // tagged record
+  auto ins = e.inits();
+  EXPECT_EQ(ins.at(0), Value(1));
+  EXPECT_EQ(ins.at(1), Value(0));
+}
+
+TEST(Execution, FailedEndpointsCollected) {
+  Execution e = sample();
+  e.append(Action::fail(0));
+  EXPECT_EQ(e.failedEndpoints(), (std::set<int>{0, 1}));
+}
+
+TEST(Execution, ContainsDecisionMatchesValue) {
+  Execution e = sample();
+  EXPECT_TRUE(e.containsDecision(Value(1)));
+  EXPECT_FALSE(e.containsDecision(Value(0)));
+}
+
+TEST(Execution, DecisionValueDecoding) {
+  EXPECT_EQ(*decisionValue(Action::envDecide(0, sym("decide", 7))), Value(7));
+  // Non-"decide" payloads pass through whole (failure-detector outputs).
+  auto suspect = sym("suspect", Value::emptySet());
+  EXPECT_EQ(*decisionValue(Action::envDecide(0, suspect)), suspect);
+  EXPECT_FALSE(decisionValue(Action::fail(0)).has_value());
+  EXPECT_FALSE(decisionValue(Action::respond(0, 1, sym("decide", 7))));
+}
+
+TEST(Execution, StrHonorsLimit) {
+  Execution e = sample();
+  std::string full = e.str();
+  std::string limited = e.str(2);
+  EXPECT_LT(limited.size(), full.size());
+  EXPECT_NE(limited.find("more)"), std::string::npos);
+  EXPECT_NE(full.find("decide"), std::string::npos);
+}
+
+TEST(Execution, EmptyBehaviour) {
+  Execution e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(e.trace().empty());
+  EXPECT_TRUE(e.decisions().empty());
+  EXPECT_TRUE(e.inits().empty());
+  EXPECT_TRUE(e.failedEndpoints().empty());
+  EXPECT_EQ(e.str(), "");
+}
+
+}  // namespace
+}  // namespace boosting::ioa

@@ -1,0 +1,100 @@
+// Lemma 1: in failure-free executions, an applicable task remains
+// applicable until an action of that task occurs. This is the persistence
+// property the hook search's detours rely on; we verify it as a dynamic
+// property over random walks of several systems.
+#include <gtest/gtest.h>
+
+#include "processes/relay_consensus.h"
+#include "processes/tob_consensus.h"
+#include "util/rng.h"
+
+namespace boosting::ioa {
+namespace {
+
+// Walk `steps` random failure-free transitions; after each, check that
+// every task applicable before the step is either the task just executed
+// or still applicable.
+void checkPersistence(const System& sys, SystemState s, std::uint64_t seed,
+                      int steps) {
+  util::Rng rng(seed);
+  const auto& tasks = sys.allTasks();
+  for (int k = 0; k < steps; ++k) {
+    std::vector<TaskId> applicableBefore;
+    std::vector<std::pair<TaskId, Action>> enabled;
+    for (const TaskId& t : tasks) {
+      if (auto a = sys.enabled(s, t)) {
+        applicableBefore.push_back(t);
+        enabled.emplace_back(t, std::move(*a));
+      }
+    }
+    ASSERT_FALSE(enabled.empty());
+    const auto& [fired, action] = enabled[rng.nextBelow(enabled.size())];
+    sys.applyInPlace(s, action);
+    for (const TaskId& t : applicableBefore) {
+      if (t == fired) continue;
+      EXPECT_TRUE(sys.enabled(s, t).has_value())
+          << t.str() << " lost applicability after " << action.str();
+    }
+  }
+}
+
+TEST(LemmaOne, PersistenceInRelaySystem) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = 3;
+  spec.objectResilience = 1;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  SystemState s = sys->initialState();
+  for (int i = 0; i < 3; ++i) sys->injectInit(s, i, util::Value(i % 2));
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    checkPersistence(*sys, s, seed, 60);
+  }
+}
+
+TEST(LemmaOne, PersistenceInTOBSystem) {
+  processes::TOBConsensusSpec spec;
+  spec.processCount = 3;
+  spec.serviceResilience = 1;
+  auto sys = processes::buildTOBConsensusSystem(spec);
+  SystemState s = sys->initialState();
+  for (int i = 0; i < 3; ++i) sys->injectInit(s, i, util::Value(1 - i % 2));
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    checkPersistence(*sys, s, seed, 60);
+  }
+}
+
+TEST(LemmaOne, PersistenceInBridgeSystem) {
+  processes::BridgeSystemSpec spec;
+  auto sys = processes::buildBridgeConsensusSystem(spec);
+  SystemState s = sys->initialState();
+  for (int i = 0; i < 3; ++i) sys->injectInit(s, i, util::Value(i & 1));
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    checkPersistence(*sys, s, seed, 80);
+  }
+}
+
+TEST(LemmaOne, ProcessTasksAlwaysApplicable) {
+  // The stronger half the proof uses: process tasks are applicable in
+  // EVERY state (input-enabled dummy steps).
+  processes::RelaySystemSpec spec;
+  spec.processCount = 2;
+  spec.objectResilience = 0;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  SystemState s = sys->initialState();
+  util::Rng rng(5);
+  const auto& tasks = sys->allTasks();
+  for (int k = 0; k < 100; ++k) {
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_TRUE(sys->enabled(s, TaskId::process(i)).has_value());
+    }
+    std::vector<Action> enabled;
+    for (const TaskId& t : tasks) {
+      if (auto a = sys->enabled(s, t)) enabled.push_back(std::move(*a));
+    }
+    sys->applyInPlace(s, enabled[rng.nextBelow(enabled.size())]);
+    if (k == 10) sys->injectInit(s, 0, util::Value(1));
+    if (k == 30) sys->injectInit(s, 1, util::Value(0));
+  }
+}
+
+}  // namespace
+}  // namespace boosting::ioa

@@ -1,0 +1,137 @@
+// Property-checker unit tests on synthetic run records: each checker's
+// accept and reject behaviour, with readable violation details.
+#include "sim/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace boosting::sim {
+namespace {
+
+using ioa::Action;
+using util::sym;
+using util::Value;
+
+RunResult makeRun(std::vector<Action> actions,
+                  std::map<int, Value> decisions, std::set<int> failed) {
+  RunResult r;
+  for (Action& a : actions) r.exec.append(std::move(a));
+  r.decisions = std::move(decisions);
+  r.failed = std::move(failed);
+  r.reason = RunResult::Reason::AllDecided;
+  return r;
+}
+
+TEST(Properties, AgreementAccepts) {
+  auto r = makeRun({}, {{0, Value(1)}, {1, Value(1)}}, {});
+  EXPECT_TRUE(checkAgreement(r));
+}
+
+TEST(Properties, AgreementRejectsWithDetail) {
+  auto r = makeRun({}, {{0, Value(1)}, {2, Value(0)}}, {});
+  auto v = checkAgreement(r);
+  EXPECT_FALSE(v);
+  EXPECT_NE(v.detail.find("P0"), std::string::npos);
+  EXPECT_NE(v.detail.find("P2"), std::string::npos);
+}
+
+TEST(Properties, KSetAgreementBoundsDistinctValues) {
+  auto r = makeRun({}, {{0, Value(1)}, {1, Value(2)}, {2, Value(3)}}, {});
+  EXPECT_TRUE(checkKSetAgreement(r, 3));
+  EXPECT_FALSE(checkKSetAgreement(r, 2));
+}
+
+TEST(Properties, ValidityChecksAgainstInits) {
+  auto r = makeRun({Action::envInit(0, Value(1)), Action::envInit(1, Value(0))},
+                   {{0, Value(1)}}, {});
+  EXPECT_TRUE(checkValidity(r));
+  auto bad = makeRun({Action::envInit(0, Value(1))}, {{0, Value(9)}}, {});
+  auto v = checkValidity(bad);
+  EXPECT_FALSE(v);
+  EXPECT_NE(v.detail.find("validity"), std::string::npos);
+}
+
+TEST(Properties, TerminationExemptsFailedProcesses) {
+  auto r = makeRun({Action::envInit(0, Value(1)), Action::envInit(1, Value(0))},
+                   {{0, Value(1)}}, {1});
+  EXPECT_TRUE(checkModifiedTermination(r));
+  auto bad = makeRun(
+      {Action::envInit(0, Value(1)), Action::envInit(1, Value(0))},
+      {{0, Value(1)}}, {});
+  EXPECT_FALSE(checkModifiedTermination(bad));
+}
+
+TEST(Properties, TerminationIgnoresUninitialized) {
+  // A process with no input need not decide (modified termination).
+  auto r = makeRun({Action::envInit(0, Value(1))}, {{0, Value(1)}}, {});
+  EXPECT_TRUE(checkModifiedTermination(r));
+}
+
+TEST(Properties, ConsensusCombinesAllThree) {
+  auto good = makeRun(
+      {Action::envInit(0, Value(1)), Action::envInit(1, Value(1))},
+      {{0, Value(1)}, {1, Value(1)}}, {});
+  EXPECT_TRUE(checkConsensus(good));
+}
+
+TEST(Properties, FDAccuracyRejectsAliveSuspicions) {
+  auto r = makeRun(
+      {Action::envDecide(0, sym("suspect", Value::set({Value(1)})))}, {}, {});
+  auto v = checkFDAccuracy(r);
+  EXPECT_FALSE(v);  // endpoint 1 never failed
+  auto ok = makeRun(
+      {Action::fail(1),
+       Action::envDecide(0, sym("suspect", Value::set({Value(1)})))},
+      {}, {1});
+  EXPECT_TRUE(checkFDAccuracy(ok));
+}
+
+TEST(Properties, FDExactnessNeedsCompleteFinalOutputs) {
+  auto incomplete = makeRun(
+      {Action::fail(1), Action::envDecide(0, sym("suspect", Value::emptySet()))},
+      {}, {1});
+  auto v = checkFDExactness(incomplete);
+  EXPECT_FALSE(v);
+  EXPECT_NE(v.detail.find("completeness"), std::string::npos);
+}
+
+TEST(Properties, WellFormedAcceptsBalancedTrace) {
+  ioa::Execution e;
+  e.append(Action::invoke(0, 5, sym("read")));
+  e.append(Action::respond(0, 5, Value(1)));
+  e.append(Action::invoke(0, 5, sym("read")));
+  EXPECT_TRUE(checkAtomicServiceWellFormed(e, 5));
+}
+
+TEST(Properties, WellFormedRejectsSpontaneousResponse) {
+  ioa::Execution e;
+  e.append(Action::respond(0, 5, Value(1)));
+  auto v = checkAtomicServiceWellFormed(e, 5);
+  EXPECT_FALSE(v);
+  EXPECT_NE(v.detail.find("outstanding"), std::string::npos);
+}
+
+TEST(Properties, WellFormedRejectsOverAnswering) {
+  ioa::Execution e;
+  e.append(Action::invoke(0, 5, sym("read")));
+  e.append(Action::respond(0, 5, Value(1)));
+  e.append(Action::respond(0, 5, Value(1)));
+  EXPECT_FALSE(checkAtomicServiceWellFormed(e, 5));
+}
+
+TEST(Properties, WellFormedPerEndpointIndependent) {
+  ioa::Execution e;
+  e.append(Action::invoke(0, 5, sym("read")));
+  e.append(Action::invoke(1, 5, sym("read")));
+  e.append(Action::respond(1, 5, Value(1)));
+  e.append(Action::respond(0, 5, Value(1)));
+  EXPECT_TRUE(checkAtomicServiceWellFormed(e, 5));
+}
+
+TEST(Properties, WellFormedIgnoresOtherServices) {
+  ioa::Execution e;
+  e.append(Action::respond(0, 9, Value(1)));  // different service
+  EXPECT_TRUE(checkAtomicServiceWellFormed(e, 5));
+}
+
+}  // namespace
+}  // namespace boosting::sim

@@ -1,0 +1,235 @@
+// Scheduler semantics: determinism, fairness, reproducibility, and the
+// runner's input-first / failure-injection / livelock machinery.
+#include "ioa/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "processes/relay_consensus.h"
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+namespace boosting::ioa {
+namespace {
+
+using processes::buildRelayConsensusSystem;
+using processes::RelaySystemSpec;
+using util::Value;
+
+RelaySystemSpec spec(int n, int f) {
+  RelaySystemSpec s;
+  s.processCount = n;
+  s.objectResilience = f;
+  return s;
+}
+
+TEST(RoundRobinScheduler, DeterministicRuns) {
+  auto sys = buildRelayConsensusSystem(spec(3, 1));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(3, 0b101);
+  auto r1 = sim::run(*sys, cfg);
+  auto r2 = sim::run(*sys, cfg);
+  ASSERT_EQ(r1.exec.size(), r2.exec.size());
+  for (std::size_t i = 0; i < r1.exec.size(); ++i) {
+    EXPECT_EQ(r1.exec.actions()[i], r2.exec.actions()[i]);
+  }
+  EXPECT_TRUE(r1.finalState.equals(r2.finalState));
+}
+
+TEST(RoundRobinScheduler, RelayConsensusTerminates) {
+  auto sys = buildRelayConsensusSystem(spec(3, 1));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(3, 0b011);
+  auto r = sim::run(*sys, cfg);
+  EXPECT_TRUE(r.allDecided());
+  EXPECT_EQ(r.decisions.size(), 3u);
+  EXPECT_TRUE(sim::checkConsensus(r));
+}
+
+TEST(RoundRobinScheduler, CursorAdvances) {
+  auto sys = buildRelayConsensusSystem(spec(2, 0));
+  RoundRobinScheduler rr(*sys);
+  SystemState s = sys->initialState();
+  EXPECT_EQ(rr.cursor(), 0u);
+  rr.step(s);
+  EXPECT_NE(rr.cursor(), 0u);
+}
+
+TEST(RandomScheduler, SeededReproducibility) {
+  auto sys = buildRelayConsensusSystem(spec(3, 2));
+  sim::RunConfig cfg;
+  cfg.scheduler = sim::RunConfig::Sched::Random;
+  cfg.seed = 42;
+  cfg.inits = sim::binaryInits(3, 0b110);
+  auto r1 = sim::run(*sys, cfg);
+  auto r2 = sim::run(*sys, cfg);
+  ASSERT_EQ(r1.exec.size(), r2.exec.size());
+  for (std::size_t i = 0; i < r1.exec.size(); ++i) {
+    EXPECT_EQ(r1.exec.actions()[i], r2.exec.actions()[i]);
+  }
+}
+
+TEST(RandomScheduler, DifferentSeedsUsuallyDiffer) {
+  auto sys = buildRelayConsensusSystem(spec(3, 2));
+  sim::RunConfig a, b;
+  a.scheduler = b.scheduler = sim::RunConfig::Sched::Random;
+  a.seed = 1;
+  b.seed = 2;
+  a.inits = b.inits = sim::binaryInits(3, 0b010);
+  auto ra = sim::run(*sys, a);
+  auto rb = sim::run(*sys, b);
+  // Both decide (wait-free object), decisions agree per seed.
+  EXPECT_TRUE(ra.allDecided());
+  EXPECT_TRUE(rb.allDecided());
+  EXPECT_TRUE(sim::checkConsensus(ra));
+  EXPECT_TRUE(sim::checkConsensus(rb));
+}
+
+TEST(RandomScheduler, ManySeedsAllSatisfyConsensus) {
+  auto sys = buildRelayConsensusSystem(spec(4, 3));
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    sim::RunConfig cfg;
+    cfg.scheduler = sim::RunConfig::Sched::Random;
+    cfg.seed = seed;
+    cfg.inits = sim::binaryInits(4, static_cast<unsigned>(seed * 7 % 16));
+    auto r = sim::run(*sys, cfg);
+    ASSERT_TRUE(r.allDecided()) << "seed " << seed;
+    ASSERT_TRUE(sim::checkConsensus(r)) << "seed " << seed;
+  }
+}
+
+TEST(Runner, InputFirstPrefix) {
+  auto sys = buildRelayConsensusSystem(spec(3, 1));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(3, 0b111);
+  auto r = sim::run(*sys, cfg);
+  // The first three actions are the init inputs (input-first executions,
+  // Section 3.2).
+  ASSERT_GE(r.exec.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.exec.actions()[static_cast<std::size_t>(i)].kind,
+              ActionKind::EnvInit);
+  }
+}
+
+TEST(Runner, FailureWithinResilienceStillDecides) {
+  auto sys = buildRelayConsensusSystem(spec(3, 1));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(3, 0b001);
+  cfg.failures = {{0, 2}};  // fail P2 immediately; f = 1 tolerated
+  auto r = sim::run(*sys, cfg);
+  EXPECT_TRUE(r.allDecided());  // correct processes 0, 1 decide
+  EXPECT_TRUE(sim::checkAgreement(r));
+  EXPECT_TRUE(sim::checkValidity(r));
+  EXPECT_TRUE(sim::checkModifiedTermination(r));
+  EXPECT_EQ(r.failed, (std::set<int>{2}));
+}
+
+TEST(Runner, LivelockDetectedWhenObjectSilenced) {
+  // f = 0 object, PreferDummy, one failure: the object may go silent and
+  // the survivors spin forever -- a certified fair livelock.
+  RelaySystemSpec s = spec(2, 0);
+  s.policy = services::DummyPolicy::PreferDummy;
+  auto sys = buildRelayConsensusSystem(s);
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(2, 0b01);
+  cfg.failures = {{0, 1}};
+  cfg.detectLivelock = true;
+  auto r = sim::run(*sys, cfg);
+  EXPECT_TRUE(r.livelocked());
+  EXPECT_TRUE(r.decisions.empty());
+}
+
+TEST(Runner, PreferRealKeepsRespondingAfterExcessFailures) {
+  // Same scenario under the benign policy: the object still answers P0.
+  auto sys = buildRelayConsensusSystem(spec(2, 0));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(2, 0b01);
+  cfg.failures = {{0, 1}};
+  auto r = sim::run(*sys, cfg);
+  EXPECT_TRUE(r.allDecided());
+  // binaryInits(2, 0b01): P0 proposed 1; with P1 silent, P0's own value
+  // wins the object.
+  EXPECT_EQ(r.decisions.at(0), Value(1));
+}
+
+TEST(Runner, CustomStopPredicate) {
+  auto sys = buildRelayConsensusSystem(spec(3, 2));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(3, 0b000);
+  cfg.stopWhenAllDecided = false;
+  cfg.stop = [](const SystemState&, const Execution& e) {
+    return !e.empty() && e.actions().back().kind == ActionKind::EnvDecide;
+  };
+  auto r = sim::run(*sys, cfg);
+  EXPECT_EQ(r.reason, sim::RunResult::Reason::Custom);
+  EXPECT_EQ(r.decisions.size(), 1u);
+}
+
+TEST(Runner, StepLimitRespected) {
+  auto sys = buildRelayConsensusSystem(spec(3, 2));
+  sim::RunConfig cfg;  // no inits: processes dummy-step forever
+  cfg.maxSteps = 57;
+  auto r = sim::run(*sys, cfg);
+  EXPECT_EQ(r.reason, sim::RunResult::Reason::StepLimit);
+  EXPECT_EQ(r.steps, 57u);
+}
+
+TEST(ReplayScheduler, ReproducesARecordedRunExactly) {
+  // Executions are determined by their task sequences (Section 3.1):
+  // replaying a run's tasks from the same start reproduces every action.
+  auto sys = buildRelayConsensusSystem(spec(3, 1));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(3, 0b101);
+  auto recorded = sim::run(*sys, cfg);
+
+  SystemState s = sys->initialState();
+  for (const auto& [endpoint, v] : cfg.inits) sys->injectInit(s, endpoint, v);
+  ReplayScheduler replay(*sys, recorded.tasks);
+  std::vector<Action> actions;
+  while (auto step = replay.step(s)) actions.push_back(step->action);
+  EXPECT_TRUE(replay.finished());
+  // Compare against the recorded locally controlled actions.
+  std::vector<Action> expected;
+  for (const Action& a : recorded.exec.actions()) {
+    if (!a.isEnvironmentInput()) expected.push_back(a);
+  }
+  ASSERT_EQ(actions.size(), expected.size());
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    EXPECT_EQ(actions[i], expected[i]) << "at step " << i;
+  }
+  EXPECT_TRUE(s.equals(recorded.finalState));
+}
+
+TEST(ReplayScheduler, StopsOnDivergence) {
+  auto sys = buildRelayConsensusSystem(spec(2, 0));
+  SystemState s = sys->initialState();
+  // Without inits, a service perform task is not applicable: replay stops
+  // immediately and reports its position.
+  ReplayScheduler replay(*sys, {TaskId::servicePerform(100, 0)});
+  EXPECT_FALSE(replay.step(s).has_value());
+  EXPECT_EQ(replay.position(), 0u);
+  EXPECT_FALSE(replay.finished());
+}
+
+TEST(ReplayScheduler, EmptyScheduleFinishesImmediately) {
+  auto sys = buildRelayConsensusSystem(spec(2, 0));
+  SystemState s = sys->initialState();
+  ReplayScheduler replay(*sys, {});
+  EXPECT_FALSE(replay.step(s).has_value());
+  EXPECT_TRUE(replay.finished());
+}
+
+TEST(Runner, TaskRecordingAlignsWithLocalActions) {
+  auto sys = buildRelayConsensusSystem(spec(2, 1));
+  sim::RunConfig cfg;
+  cfg.inits = sim::binaryInits(2, 0b10);
+  auto r = sim::run(*sys, cfg);
+  std::size_t localActions = 0;
+  for (const Action& a : r.exec.actions()) {
+    if (!a.isEnvironmentInput()) ++localActions;
+  }
+  EXPECT_EQ(localActions, r.tasks.size());
+}
+
+}  // namespace
+}  // namespace boosting::ioa

@@ -1,0 +1,225 @@
+// Sequential types (Section 2.1.2): transition relations of the built-ins,
+// totality, determinism and the WLOG determinization of Section 3.1.
+#include "types/sequential_type.h"
+
+#include <gtest/gtest.h>
+
+#include "types/builtin_types.h"
+
+namespace boosting::types {
+namespace {
+
+using util::sym;
+
+TEST(RegisterType, ReadReturnsCurrentValue) {
+  auto t = registerType(Value(7));
+  auto [resp, next] = t.delta(sym("read"), t.initialValue());
+  EXPECT_EQ(resp, Value(7));
+  EXPECT_EQ(next, Value(7));
+}
+
+TEST(RegisterType, WriteReplacesValue) {
+  auto t = registerType();
+  auto [ack, v1] = t.delta(sym("write", 3), t.initialValue());
+  EXPECT_EQ(ack, sym("ack"));
+  EXPECT_EQ(v1, Value(3));
+  auto [r, v2] = t.delta(sym("read"), v1);
+  EXPECT_EQ(r, Value(3));
+  EXPECT_EQ(v2, Value(3));
+}
+
+TEST(RegisterType, UnknownInvocationThrows) {
+  auto t = registerType();
+  EXPECT_THROW(t.delta(sym("bogus"), t.initialValue()), std::logic_error);
+}
+
+TEST(ConsensusType, FirstInitWinsAndSticks) {
+  auto t = binaryConsensusType();
+  auto [d1, v1] = t.delta(sym("init", 1), t.initialValue());
+  EXPECT_EQ(d1, sym("decide", 1));
+  auto [d2, v2] = t.delta(sym("init", 0), v1);
+  EXPECT_EQ(d2, sym("decide", 1));  // the first value is remembered
+  EXPECT_EQ(v2, v1);
+}
+
+TEST(ConsensusType, IsDeterministic) {
+  auto t = binaryConsensusType();
+  EXPECT_TRUE(t.deterministic);
+  EXPECT_EQ(t.initialValues.size(), 1u);
+  EXPECT_EQ(t.deltaAll(sym("init", 0), t.initialValue()).size(), 1u);
+}
+
+TEST(KSetConsensusType, RemembersFirstKValues) {
+  auto t = kSetConsensusType(2);
+  EXPECT_FALSE(t.deterministic);
+  auto [d1, v1] = t.delta(sym("init", 5), t.initialValue());
+  EXPECT_EQ(d1, sym("decide", 5));
+  auto [d2, v2] = t.delta(sym("init", 3), v1);
+  EXPECT_EQ(d2, sym("decide", 3));  // |W| < k: echo own value first
+  // Third proposer: W full, options are exactly the remembered values.
+  auto options = t.deltaAll(sym("init", 9), v2);
+  ASSERT_EQ(options.size(), 2u);
+  for (const auto& [resp, next] : options) {
+    EXPECT_EQ(next, v2);  // W unchanged at capacity
+    EXPECT_TRUE(resp == sym("decide", 3) || resp == sym("decide", 5));
+  }
+}
+
+TEST(KSetConsensusType, NondeterministicChoicesBelowCapacity) {
+  auto t = kSetConsensusType(2);
+  auto [d1, v1] = t.delta(sym("init", 5), t.initialValue());
+  (void)d1;
+  // Second proposer may be told its own value or the remembered one.
+  auto options = t.deltaAll(sym("init", 3), v1);
+  ASSERT_EQ(options.size(), 2u);
+  EXPECT_EQ(options[0].first, sym("decide", 3));
+  EXPECT_EQ(options[1].first, sym("decide", 5));
+}
+
+TEST(KSetConsensusType, KEqualsOneBehavesLikeConsensus) {
+  auto t = kSetConsensusType(1);
+  auto [d1, v1] = t.delta(sym("init", 2), t.initialValue());
+  EXPECT_EQ(d1, sym("decide", 2));
+  auto options = t.deltaAll(sym("init", 7), v1);
+  ASSERT_EQ(options.size(), 1u);
+  EXPECT_EQ(options[0].first, sym("decide", 2));
+}
+
+TEST(KSetConsensusType, RejectsBadK) {
+  EXPECT_THROW(kSetConsensusType(0), std::logic_error);
+}
+
+TEST(TestAndSetType, FirstCallerWins) {
+  auto t = testAndSetType();
+  auto [old1, v1] = t.delta(sym("tas"), t.initialValue());
+  EXPECT_EQ(old1, Value(0));
+  EXPECT_EQ(v1, Value(1));
+  auto [old2, v2] = t.delta(sym("tas"), v1);
+  EXPECT_EQ(old2, Value(1));
+  EXPECT_EQ(v2, Value(1));
+  auto [ack, v3] = t.delta(sym("reset"), v2);
+  EXPECT_EQ(ack, sym("ack"));
+  EXPECT_EQ(v3, Value(0));
+}
+
+TEST(CompareAndSwapType, SwapsOnlyOnMatch) {
+  auto t = compareAndSwapType(Value(0));
+  auto [old1, v1] = t.delta(sym("cas", 0, 5), t.initialValue());
+  EXPECT_EQ(old1, Value(0));
+  EXPECT_EQ(v1, Value(5));
+  auto [old2, v2] = t.delta(sym("cas", 0, 9), v1);
+  EXPECT_EQ(old2, Value(5));  // mismatch: returns current, no change
+  EXPECT_EQ(v2, Value(5));
+}
+
+TEST(CounterType, IncrementAndRead) {
+  auto t = counterType();
+  Value v = t.initialValue();
+  for (int i = 0; i < 5; ++i) v = t.delta(sym("inc"), v).second;
+  EXPECT_EQ(t.delta(sym("read"), v).first, Value(5));
+}
+
+TEST(FetchAddType, ReturnsOldValue) {
+  auto t = fetchAddType();
+  auto [old1, v1] = t.delta(sym("faa", 10), t.initialValue());
+  EXPECT_EQ(old1, Value(0));
+  auto [old2, v2] = t.delta(sym("faa", -3), v1);
+  EXPECT_EQ(old2, Value(10));
+  EXPECT_EQ(v2, Value(7));
+}
+
+TEST(QueueType, FifoOrder) {
+  auto t = queueType();
+  Value v = t.initialValue();
+  v = t.delta(sym("enq", 1), v).second;
+  v = t.delta(sym("enq", 2), v).second;
+  auto [h1, v1] = t.delta(sym("deq"), v);
+  EXPECT_EQ(h1, Value(1));
+  auto [h2, v2] = t.delta(sym("deq"), v1);
+  EXPECT_EQ(h2, Value(2));
+  auto [empty, v3] = t.delta(sym("deq"), v2);
+  EXPECT_EQ(empty, sym("empty"));
+  EXPECT_EQ(v3, v2);
+}
+
+TEST(SnapshotType, InitiallyAllNil) {
+  auto t = snapshotType(3);
+  auto [view, v] = t.delta(sym("scan"), t.initialValue());
+  EXPECT_EQ(view.size(), 3u);
+  for (const Value& cell : view.asList()) EXPECT_TRUE(cell.isNil());
+  EXPECT_EQ(v, t.initialValue());
+}
+
+TEST(SnapshotType, UpdateThenScanSeesCell) {
+  auto t = snapshotType(3);
+  auto [ack, v1] = t.delta(sym("update", 1, 42), t.initialValue());
+  EXPECT_EQ(ack, sym("ack"));
+  auto [view, v2] = t.delta(sym("scan"), v1);
+  (void)v2;
+  EXPECT_TRUE(view.at(0).isNil());
+  EXPECT_EQ(view.at(1), Value(42));
+  EXPECT_TRUE(view.at(2).isNil());
+}
+
+TEST(SnapshotType, UpdatesAreIndependentPerSegment) {
+  auto t = snapshotType(2);
+  Value v = t.initialValue();
+  v = t.delta(sym("update", 0, 1), v).second;
+  v = t.delta(sym("update", 1, 2), v).second;
+  v = t.delta(sym("update", 0, 3), v).second;
+  auto [view, v2] = t.delta(sym("scan"), v);
+  (void)v2;
+  EXPECT_EQ(view.at(0), Value(3));
+  EXPECT_EQ(view.at(1), Value(2));
+}
+
+TEST(SnapshotType, RejectsBadSegments) {
+  EXPECT_THROW(snapshotType(0), std::logic_error);
+  auto t = snapshotType(2);
+  EXPECT_THROW(t.delta(sym("update", 5, 1), t.initialValue()),
+               std::logic_error);
+  EXPECT_THROW(t.delta(sym("update", -1, 1), t.initialValue()),
+               std::logic_error);
+}
+
+TEST(Determinize, PicksFirstOptionAndSingleInitial) {
+  auto t = determinize(kSetConsensusType(2));
+  EXPECT_TRUE(t.deterministic);
+  EXPECT_EQ(t.initialValues.size(), 1u);
+  auto [d1, v1] = t.delta(sym("init", 5), t.initialValue());
+  (void)v1;
+  EXPECT_EQ(d1, sym("decide", 5));
+  EXPECT_EQ(t.deltaAll(sym("init", 5), t.initialValue()).size(), 1u);
+}
+
+TEST(SequentialType, TotalityViolationReported) {
+  SequentialType t;
+  t.name = "broken";
+  t.initialValues = {Value(0)};
+  t.deltaAll = [](const Value&, const Value&) {
+    return std::vector<std::pair<Value, Value>>{};
+  };
+  EXPECT_THROW(t.delta(sym("x"), Value(0)), std::logic_error);
+}
+
+TEST(SequentialType, EmptyInitialValuesReported) {
+  SequentialType t;
+  t.name = "empty";
+  EXPECT_THROW(t.initialValue(), std::logic_error);
+}
+
+TEST(BuiltinTypes, SampleInvocationsNonEmpty) {
+  for (const auto& t :
+       {registerType(), binaryConsensusType(), consensusType(),
+        kSetConsensusType(2), testAndSetType(), compareAndSwapType(),
+        counterType(), fetchAddType(), queueType(), snapshotType(3)}) {
+    EXPECT_FALSE(t.sampleInvocations.empty()) << t.name;
+    // Totality spot-check over samples from the initial value.
+    for (const auto& inv : t.sampleInvocations) {
+      EXPECT_FALSE(t.deltaAll(inv, t.initialValue()).empty()) << t.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boosting::types

@@ -1,0 +1,114 @@
+// Trace serialization: value syntax round-trips, execution round-trips,
+// witness files replay on a fresh system.
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/adversary.h"
+#include "processes/relay_consensus.h"
+#include "sim/runner.h"
+
+namespace boosting::sim {
+namespace {
+
+using ioa::Action;
+using util::sym;
+using util::Value;
+
+void roundTrip(const Value& v) {
+  auto parsed = parseValue(renderValue(v));
+  ASSERT_TRUE(parsed.has_value()) << renderValue(v);
+  EXPECT_EQ(*parsed, v) << renderValue(v);
+}
+
+TEST(TraceIO, ValueRoundTrips) {
+  roundTrip(Value::nil());
+  roundTrip(Value(0));
+  roundTrip(Value(-42));
+  roundTrip(Value(std::int64_t{1234567890123}));
+  roundTrip(Value("read"));
+  roundTrip(Value("test&set"));
+  roundTrip(Value("with space"));
+  roundTrip(Value("quote\"and\\slash"));
+  roundTrip(Value(""));
+  roundTrip(sym("decide", 1));
+  roundTrip(sym("rcv", Value("m"), 2));
+  roundTrip(Value::list({}));
+  roundTrip(Value::list({Value::list({Value(1)}), Value::nil(),
+                         Value("x y")}));
+  roundTrip(Value::set({Value(3), Value(1)}));
+}
+
+TEST(TraceIO, NumericEdgeTokens) {
+  // "nil" parses as nil, "-" alone as a symbol-free failure, digits as int.
+  EXPECT_EQ(*parseValue("nil"), Value::nil());
+  EXPECT_EQ(*parseValue("7"), Value(7));
+  EXPECT_EQ(*parseValue("(a -1)"), sym("a", -1));
+}
+
+TEST(TraceIO, ParseRejectsMalformedValues) {
+  EXPECT_FALSE(parseValue("(unclosed").has_value());
+  EXPECT_FALSE(parseValue("\"unterminated").has_value());
+  EXPECT_FALSE(parseValue("a b").has_value());  // trailing garbage
+  EXPECT_FALSE(parseValue("").has_value());
+}
+
+TEST(TraceIO, ExecutionRoundTrips) {
+  ioa::Execution e;
+  e.append(Action::envInit(0, Value(1)));
+  e.append(Action::invoke(0, 100, sym("init", 1)));
+  e.append(Action::perform(0, 100));
+  e.append(Action::respond(0, 100, sym("decide", 1)));
+  e.append(Action::envDecide(0, sym("decide", 1)));
+  e.append(Action::fail(1));
+  e.append(Action::compute(2, 400));
+  e.append(Action::procStep(1, Value("note")));
+
+  auto parsed = parseExecution(renderExecution(e));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), e.size());
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(parsed->actions()[i], e.actions()[i]) << "action " << i;
+  }
+}
+
+TEST(TraceIO, CommentsAndBlanksSkipped) {
+  const std::string text =
+      "# a comment\n\n   \nfail 2 -1 -1 nil\n# another\n";
+  auto parsed = parseExecution(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->actions()[0], Action::fail(2));
+}
+
+TEST(TraceIO, ParseRejectsUnknownKinds) {
+  EXPECT_FALSE(parseExecution("teleport 0 1 2 nil").has_value());
+  EXPECT_FALSE(parseExecution("fail x -1 -1 nil").has_value());
+}
+
+TEST(TraceIO, AdversaryWitnessRoundTripsAndReplays) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = 2;
+  spec.objectResilience = 0;
+  spec.addScratchRegister = false;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  analysis::AdversaryConfig cfg;
+  cfg.claimedFailures = 1;
+  auto report = analysis::analyzeConsensusCandidate(*sys, cfg);
+  ASSERT_EQ(report.verdict,
+            analysis::AdversaryReport::Verdict::TerminationViolation);
+
+  // Serialize the witness, parse it back, replay on a fresh system.
+  auto parsed = parseExecution(renderExecution(report.witness));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), report.witness.size());
+  ioa::SystemState s = sys->initialState();
+  for (const Action& a : parsed->actions()) {
+    ASSERT_NO_THROW(sys->applyInPlace(s, a)) << a.str();
+  }
+  EXPECT_EQ(parsed->failedEndpoints(), report.witnessFailures);
+}
+
+}  // namespace
+}  // namespace boosting::sim

@@ -1,0 +1,144 @@
+#include "util/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace boosting::util {
+namespace {
+
+TEST(Value, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.isNil());
+  EXPECT_EQ(v.kind(), Value::Kind::Nil);
+  EXPECT_EQ(v.str(), "nil");
+}
+
+TEST(Value, IntRoundTrip) {
+  Value v(42);
+  EXPECT_TRUE(v.isInt());
+  EXPECT_EQ(v.asInt(), 42);
+  EXPECT_EQ(v.str(), "42");
+  EXPECT_EQ(Value(-7).asInt(), -7);
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v("hello");
+  EXPECT_TRUE(v.isStr());
+  EXPECT_EQ(v.asStr(), "hello");
+  EXPECT_EQ(v.str(), "hello");
+}
+
+TEST(Value, ListRoundTrip) {
+  Value v = Value::list({Value(1), Value("x"), Value::nil()});
+  EXPECT_TRUE(v.isList());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(0).asInt(), 1);
+  EXPECT_EQ(v.at(1).asStr(), "x");
+  EXPECT_TRUE(v.at(2).isNil());
+  EXPECT_EQ(v.str(), "(1 x nil)");
+}
+
+TEST(Value, CheckedAccessorsThrowOnKindMismatch) {
+  EXPECT_THROW(Value(1).asStr(), std::logic_error);
+  EXPECT_THROW(Value("s").asInt(), std::logic_error);
+  EXPECT_THROW(Value(1).asList(), std::logic_error);
+  EXPECT_THROW(Value::nil().at(0), std::logic_error);
+  EXPECT_THROW(Value::list({Value(1)}).at(1), std::logic_error);
+}
+
+TEST(Value, TagConvention) {
+  EXPECT_EQ(sym("decide", 1).tag(), "decide");
+  EXPECT_EQ(Value("read").tag(), "read");
+  EXPECT_EQ(Value(5).tag(), "");
+  EXPECT_EQ(Value::list({Value(1), Value(2)}).tag(), "");
+}
+
+TEST(Value, SymBuilders) {
+  EXPECT_EQ(sym("read").str(), "(read)");
+  EXPECT_EQ(sym("write", 3).str(), "(write 3)");
+  EXPECT_EQ(sym("cas", 0, 1).str(), "(cas 0 1)");
+  EXPECT_EQ(sym("rcv", Value("m"), 2, 3).str(), "(rcv m 2 3)");
+}
+
+TEST(Value, SetNormalizesOrderAndDuplicates) {
+  Value a = Value::set({Value(3), Value(1), Value(3), Value(2)});
+  EXPECT_EQ(a.str(), "(1 2 3)");
+  Value b = Value::set({Value(2), Value(1), Value(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Value, SetContainsAndInsert) {
+  Value s = Value::set({Value(1), Value(3)});
+  EXPECT_TRUE(s.setContains(Value(1)));
+  EXPECT_FALSE(s.setContains(Value(2)));
+  Value s2 = s.setInsert(Value(2));
+  EXPECT_EQ(s2.str(), "(1 2 3)");
+  // Insert of an existing element returns an equal set.
+  EXPECT_EQ(s.setInsert(Value(3)), s);
+  // Original is unchanged (value semantics).
+  EXPECT_EQ(s.str(), "(1 3)");
+}
+
+TEST(Value, SetUnion) {
+  Value a = Value::set({Value(1), Value(2)});
+  Value b = Value::set({Value(2), Value(4)});
+  EXPECT_EQ(a.setUnion(b).str(), "(1 2 4)");
+  EXPECT_EQ(a.setUnion(Value::emptySet()), a);
+  EXPECT_EQ(Value::emptySet().setUnion(b), b);
+}
+
+TEST(Value, TotalOrderAcrossKinds) {
+  // Nil < Int < Str < List.
+  EXPECT_LT(Value::nil(), Value(0));
+  EXPECT_LT(Value(99), Value("a"));
+  EXPECT_LT(Value("zzz"), Value::list({}));
+}
+
+TEST(Value, TotalOrderWithinKinds) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value::list({Value(1)}), Value::list({Value(1), Value(0)}));
+  EXPECT_LT(Value::list({Value(1), Value(0)}), Value::list({Value(2)}));
+  // Irreflexivity.
+  EXPECT_FALSE(Value(1) < Value(1));
+}
+
+TEST(Value, EqualityDistinguishesKinds) {
+  EXPECT_NE(Value(0), Value::nil());
+  EXPECT_NE(Value(0), Value("0"));
+  EXPECT_NE(Value::list({}), Value::nil());
+}
+
+TEST(Value, HashStableAndUsableInUnorderedSet) {
+  std::unordered_set<Value> set;
+  set.insert(Value(1));
+  set.insert(Value("1"));
+  set.insert(Value::list({Value(1)}));
+  set.insert(Value(1));  // duplicate
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value(1)));
+}
+
+TEST(Value, NestedListsCompareStructurally) {
+  Value a = Value::list({sym("decide", 1), Value::list({Value(2)})});
+  Value b = Value::list({sym("decide", 1), Value::list({Value(2)})});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  Value c = Value::list({sym("decide", 0), Value::list({Value(2)})});
+  EXPECT_NE(a, c);
+}
+
+TEST(Value, UsableInStdSet) {
+  std::set<Value> s;
+  s.insert(Value(2));
+  s.insert(Value(1));
+  s.insert(sym("x"));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.begin()->asInt(), 1);
+}
+
+}  // namespace
+}  // namespace boosting::util

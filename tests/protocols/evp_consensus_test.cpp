@@ -1,0 +1,143 @@
+// Consensus from <>P (eventually perfect detector) and registers:
+// safety under ARBITRARY suspicion garbage (long imperfect prefixes),
+// liveness once the detector stabilizes, for any minority of failures.
+#include "processes/evp_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+namespace boosting::processes {
+namespace {
+
+using sim::binaryInits;
+using sim::RunConfig;
+using util::Value;
+
+struct EvPCase {
+  int n;
+  int stabilization;
+  unsigned initMask;
+  unsigned failMask;  // strictly fewer than n/2 set bits
+  std::uint64_t seed;
+};
+
+class EvPConsensus : public ::testing::TestWithParam<EvPCase> {};
+
+TEST_P(EvPConsensus, MinorityResilientConsensus) {
+  const EvPCase& c = GetParam();
+  EvPConsensusSpec spec;
+  spec.processCount = c.n;
+  spec.stabilizationSteps = c.stabilization;
+  auto sys = buildEvPConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(c.n, c.initMask);
+  cfg.scheduler = RunConfig::Sched::Random;
+  cfg.seed = c.seed;
+  cfg.maxSteps = 400000;
+  int k = 0;
+  for (int i = 0; i < c.n; ++i) {
+    if ((c.failMask >> i) & 1u) cfg.failures.emplace_back(9 * (++k), i);
+  }
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided())
+      << "n=" << c.n << " stab=" << c.stabilization << " init=" << c.initMask
+      << " fail=" << c.failMask << " reason=" << static_cast<int>(r.reason);
+  auto agree = sim::checkAgreement(r);
+  EXPECT_TRUE(agree) << agree.detail;
+  auto valid = sim::checkValidity(r);
+  EXPECT_TRUE(valid) << valid.detail;
+  auto term = sim::checkModifiedTermination(r);
+  EXPECT_TRUE(term) << term.detail;
+}
+
+std::vector<EvPCase> evpCases() {
+  std::vector<EvPCase> cases;
+  // n = 2: only f = 0 is a minority.
+  for (unsigned initMask = 0; initMask < 4; ++initMask) {
+    cases.push_back({2, 0, initMask, 0, initMask + 1});
+    cases.push_back({2, 5, initMask, 0, initMask + 11});
+  }
+  // n = 3: one failure allowed; exercise all single-failure patterns and
+  // both short and long imperfect prefixes.
+  for (int stab : {0, 3, 12}) {
+    for (unsigned initMask = 0; initMask < 8; initMask += 2) {
+      for (unsigned failMask : {0u, 1u, 2u, 4u}) {
+        cases.push_back({3, stab, initMask, failMask,
+                         static_cast<std::uint64_t>(stab * 100 + initMask)});
+      }
+    }
+  }
+  // n = 5: two failures (still a minority).
+  cases.push_back({5, 4, 0b10110, 0b00101, 7});
+  cases.push_back({5, 4, 0b01001, 0b01010, 8});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EvPConsensus, ::testing::ValuesIn(evpCases()));
+
+TEST(EvPConsensusProtocol, DeterministicRunDecides) {
+  EvPConsensusSpec spec;
+  spec.processCount = 3;
+  spec.stabilizationSteps = 2;
+  auto sys = buildEvPConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(3, 0b010);
+  cfg.maxSteps = 400000;
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_TRUE(sim::checkConsensus(r));
+}
+
+TEST(EvPConsensusProtocol, SafetyHoldsEvenWithoutMajority) {
+  // With n/2 or more failures the protocol may never terminate, but its
+  // decisions must still satisfy agreement and validity.
+  EvPConsensusSpec spec;
+  spec.processCount = 3;
+  spec.stabilizationSteps = 2;
+  auto sys = buildEvPConsensusSystem(spec);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RunConfig cfg;
+    cfg.scheduler = RunConfig::Sched::Random;
+    cfg.seed = seed;
+    cfg.inits = binaryInits(3, static_cast<unsigned>(seed % 8));
+    cfg.failures = {{3, 0}, {9, 1}};  // 2 of 3: no correct majority
+    cfg.maxSteps = 30000;
+    auto r = sim::run(*sys, cfg);
+    auto agree = sim::checkAgreement(r);
+    EXPECT_TRUE(agree) << "seed " << seed << ": " << agree.detail;
+    auto valid = sim::checkValidity(r);
+    EXPECT_TRUE(valid) << "seed " << seed << ": " << valid.detail;
+  }
+}
+
+TEST(EvPConsensusProtocol, LongImperfectPrefixCostsRoundsNotSafety) {
+  // A large stabilization delay means rounds churn on wrong suspicions;
+  // decisions still come and agree.
+  EvPConsensusSpec spec;
+  spec.processCount = 3;
+  spec.stabilizationSteps = 25;
+  spec.maxRounds = 40;
+  auto sys = buildEvPConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(3, 0b101);
+  cfg.maxSteps = 800000;
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_TRUE(sim::checkConsensus(r));
+}
+
+TEST(EvPConsensusProtocol, RejectsBadSpecs) {
+  EvPConsensusSpec spec;
+  spec.processCount = 1;
+  EXPECT_THROW(buildEvPConsensusSystem(spec), std::logic_error);
+  spec.processCount = 3;
+  spec.maxRounds = 0;
+  EXPECT_THROW(buildEvPConsensusSystem(spec), std::logic_error);
+  spec.maxRounds = 100;  // would collide with the decision register id
+  EXPECT_THROW(buildEvPConsensusSystem(spec), std::logic_error);
+}
+
+}  // namespace
+}  // namespace boosting::processes

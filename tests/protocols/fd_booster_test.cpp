@@ -1,0 +1,155 @@
+// Section 6.3: the failure-detector booster. A wait-free n-process perfect
+// failure detector from 1-resilient 2-process detectors plus registers --
+// resilience boosted because the pairwise connection pattern prevents any
+// f+1 failures from silencing all detectors.
+#include "processes/fd_booster.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+namespace boosting::processes {
+namespace {
+
+using sim::RunConfig;
+using util::Value;
+
+struct FDCase {
+  int n;
+  unsigned failMask;
+  std::size_t steps;
+};
+
+class FDBooster : public ::testing::TestWithParam<FDCase> {};
+
+TEST_P(FDBooster, AccurateAndCompleteOutputs) {
+  const FDCase& c = GetParam();
+  FDBoosterSpec spec;
+  spec.processCount = c.n;
+  auto sys = buildFDBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.maxSteps = c.steps;
+  cfg.stopWhenAllDecided = false;
+  for (int i = 0; i < c.n; ++i) {
+    if ((c.failMask >> i) & 1u) {
+      cfg.failures.emplace_back(static_cast<std::size_t>(10 * (i + 1)), i);
+    }
+  }
+  auto r = sim::run(*sys, cfg);
+  auto accuracy = sim::checkFDAccuracy(r);
+  EXPECT_TRUE(accuracy) << accuracy.detail;
+  auto exact = sim::checkFDExactness(r);
+  EXPECT_TRUE(exact) << exact.detail;
+}
+
+std::vector<FDCase> fdCases() {
+  std::vector<FDCase> cases;
+  for (int n : {2, 3, 4}) {
+    for (unsigned failMask = 0; failMask < (1u << n); ++failMask) {
+      if (failMask == (1u << n) - 1) continue;  // keep an observer alive
+      cases.push_back({n, failMask, 6000});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFailurePatterns, FDBooster,
+                         ::testing::ValuesIn(fdCases()));
+
+TEST(FDBooster, NoFalseSuspicionsEver) {
+  // Accuracy over many random schedules with no failures at all.
+  FDBoosterSpec spec;
+  spec.processCount = 3;
+  auto sys = buildFDBoosterSystem(spec);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RunConfig cfg;
+    cfg.scheduler = RunConfig::Sched::Random;
+    cfg.seed = seed;
+    cfg.maxSteps = 3000;
+    cfg.stopWhenAllDecided = false;
+    auto r = sim::run(*sys, cfg);
+    for (const ioa::Action& a : r.exec.actions()) {
+      if (a.kind == ioa::ActionKind::EnvDecide) {
+        EXPECT_EQ(a.payload.at(1), Value::emptySet()) << a.str();
+      }
+    }
+  }
+}
+
+TEST(FDBooster, SurvivorOfPairReportsCrashedPeer) {
+  FDBoosterSpec spec;
+  spec.processCount = 2;
+  auto sys = buildFDBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.failures = {{5, 1}};
+  cfg.maxSteps = 3000;
+  cfg.stopWhenAllDecided = false;
+  auto r = sim::run(*sys, cfg);
+  // P0's final output suspects exactly {1}.
+  Value last;
+  for (const ioa::Action& a : r.exec.actions()) {
+    if (a.kind == ioa::ActionKind::EnvDecide && a.endpoint == 0) {
+      last = a.payload.at(1);
+    }
+  }
+  EXPECT_EQ(last, Value::set({Value(1)}));
+}
+
+TEST(FDBooster, SuspicionsPropagateThroughRegisters) {
+  // P2 learns of P1's crash even though the {1,2} pairwise detector is the
+  // only one connecting them directly: the union goes through R_0 as well.
+  FDBoosterSpec spec;
+  spec.processCount = 4;
+  auto sys = buildFDBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.failures = {{7, 1}};
+  cfg.maxSteps = 8000;
+  cfg.stopWhenAllDecided = false;
+  auto r = sim::run(*sys, cfg);
+  auto exact = sim::checkFDExactness(r);
+  EXPECT_TRUE(exact) << exact.detail;
+}
+
+TEST(FDBooster, MonotoneSuspicionsPerProcess) {
+  // Perfect-detector outputs only ever grow (crashes are permanent).
+  FDBoosterSpec spec;
+  spec.processCount = 3;
+  auto sys = buildFDBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.failures = {{5, 2}, {40, 1}};
+  cfg.maxSteps = 6000;
+  cfg.stopWhenAllDecided = false;
+  auto r = sim::run(*sys, cfg);
+  std::map<int, Value> last;
+  for (const ioa::Action& a : r.exec.actions()) {
+    if (a.kind != ioa::ActionKind::EnvDecide) continue;
+    const Value cur = a.payload.at(1);
+    auto it = last.find(a.endpoint);
+    if (it != last.end()) {
+      // Previous suspicions are contained in the new set.
+      for (const Value& s : it->second.asList()) {
+        EXPECT_TRUE(cur.setContains(s))
+            << "P" << a.endpoint << " dropped suspicion " << s.str();
+      }
+    }
+    last.insert_or_assign(a.endpoint, cur);
+  }
+  EXPECT_EQ(last.at(0), Value::set({Value(1), Value(2)}));
+}
+
+TEST(FDBooster, PairIdSymmetric) {
+  FDBoosterSpec spec;
+  spec.processCount = 5;
+  EXPECT_EQ(pairFdId(spec, 1, 3), pairFdId(spec, 3, 1));
+  EXPECT_NE(pairFdId(spec, 0, 1), pairFdId(spec, 0, 2));
+}
+
+TEST(FDBooster, RejectsTinySystems) {
+  FDBoosterSpec spec;
+  spec.processCount = 1;
+  EXPECT_THROW(buildFDBoosterSystem(spec), std::logic_error);
+}
+
+}  // namespace
+}  // namespace boosting::processes

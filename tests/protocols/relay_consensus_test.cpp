@@ -1,0 +1,177 @@
+// The relay and bridge candidates: genuinely f-resilient consensus (all
+// three conditions hold whenever at most f processes fail), which is
+// exactly what the boosting theorems allow -- and the baseline the
+// adversary tests then refute at f+1.
+#include "processes/relay_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+namespace boosting::processes {
+namespace {
+
+using sim::binaryInits;
+using sim::RunConfig;
+using util::Value;
+
+struct RelayCase {
+  int n;
+  int f;
+  unsigned initMask;
+  unsigned failMask;  // processes failed at step 0; popcount <= f
+};
+
+class RelayResilience : public ::testing::TestWithParam<RelayCase> {};
+
+TEST_P(RelayResilience, SolvesFResilientConsensus) {
+  const RelayCase& c = GetParam();
+  RelaySystemSpec spec;
+  spec.processCount = c.n;
+  spec.objectResilience = c.f;
+  // Use the adversarial dummy policy: even so, at most f failures cannot
+  // silence the object for the survivors.
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = buildRelayConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(c.n, c.initMask);
+  cfg.detectLivelock = true;
+  for (int i = 0; i < c.n; ++i) {
+    if ((c.failMask >> i) & 1u) cfg.failures.emplace_back(0, i);
+  }
+  auto r = sim::run(*sys, cfg);
+  EXPECT_TRUE(r.allDecided()) << "run ended " << static_cast<int>(r.reason);
+  auto verdict = sim::checkConsensus(r);
+  EXPECT_TRUE(verdict) << verdict.detail;
+}
+
+std::vector<RelayCase> relayCases() {
+  std::vector<RelayCase> cases;
+  for (int n : {2, 3, 4}) {
+    for (int f = 0; f < n; ++f) {
+      for (unsigned initMask = 0; initMask < (1u << n); ++initMask) {
+        // All failure masks with popcount <= f.
+        for (unsigned failMask = 0; failMask < (1u << n); ++failMask) {
+          if (__builtin_popcount(failMask) > f) continue;
+          if (failMask == (1u << n) - 1) continue;  // keep someone alive
+          // Keep the sweep bounded: sample masks.
+          if ((initMask + failMask) % 3 != 0) continue;
+          cases.push_back({n, f, initMask, failMask});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RelayResilience,
+                         ::testing::ValuesIn(relayCases()));
+
+TEST(RelayConsensus, DecisionMatchesFirstPerformedProposal) {
+  RelaySystemSpec spec;
+  spec.processCount = 2;
+  spec.objectResilience = 1;
+  auto sys = buildRelayConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(2, 0b10);  // P0 -> 0, P1 -> 1
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  // Round-robin visits P0 first, so its proposal is performed first.
+  EXPECT_EQ(r.decisions.at(0), Value(0));
+  EXPECT_EQ(r.decisions.at(1), Value(0));
+}
+
+TEST(RelayConsensus, UnanimousInputsDecideThatValue) {
+  for (int v = 0; v <= 1; ++v) {
+    RelaySystemSpec spec;
+    spec.processCount = 3;
+    spec.objectResilience = 2;
+    auto sys = buildRelayConsensusSystem(spec);
+    RunConfig cfg;
+    cfg.inits = binaryInits(3, v == 1 ? 0b111 : 0b000);
+    auto r = sim::run(*sys, cfg);
+    ASSERT_TRUE(r.allDecided());
+    for (const auto& [i, d] : r.decisions) {
+      (void)i;
+      EXPECT_EQ(d, Value(v));
+    }
+  }
+}
+
+TEST(RelayConsensus, FailureBeyondFLivelocksUnderAdversary) {
+  RelaySystemSpec spec;
+  spec.processCount = 3;
+  spec.objectResilience = 1;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = buildRelayConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(3, 0b001);
+  cfg.failures = {{0, 1}, {0, 2}};  // f+1 = 2 failures
+  cfg.detectLivelock = true;
+  auto r = sim::run(*sys, cfg);
+  EXPECT_TRUE(r.livelocked());
+  EXPECT_TRUE(r.decisions.empty());  // P0 never decides
+}
+
+TEST(BridgeConsensus, FailureFreeRunsDecideUnanimously) {
+  for (unsigned mask = 0; mask < 4; ++mask) {
+    BridgeSystemSpec spec;  // proposers {0,1}, bridge 1, reader 2
+    auto sys = buildBridgeConsensusSystem(spec);
+    RunConfig cfg;
+    cfg.inits = binaryInits(3, mask);
+    auto r = sim::run(*sys, cfg);
+    ASSERT_TRUE(r.allDecided()) << "mask " << mask;
+    auto verdict = sim::checkConsensus(r);
+    EXPECT_TRUE(verdict) << verdict.detail;
+    EXPECT_EQ(r.decisions.size(), 3u);
+  }
+}
+
+TEST(BridgeConsensus, ReaderAdoptsBridgeOutcome) {
+  BridgeSystemSpec spec;
+  auto sys = buildBridgeConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(3, 0b011);  // P0, P1 propose 1
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_EQ(r.decisions.at(2), Value(1));
+}
+
+TEST(BridgeConsensus, BridgeFailureStarvesReaderUnderAdversary) {
+  BridgeSystemSpec spec;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = buildBridgeConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(3, 0b001);
+  cfg.failures = {{0, 1}};  // the bridge dies; consensus object has f = 0
+  cfg.detectLivelock = true;
+  auto r = sim::run(*sys, cfg);
+  EXPECT_TRUE(r.livelocked());
+  // The reader (P2) never decides: the register is never written.
+  EXPECT_EQ(r.decisions.count(2), 0u);
+}
+
+TEST(BridgeConsensus, RejectsDegenerateTopology) {
+  BridgeSystemSpec spec;
+  spec.bridgeEndpoint = 2;  // no reader after the bridge
+  EXPECT_THROW(buildBridgeConsensusSystem(spec), std::logic_error);
+}
+
+TEST(BridgeConsensus, WiderTopologies) {
+  for (int n : {4, 5}) {
+    BridgeSystemSpec spec;
+    spec.processCount = n;
+    spec.bridgeEndpoint = n / 2;
+    auto sys = buildBridgeConsensusSystem(spec);
+    RunConfig cfg;
+    cfg.inits = binaryInits(n, 0b1);
+    auto r = sim::run(*sys, cfg);
+    ASSERT_TRUE(r.allDecided()) << "n " << n;
+    auto verdict = sim::checkConsensus(r);
+    EXPECT_TRUE(verdict) << verdict.detail;
+  }
+}
+
+}  // namespace
+}  // namespace boosting::processes

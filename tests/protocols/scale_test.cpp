@@ -1,0 +1,110 @@
+// Larger-instance soak runs: the constructions keep their guarantees as
+// the system grows (bounded, deterministic, still fast enough for CI).
+#include <gtest/gtest.h>
+
+#include "processes/fd_booster.h"
+#include "processes/flooding_consensus.h"
+#include "processes/reliable_broadcast.h"
+#include "processes/rotating_consensus.h"
+#include "processes/set_consensus_booster.h"
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+namespace boosting::processes {
+namespace {
+
+using sim::binaryInits;
+using sim::RunConfig;
+using util::Value;
+
+TEST(Scale, SetConsensusBoosterTwentyProcesses) {
+  SetConsensusBoosterSpec spec;
+  spec.processCount = 20;
+  spec.groups = 4;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = buildSetConsensusBoosterSystem(spec);
+  RunConfig cfg;
+  for (int i = 0; i < 20; ++i) cfg.inits.emplace_back(i, Value(i));
+  // 19 failures, staggered: wait-freedom at scale.
+  for (int i = 0; i < 20; ++i) {
+    if (i != 13) cfg.failures.emplace_back(3 * i + 1, i);
+  }
+  cfg.maxSteps = 500000;
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_TRUE(sim::checkKSetAgreement(r, 4));
+  EXPECT_TRUE(sim::checkValidity(r));
+}
+
+TEST(Scale, RotatingConsensusSixProcessesFiveFailures) {
+  RotatingConsensusSpec spec;
+  spec.processCount = 6;
+  auto sys = buildRotatingConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(6, 0b101101);
+  for (int i = 0; i < 5; ++i) cfg.failures.emplace_back(11 * (i + 1), i);
+  cfg.maxSteps = 500000;
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  auto verdict = sim::checkConsensus(r);
+  EXPECT_TRUE(verdict) << verdict.detail;
+}
+
+TEST(Scale, FDBoosterSixProcesses) {
+  FDBoosterSpec spec;
+  spec.processCount = 6;
+  auto sys = buildFDBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.failures = {{5, 0}, {25, 2}, {60, 5}};
+  cfg.maxSteps = 60000;
+  cfg.stopWhenAllDecided = false;
+  auto r = sim::run(*sys, cfg);
+  auto exact = sim::checkFDExactness(r);
+  EXPECT_TRUE(exact) << exact.detail;
+}
+
+TEST(Scale, ReliableBroadcastEightSenders) {
+  ReliableBroadcastSpec spec;
+  spec.processCount = 8;
+  spec.channelResilience = 7;
+  auto sys = buildReliableBroadcastSystem(spec);
+  RunConfig cfg;
+  for (int i = 0; i < 8; ++i) cfg.inits.emplace_back(i, Value(i));
+  cfg.failures = {{17, 3}};
+  cfg.maxSteps = 200000;
+  cfg.stopWhenAllDecided = false;
+  auto r = sim::run(*sys, cfg);
+  std::optional<std::set<Value>> reference;
+  for (int i = 0; i < 8; ++i) {
+    if (r.failed.count(i)) continue;
+    auto list = deliveriesOf(r.exec, i);
+    std::set<Value> delivered(list.begin(), list.end());
+    if (!reference) {
+      reference = delivered;
+    } else {
+      EXPECT_EQ(delivered, *reference) << "endpoint " << i;
+    }
+  }
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_GE(reference->size(), 7u);  // everyone correct broadcast arrives
+}
+
+TEST(Scale, FloodingConsensusTenProcessesFailureFree) {
+  FloodingConsensusSpec spec;
+  spec.processCount = 10;
+  spec.channelResilience = 9;
+  auto sys = buildFloodingConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(10, 0b1111100000);
+  cfg.maxSteps = 200000;
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_TRUE(sim::checkConsensus(r));
+  for (const auto& [i, v] : r.decisions) {
+    (void)i;
+    EXPECT_EQ(v, Value(0));  // the minimum of mixed inputs
+  }
+}
+
+}  // namespace
+}  // namespace boosting::processes

@@ -1,0 +1,125 @@
+// The general Section-4 construction with k' > 1: g groups of wait-free
+// k'-set-consensus services compose into wait-free (g*k')-set consensus
+// (k'n = kn' with k = g*k').
+#include "processes/set_consensus_booster.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+namespace boosting::processes {
+namespace {
+
+using sim::RunConfig;
+using util::Value;
+
+std::vector<std::pair<int, Value>> distinctInits(int n) {
+  std::vector<std::pair<int, Value>> out;
+  for (int i = 0; i < n; ++i) out.emplace_back(i, Value(i));
+  return out;
+}
+
+struct KPrimeCase {
+  int n;
+  int groups;
+  int kPrime;
+  unsigned failMask;
+  std::uint64_t seed;
+};
+
+class KPrimeBoost : public ::testing::TestWithParam<KPrimeCase> {};
+
+TEST_P(KPrimeBoost, ComposedKSetConsensusHolds) {
+  const KPrimeCase& c = GetParam();
+  SetConsensusBoosterSpec spec;
+  spec.processCount = c.n;
+  spec.groups = c.groups;
+  spec.groupSetSize = c.kPrime;
+  spec.policy = services::DummyPolicy::PreferDummy;
+  auto sys = buildSetConsensusBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.inits = distinctInits(c.n);
+  cfg.scheduler = RunConfig::Sched::Random;
+  cfg.seed = c.seed;
+  for (int i = 0; i < c.n; ++i) {
+    if ((c.failMask >> i) & 1u) cfg.failures.emplace_back(i + 1, i);
+  }
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  const int k = boosterSetBound(spec);
+  auto kset = sim::checkKSetAgreement(r, k);
+  EXPECT_TRUE(kset) << kset.detail;
+  auto valid = sim::checkValidity(r);
+  EXPECT_TRUE(valid) << valid.detail;
+}
+
+std::vector<KPrimeCase> kprimeCases() {
+  std::vector<KPrimeCase> cases;
+  for (int kPrime : {2, 3}) {
+    for (int groups : {1, 2}) {
+      const int n = groups * 3;
+      for (unsigned failMask : {0u, 1u, 0b11u, 0b10110u & ((1u << n) - 1)}) {
+        if (failMask == (1u << n) - 1) continue;
+        cases.push_back({n, groups, kPrime, failMask, failMask + kPrime});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KPrimeBoost, ::testing::ValuesIn(kprimeCases()));
+
+TEST(KPrimeBooster, SetBoundIsGroupsTimesKPrime) {
+  SetConsensusBoosterSpec spec;
+  spec.groups = 3;
+  spec.groupSetSize = 2;
+  EXPECT_EQ(boosterSetBound(spec), 6);
+}
+
+TEST(KPrimeBooster, SingleGroupTwoSetMatchesServiceSemantics) {
+  // One wait-free 2-set service shared by everyone: at most 2 values even
+  // with 4 distinct proposals.
+  SetConsensusBoosterSpec spec;
+  spec.processCount = 4;
+  spec.groups = 1;
+  spec.groupSetSize = 2;
+  auto sys = buildSetConsensusBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.inits = distinctInits(4);
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  std::set<Value> distinct;
+  for (const auto& [i, v] : r.decisions) {
+    (void)i;
+    distinct.insert(v);
+  }
+  EXPECT_LE(distinct.size(), 2u);
+}
+
+TEST(KPrimeBooster, TwoGroupsOfTwoSetGiveFourSet) {
+  SetConsensusBoosterSpec spec;
+  spec.processCount = 8;
+  spec.groups = 2;
+  spec.groupSetSize = 2;
+  auto sys = buildSetConsensusBoosterSystem(spec);
+  RunConfig cfg;
+  cfg.inits = distinctInits(8);
+  // Wait-freedom: fail 7 of 8 processes.
+  for (int i = 0; i < 8; ++i) {
+    if (i != 5) cfg.failures.emplace_back(2 * i + 3, i);
+  }
+  auto r = sim::run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_TRUE(sim::checkKSetAgreement(r, 4));
+  EXPECT_TRUE(sim::checkValidity(r));
+}
+
+TEST(KPrimeBooster, RejectsNonPositiveKPrime) {
+  SetConsensusBoosterSpec spec;
+  spec.groupSetSize = 0;
+  EXPECT_THROW(buildSetConsensusBoosterSystem(spec), std::logic_error);
+}
+
+}  // namespace
+}  // namespace boosting::processes

@@ -1,0 +1,117 @@
+// The point-to-point channel fabric as a failure-oblivious service:
+// routing, per-pair FIFO, no creation/duplication, resilience semantics.
+#include <gtest/gtest.h>
+
+#include "services/canonical_oblivious.h"
+#include "types/channel_type.h"
+
+namespace boosting::services {
+namespace {
+
+using ioa::Action;
+using ioa::TaskId;
+using util::sym;
+using util::Value;
+
+CanonicalObliviousService makeFabric(int f = 2) {
+  return CanonicalObliviousService(types::pointToPointChannelType(), 7,
+                                   {0, 1, 2}, f);
+}
+
+TEST(Channel, SendDeliversToDestinationOnly) {
+  auto ch = makeFabric();
+  auto s = ch.initialState();
+  ch.apply(*s, Action::invoke(0, 7, sym("send", 2, Value("hi"))));
+  ch.apply(*s, *ch.enabledAction(*s, TaskId::servicePerform(7, 0)));
+  EXPECT_FALSE(ch.enabledAction(*s, TaskId::serviceOutput(7, 0)));
+  EXPECT_FALSE(ch.enabledAction(*s, TaskId::serviceOutput(7, 1)));
+  auto r = ch.enabledAction(*s, TaskId::serviceOutput(7, 2));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->payload, sym("msg", 0, Value("hi")));
+}
+
+TEST(Channel, SenderIdentityIsAttached) {
+  auto ch = makeFabric();
+  auto s = ch.initialState();
+  ch.apply(*s, Action::invoke(1, 7, sym("send", 0, Value(42))));
+  ch.apply(*s, *ch.enabledAction(*s, TaskId::servicePerform(7, 1)));
+  auto r = ch.enabledAction(*s, TaskId::serviceOutput(7, 0));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->payload.at(1), Value(1));  // from endpoint 1
+}
+
+TEST(Channel, PerPairFifo) {
+  auto ch = makeFabric();
+  auto s = ch.initialState();
+  ch.apply(*s, Action::invoke(0, 7, sym("send", 1, Value("a"))));
+  ch.apply(*s, Action::invoke(0, 7, sym("send", 1, Value("b"))));
+  ch.apply(*s, *ch.enabledAction(*s, TaskId::servicePerform(7, 0)));
+  ch.apply(*s, *ch.enabledAction(*s, TaskId::servicePerform(7, 0)));
+  auto r1 = ch.enabledAction(*s, TaskId::serviceOutput(7, 1));
+  ASSERT_TRUE(r1);
+  EXPECT_EQ(r1->payload.at(2), Value("a"));
+  ch.apply(*s, *r1);
+  auto r2 = ch.enabledAction(*s, TaskId::serviceOutput(7, 1));
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->payload.at(2), Value("b"));
+}
+
+TEST(Channel, SelfSendAllowed) {
+  auto ch = makeFabric();
+  auto s = ch.initialState();
+  ch.apply(*s, Action::invoke(0, 7, sym("send", 0, Value("loop"))));
+  ch.apply(*s, *ch.enabledAction(*s, TaskId::servicePerform(7, 0)));
+  auto r = ch.enabledAction(*s, TaskId::serviceOutput(7, 0));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->payload, sym("msg", 0, Value("loop")));
+}
+
+TEST(Channel, RejectsUnknownDestination) {
+  auto ch = makeFabric();
+  auto s = ch.initialState();
+  ch.apply(*s, Action::invoke(0, 7, sym("send", 9, Value("x"))));
+  EXPECT_THROW(
+      ch.apply(*s, *ch.enabledAction(*s, TaskId::servicePerform(7, 0))),
+      std::logic_error);
+}
+
+TEST(Channel, RejectsMalformedInvocation) {
+  auto ch = makeFabric();
+  auto s = ch.initialState();
+  ch.apply(*s, Action::invoke(0, 7, sym("transmit", 1)));
+  EXPECT_THROW(
+      ch.apply(*s, *ch.enabledAction(*s, TaskId::servicePerform(7, 0))),
+      std::logic_error);
+}
+
+TEST(Channel, HasNoGlobalTasks) {
+  auto ch = makeFabric();
+  for (const auto& t : ch.tasks()) {
+    EXPECT_NE(t.owner, ioa::TaskOwner::ServiceCompute);
+  }
+}
+
+TEST(Channel, SilencedBeyondResilienceUnderAdversary) {
+  CanonicalObliviousService::Options opts;
+  opts.policy = DummyPolicy::PreferDummy;
+  CanonicalObliviousService ch(types::pointToPointChannelType(), 7, {0, 1, 2},
+                               0, opts);
+  auto s = ch.initialState();
+  ch.apply(*s, Action::invoke(0, 7, sym("send", 1, Value("m"))));
+  ch.apply(*s, Action::fail(2));  // one failure > f = 0
+  auto p = ch.enabledAction(*s, TaskId::servicePerform(7, 0));
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->kind, ioa::ActionKind::DummyPerform);
+}
+
+TEST(Channel, NoSpontaneousMessages) {
+  auto ch = makeFabric();
+  auto s = ch.initialState();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ch.enabledAction(*s, TaskId::serviceOutput(7, i)));
+    EXPECT_FALSE(ch.enabledAction(*s, TaskId::servicePerform(7, i)));
+  }
+}
+
+}  // namespace
+}  // namespace boosting::services

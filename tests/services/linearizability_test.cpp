@@ -1,0 +1,235 @@
+// Wing-Gong checker: accepts canonical-object histories (clause 2 of the
+// "implements" definition, Section 2.1.4) and rejects non-linearizable
+// ones; handles pending operations and nondeterministic types.
+#include "sim/linearizability.h"
+
+#include <gtest/gtest.h>
+
+#include "processes/relay_consensus.h"
+#include "sim/runner.h"
+#include "types/builtin_types.h"
+
+namespace boosting::sim {
+namespace {
+
+using util::sym;
+using util::Value;
+
+Operation op(int endpoint, Value inv, Value resp, std::size_t invAt,
+             std::size_t respAt) {
+  Operation o;
+  o.endpoint = endpoint;
+  o.invocation = std::move(inv);
+  o.response = std::move(resp);
+  o.completed = true;
+  o.invokedAt = invAt;
+  o.respondedAt = respAt;
+  return o;
+}
+
+Operation pending(int endpoint, Value inv, std::size_t invAt) {
+  Operation o;
+  o.endpoint = endpoint;
+  o.invocation = std::move(inv);
+  o.invokedAt = invAt;
+  return o;
+}
+
+TEST(Linearizability, EmptyHistoryIsLinearizable) {
+  auto r = checkLinearizable(types::registerType(), {});
+  EXPECT_TRUE(r.linearizable);
+}
+
+TEST(Linearizability, SequentialRegisterHistoryAccepted) {
+  // write(5); read -> 5.
+  std::vector<Operation> ops = {
+      op(0, sym("write", 5), sym("ack"), 0, 1),
+      op(1, sym("read"), Value(5), 2, 3),
+  };
+  EXPECT_TRUE(checkLinearizable(types::registerType(), ops).linearizable);
+}
+
+TEST(Linearizability, StaleReadRejected) {
+  // write(5) completes before the read is invoked, yet the read returns
+  // the initial nil value: no legal linearization.
+  std::vector<Operation> ops = {
+      op(0, sym("write", 5), sym("ack"), 0, 1),
+      op(1, sym("read"), Value::nil(), 2, 3),
+  };
+  EXPECT_FALSE(checkLinearizable(types::registerType(), ops).linearizable);
+}
+
+TEST(Linearizability, ConcurrentReadMayGoEitherWay) {
+  // The read overlaps the write, so both nil and 5 are linearizable.
+  std::vector<Operation> overlapOld = {
+      op(0, sym("write", 5), sym("ack"), 0, 3),
+      op(1, sym("read"), Value::nil(), 1, 2),
+  };
+  std::vector<Operation> overlapNew = {
+      op(0, sym("write", 5), sym("ack"), 0, 3),
+      op(1, sym("read"), Value(5), 1, 2),
+  };
+  EXPECT_TRUE(
+      checkLinearizable(types::registerType(), overlapOld).linearizable);
+  EXPECT_TRUE(
+      checkLinearizable(types::registerType(), overlapNew).linearizable);
+}
+
+TEST(Linearizability, PendingWriteMayHaveTakenEffect) {
+  // The write never responded, but a later read sees its value: the
+  // pending operation must be linearizable as having taken effect.
+  std::vector<Operation> ops = {
+      pending(0, sym("write", 5), 0),
+      op(1, sym("read"), Value(5), 1, 2),
+  };
+  EXPECT_TRUE(checkLinearizable(types::registerType(), ops).linearizable);
+}
+
+TEST(Linearizability, PendingWriteMayAlsoBeDropped) {
+  std::vector<Operation> ops = {
+      pending(0, sym("write", 5), 0),
+      op(1, sym("read"), Value::nil(), 1, 2),
+  };
+  EXPECT_TRUE(checkLinearizable(types::registerType(), ops).linearizable);
+}
+
+TEST(Linearizability, ConsensusAgreementEnforced) {
+  // Two overlapping inits that both get their own value: not linearizable
+  // for the consensus type (someone must adopt the winner).
+  std::vector<Operation> bad = {
+      op(0, sym("init", 0), sym("decide", 0), 0, 3),
+      op(1, sym("init", 1), sym("decide", 1), 1, 2),
+  };
+  EXPECT_FALSE(
+      checkLinearizable(types::binaryConsensusType(), bad).linearizable);
+  std::vector<Operation> good = {
+      op(0, sym("init", 0), sym("decide", 0), 0, 3),
+      op(1, sym("init", 1), sym("decide", 0), 1, 2),
+  };
+  EXPECT_TRUE(
+      checkLinearizable(types::binaryConsensusType(), good).linearizable);
+}
+
+TEST(Linearizability, PerEndpointFifoEnforced) {
+  // Same endpoint, pipelined: enq(1) then enq(2); a dequeuer sees 2 first.
+  // FIFO order of the canonical buffers forbids linearizing enq(2) first.
+  std::vector<Operation> ops = {
+      op(0, sym("enq", 1), sym("ack"), 0, 4),
+      op(0, sym("enq", 2), sym("ack"), 1, 5),
+      op(1, sym("deq"), Value(2), 6, 7),
+      op(1, sym("deq"), Value(1), 8, 9),
+  };
+  EXPECT_FALSE(checkLinearizable(types::queueType(), ops).linearizable);
+  std::vector<Operation> good = {
+      op(0, sym("enq", 1), sym("ack"), 0, 4),
+      op(0, sym("enq", 2), sym("ack"), 1, 5),
+      op(1, sym("deq"), Value(1), 6, 7),
+      op(1, sym("deq"), Value(2), 8, 9),
+  };
+  EXPECT_TRUE(checkLinearizable(types::queueType(), good).linearizable);
+}
+
+TEST(Linearizability, NondeterministicKSetChecked) {
+  // Two k=2 proposers may each keep their own value.
+  std::vector<Operation> ops = {
+      op(0, sym("init", 0), sym("decide", 0), 0, 3),
+      op(1, sym("init", 1), sym("decide", 1), 1, 2),
+  };
+  EXPECT_TRUE(checkLinearizable(types::kSetConsensusType(2), ops).linearizable);
+  // But three distinct decisions among three proposers are not allowed.
+  std::vector<Operation> bad = {
+      op(0, sym("init", 0), sym("decide", 0), 0, 5),
+      op(1, sym("init", 1), sym("decide", 1), 1, 6),
+      op(2, sym("init", 2), sym("decide", 2), 2, 7),
+  };
+  EXPECT_FALSE(
+      checkLinearizable(types::kSetConsensusType(2), bad).linearizable);
+}
+
+TEST(Linearizability, WitnessIsALegalOrder) {
+  std::vector<Operation> ops = {
+      op(0, sym("write", 5), sym("ack"), 0, 1),
+      op(1, sym("read"), Value(5), 2, 3),
+  };
+  auto r = checkLinearizable(types::registerType(), ops);
+  ASSERT_TRUE(r.linearizable);
+  ASSERT_EQ(r.witness.size(), 2u);
+  EXPECT_EQ(r.witness[0], 0u);  // the write linearizes first
+}
+
+TEST(Linearizability, ExtractHistoryMatchesFifo) {
+  ioa::Execution exec;
+  exec.append(ioa::Action::invoke(0, 7, sym("write", 1)));
+  exec.append(ioa::Action::invoke(0, 7, sym("read")));
+  exec.append(ioa::Action::respond(0, 7, sym("ack")));
+  exec.append(ioa::Action::respond(0, 7, Value(1)));
+  auto ops = extractHistory(exec, 7);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(ops[0].completed);
+  EXPECT_EQ(ops[0].response, sym("ack"));
+  EXPECT_EQ(ops[1].response, Value(1));
+}
+
+TEST(Linearizability, ExtractHistoryIgnoresOtherServices) {
+  ioa::Execution exec;
+  exec.append(ioa::Action::invoke(0, 7, sym("read")));
+  exec.append(ioa::Action::invoke(0, 8, sym("read")));
+  EXPECT_EQ(extractHistory(exec, 7).size(), 1u);
+}
+
+TEST(ImplementsAtomic, AcceptsCanonicalObjectRun) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = 3;
+  spec.objectResilience = 2;
+  auto sys = processes::buildRelayConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.inits = binaryInits(3, 0b110);
+  auto r = run(*sys, cfg);
+  ASSERT_TRUE(r.allDecided());
+  EXPECT_EQ(checkImplementsAtomic(types::binaryConsensusType(), r.exec,
+                                  spec.consensusServiceId),
+            "");
+}
+
+TEST(ImplementsAtomic, RejectsMalformedHistory) {
+  ioa::Execution e;
+  e.append(ioa::Action::respond(0, 7, Value(1)));  // spontaneous response
+  const std::string verdict =
+      checkImplementsAtomic(types::registerType(), e, 7);
+  EXPECT_NE(verdict.find("well-formed"), std::string::npos);
+}
+
+TEST(ImplementsAtomic, RejectsNonLinearizableHistory) {
+  ioa::Execution e;
+  e.append(ioa::Action::invoke(0, 7, sym("write", 5)));
+  e.append(ioa::Action::respond(0, 7, sym("ack")));
+  e.append(ioa::Action::invoke(1, 7, sym("read")));
+  e.append(ioa::Action::respond(1, 7, Value::nil()));  // stale read
+  const std::string verdict =
+      checkImplementsAtomic(types::registerType(), e, 7);
+  EXPECT_NE(verdict.find("not linearizable"), std::string::npos);
+}
+
+// End-to-end: every trace the canonical consensus object produces under a
+// real scheduler is linearizable -- clause 2 of "implements" observed on
+// generated executions.
+TEST(Linearizability, CanonicalObjectTracesAreLinearizable) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    processes::RelaySystemSpec spec;
+    spec.processCount = 3;
+    spec.objectResilience = 2;
+    auto sys = processes::buildRelayConsensusSystem(spec);
+    RunConfig cfg;
+    cfg.scheduler = RunConfig::Sched::Random;
+    cfg.seed = seed;
+    cfg.inits = binaryInits(3, static_cast<unsigned>(seed % 8));
+    auto r = run(*sys, cfg);
+    ASSERT_TRUE(r.allDecided());
+    auto ops = extractHistory(r.exec, spec.consensusServiceId);
+    auto lin = checkLinearizable(types::binaryConsensusType(), ops);
+    EXPECT_TRUE(lin.linearizable) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace boosting::sim

@@ -1,0 +1,80 @@
+// Canonical reliable registers (Section 2.1.3): wait-free read/write
+// atomic objects, the second kind of building block the theorems allow.
+#include "services/register.h"
+
+#include <gtest/gtest.h>
+
+#include "types/builtin_types.h"
+
+namespace boosting::services {
+namespace {
+
+using ioa::Action;
+using ioa::TaskId;
+using util::sym;
+using util::Value;
+
+TEST(Register, IsWaitFreeByConstruction) {
+  CanonicalRegister reg(3, {0, 1, 2});
+  EXPECT_EQ(reg.resilience(), 2);
+  EXPECT_TRUE(reg.isWaitFree());
+  EXPECT_TRUE(reg.meta().isRegister);
+  EXPECT_FALSE(reg.meta().failureAware);
+}
+
+TEST(Register, InitialValueDefaultsToNil) {
+  CanonicalRegister reg(3, {0});
+  auto s = reg.initialState();
+  EXPECT_TRUE(CanonicalGeneralService::stateOf(*s).val.isNil());
+}
+
+TEST(Register, CustomInitialValue) {
+  CanonicalRegister reg(3, {0}, Value(41));
+  auto s = reg.initialState();
+  reg.apply(*s, Action::invoke(0, 3, sym("read")));
+  reg.apply(*s, *reg.enabledAction(*s, TaskId::servicePerform(3, 0)));
+  auto out = reg.enabledAction(*s, TaskId::serviceOutput(3, 0));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->payload, Value(41));
+}
+
+TEST(Register, WriteThenReadAcrossEndpoints) {
+  CanonicalRegister reg(3, {0, 1});
+  auto s = reg.initialState();
+  reg.apply(*s, Action::invoke(0, 3, sym("write", 9)));
+  reg.apply(*s, *reg.enabledAction(*s, TaskId::servicePerform(3, 0)));
+  reg.apply(*s, Action::invoke(1, 3, sym("read")));
+  reg.apply(*s, *reg.enabledAction(*s, TaskId::servicePerform(3, 1)));
+  auto out = reg.enabledAction(*s, TaskId::serviceOutput(3, 1));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->payload, Value(9));
+}
+
+TEST(Register, LastWriteWins) {
+  CanonicalRegister reg(3, {0, 1});
+  auto s = reg.initialState();
+  reg.apply(*s, Action::invoke(0, 3, sym("write", 1)));
+  reg.apply(*s, Action::invoke(1, 3, sym("write", 2)));
+  reg.apply(*s, *reg.enabledAction(*s, TaskId::servicePerform(3, 0)));
+  reg.apply(*s, *reg.enabledAction(*s, TaskId::servicePerform(3, 1)));
+  EXPECT_EQ(CanonicalGeneralService::stateOf(*s).val, Value(2));
+}
+
+TEST(Register, KeepsServingWhileSomeEndpointAlive) {
+  // Reliable: with |J| = 3 and two failures, endpoint 0 is still served
+  // even under the adversarial dummy policy.
+  CanonicalAtomicObject::Options opts;
+  opts.policy = DummyPolicy::PreferDummy;
+  opts.isRegister = true;
+  CanonicalAtomicObject reg(types::registerType(), 3, {0, 1, 2}, 2, opts);
+  auto s = reg.initialState();
+  reg.apply(*s, Action::fail(1));
+  reg.apply(*s, Action::fail(2));
+  reg.apply(*s, Action::invoke(0, 3, sym("read")));
+  auto p = reg.enabledAction(*s, TaskId::servicePerform(3, 0));
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->kind, ioa::ActionKind::Perform);
+}
+
+}  // namespace
+}  // namespace boosting::services

@@ -1,0 +1,164 @@
+// Resilience semantics (Section 2.1.3): dummy actions become enabled when
+// an endpoint fails or when more than f endpoints fail; the DummyPolicy
+// resolves the resulting choice deterministically; compute tasks follow the
+// Fig. 4 rule (> f failures or all endpoints failed).
+#include <gtest/gtest.h>
+
+#include "services/canonical_atomic.h"
+#include "services/canonical_oblivious.h"
+#include "types/builtin_types.h"
+#include "types/tob_type.h"
+
+namespace boosting::services {
+namespace {
+
+using ioa::Action;
+using ioa::TaskId;
+using util::sym;
+
+CanonicalAtomicObject make(int f, DummyPolicy policy) {
+  CanonicalAtomicObject::Options opts;
+  opts.policy = policy;
+  return CanonicalAtomicObject(types::binaryConsensusType(), 9, {0, 1, 2}, f,
+                               opts);
+}
+
+TEST(Resilience, NoDummiesWithoutFailures) {
+  auto obj = make(0, DummyPolicy::PreferDummy);
+  auto s = obj.initialState();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(obj.enabledAction(*s, TaskId::servicePerform(9, i)));
+    EXPECT_FALSE(obj.enabledAction(*s, TaskId::serviceOutput(9, i)));
+  }
+}
+
+TEST(Resilience, FailedEndpointEnablesItsDummies) {
+  auto obj = make(2, DummyPolicy::PreferDummy);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::fail(1));
+  // Endpoint 1's tasks now have dummy actions enabled...
+  auto d = obj.enabledAction(*s, TaskId::servicePerform(9, 1));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->kind, ioa::ActionKind::DummyPerform);
+  auto o = obj.enabledAction(*s, TaskId::serviceOutput(9, 1));
+  ASSERT_TRUE(o);
+  EXPECT_EQ(o->kind, ioa::ActionKind::DummyOutput);
+  // ...but other endpoints are unaffected (1 <= f = 2).
+  EXPECT_FALSE(obj.enabledAction(*s, TaskId::servicePerform(9, 0)));
+}
+
+TEST(Resilience, ExceedingFSilencesEveryEndpointUnderPreferDummy) {
+  auto obj = make(1, DummyPolicy::PreferDummy);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::invoke(0, 9, sym("init", 0)));
+  obj.apply(*s, Action::fail(1));
+  obj.apply(*s, Action::fail(2));  // |failed| = 2 > f = 1
+  // Even the healthy endpoint 0 now gets only dummy steps.
+  auto d = obj.enabledAction(*s, TaskId::servicePerform(9, 0));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->kind, ioa::ActionKind::DummyPerform);
+}
+
+TEST(Resilience, WithinFServiceKeepsServingHealthyEndpoints) {
+  auto obj = make(1, DummyPolicy::PreferDummy);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::invoke(0, 9, sym("init", 0)));
+  obj.apply(*s, Action::fail(1));  // |failed| = 1 <= f
+  auto p = obj.enabledAction(*s, TaskId::servicePerform(9, 0));
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->kind, ioa::ActionKind::Perform);
+}
+
+TEST(Resilience, PreferRealServesDespiteExceededResilience) {
+  // The paper's canonical object MAY stop; it is not forced to. PreferReal
+  // models the benign resolution.
+  auto obj = make(0, DummyPolicy::PreferReal);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::invoke(0, 9, sym("init", 1)));
+  obj.apply(*s, Action::fail(1));
+  auto p = obj.enabledAction(*s, TaskId::servicePerform(9, 0));
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->kind, ioa::ActionKind::Perform);
+}
+
+TEST(Resilience, PreferRealFallsBackToDummyWhenNothingToDo) {
+  auto obj = make(0, DummyPolicy::PreferReal);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::fail(0));
+  // Failed endpoint, empty buffers: only the dummy is available, and the
+  // task must remain applicable (fairness bookkeeping).
+  auto d = obj.enabledAction(*s, TaskId::servicePerform(9, 0));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->kind, ioa::ActionKind::DummyPerform);
+}
+
+TEST(Resilience, DummyActionsAreNoOps) {
+  auto obj = make(0, DummyPolicy::PreferDummy);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::invoke(0, 9, sym("init", 1)));
+  obj.apply(*s, Action::fail(1));
+  auto before = s->clone();
+  obj.apply(*s, Action::dummyPerform(0, 9));
+  obj.apply(*s, Action::dummyOutput(1, 9));
+  EXPECT_TRUE(s->equals(*before));
+}
+
+TEST(Resilience, FailOfNonEndpointIgnored) {
+  CanonicalAtomicObject obj(types::binaryConsensusType(), 9, {0, 1}, 0);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::fail(7));  // routed away by System normally
+  EXPECT_TRUE(CanonicalGeneralService::stateOf(*s).failed.empty());
+}
+
+TEST(Resilience, ComputeDummyRequiresExceededFOrAllFailed) {
+  CanonicalObliviousService::Options opts;
+  opts.policy = DummyPolicy::PreferDummy;
+  CanonicalObliviousService tob(types::totallyOrderedBroadcastType(), 5,
+                                {0, 1, 2}, 1, opts);
+  auto s = tob.initialState();
+  // No failures: the (total) compute action is the real one.
+  auto c = tob.enabledAction(*s, TaskId::serviceCompute(5, 0));
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->kind, ioa::ActionKind::Compute);
+  // One failure (= f): still real.
+  tob.apply(*s, Action::fail(0));
+  c = tob.enabledAction(*s, TaskId::serviceCompute(5, 0));
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->kind, ioa::ActionKind::Compute);
+  // Two failures (> f): dummy preferred.
+  tob.apply(*s, Action::fail(1));
+  c = tob.enabledAction(*s, TaskId::serviceCompute(5, 0));
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->kind, ioa::ActionKind::DummyCompute);
+}
+
+TEST(Resilience, AllEndpointsFailedEnablesComputeDummyEvenWithHighF) {
+  CanonicalObliviousService::Options opts;
+  opts.policy = DummyPolicy::PreferDummy;
+  // f = 3 >= |J| = 2: the "> f" clause never fires, but the all-failed
+  // clause does (Fig. 4's dummy_compute precondition).
+  CanonicalObliviousService tob(types::totallyOrderedBroadcastType(), 5,
+                                {0, 1}, 3, opts);
+  auto s = tob.initialState();
+  tob.apply(*s, Action::fail(0));
+  tob.apply(*s, Action::fail(1));
+  auto c = tob.enabledAction(*s, TaskId::serviceCompute(5, 0));
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->kind, ioa::ActionKind::DummyCompute);
+}
+
+TEST(Resilience, WaitFreeObjectOnlySilencedWhenAllEndpointsFail) {
+  // Wait-free = (|J|-1)-resilient: with |J| = 3, two failures are within
+  // the bound for healthy endpoints.
+  auto obj = make(2, DummyPolicy::PreferDummy);
+  auto s = obj.initialState();
+  obj.apply(*s, Action::invoke(0, 9, sym("init", 0)));
+  obj.apply(*s, Action::fail(1));
+  obj.apply(*s, Action::fail(2));
+  auto p = obj.enabledAction(*s, TaskId::servicePerform(9, 0));
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->kind, ioa::ActionKind::Perform);
+}
+
+}  // namespace
+}  // namespace boosting::services

@@ -1,0 +1,115 @@
+// The TOB conformance checker, validated positively against real service
+// traces and negatively against hand-corrupted ones.
+#include <gtest/gtest.h>
+
+#include "processes/tob_consensus.h"
+#include "sim/properties.h"
+#include "sim/runner.h"
+
+namespace boosting::sim {
+namespace {
+
+using util::sym;
+using util::Value;
+
+ioa::Execution handMade() {
+  ioa::Execution e;
+  e.append(ioa::Action::invoke(0, 8, sym("bcast", Value("a"))));
+  e.append(ioa::Action::invoke(1, 8, sym("bcast", Value("b"))));
+  e.append(ioa::Action::respond(0, 8, sym("rcv", Value("a"), 0)));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("a"), 0)));
+  e.append(ioa::Action::respond(0, 8, sym("rcv", Value("b"), 1)));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("b"), 1)));
+  return e;
+}
+
+TEST(TOBConformance, AcceptsWellFormedTrace) {
+  EXPECT_TRUE(checkTOBConformance(handMade(), 8));
+}
+
+TEST(TOBConformance, AcceptsEmptyTrace) {
+  EXPECT_TRUE(checkTOBConformance(ioa::Execution{}, 8));
+}
+
+TEST(TOBConformance, AcceptsPrefixDeliveries) {
+  // Endpoint 1 lags behind: its sequence is a proper prefix.
+  ioa::Execution e;
+  e.append(ioa::Action::invoke(0, 8, sym("bcast", Value("a"))));
+  e.append(ioa::Action::invoke(0, 8, sym("bcast", Value("b"))));
+  e.append(ioa::Action::respond(0, 8, sym("rcv", Value("a"), 0)));
+  e.append(ioa::Action::respond(0, 8, sym("rcv", Value("b"), 0)));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("a"), 0)));
+  EXPECT_TRUE(checkTOBConformance(e, 8));
+}
+
+TEST(TOBConformance, RejectsDivergentOrders) {
+  ioa::Execution e;
+  e.append(ioa::Action::invoke(0, 8, sym("bcast", Value("a"))));
+  e.append(ioa::Action::invoke(1, 8, sym("bcast", Value("b"))));
+  e.append(ioa::Action::respond(0, 8, sym("rcv", Value("a"), 0)));
+  e.append(ioa::Action::respond(0, 8, sym("rcv", Value("b"), 1)));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("b"), 1)));  // swapped
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("a"), 0)));
+  auto v = checkTOBConformance(e, 8);
+  EXPECT_FALSE(v);
+  EXPECT_NE(v.detail.find("total order"), std::string::npos);
+}
+
+TEST(TOBConformance, RejectsCreatedMessages) {
+  ioa::Execution e;
+  e.append(ioa::Action::respond(0, 8, sym("rcv", Value("ghost"), 1)));
+  auto v = checkTOBConformance(e, 8);
+  EXPECT_FALSE(v);
+  EXPECT_NE(v.detail.find("creation"), std::string::npos);
+}
+
+TEST(TOBConformance, RejectsSenderFifoViolations) {
+  ioa::Execution e;
+  e.append(ioa::Action::invoke(0, 8, sym("bcast", Value("first"))));
+  e.append(ioa::Action::invoke(0, 8, sym("bcast", Value("second"))));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("second"), 0)));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("first"), 0)));
+  auto v = checkTOBConformance(e, 8);
+  EXPECT_FALSE(v);
+  EXPECT_NE(v.detail.find("FIFO"), std::string::npos);
+}
+
+TEST(TOBConformance, RejectsDuplicatedDelivery) {
+  ioa::Execution e;
+  e.append(ioa::Action::invoke(0, 8, sym("bcast", Value("a"))));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("a"), 0)));
+  e.append(ioa::Action::respond(1, 8, sym("rcv", Value("a"), 0)));  // dup
+  auto v = checkTOBConformance(e, 8);
+  EXPECT_FALSE(v);  // second occurrence has no matching bcast instance
+}
+
+TEST(TOBConformance, IgnoresOtherServices) {
+  ioa::Execution e;
+  e.append(ioa::Action::respond(0, 9, sym("rcv", Value("ghost"), 1)));
+  EXPECT_TRUE(checkTOBConformance(e, 8));
+}
+
+class TOBConformanceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TOBConformanceSweep, GeneratedTracesConform) {
+  processes::TOBConsensusSpec spec;
+  spec.processCount = 4;
+  spec.serviceResilience = 3;
+  auto sys = processes::buildTOBConsensusSystem(spec);
+  RunConfig cfg;
+  cfg.scheduler = RunConfig::Sched::Random;
+  cfg.seed = GetParam();
+  cfg.inits = binaryInits(4, static_cast<unsigned>(GetParam() % 16));
+  if (GetParam() % 2 == 0) {
+    cfg.failures = {{GetParam() % 11, static_cast<int>(GetParam() % 4)}};
+  }
+  auto r = run(*sys, cfg);
+  auto verdict = checkTOBConformance(r.exec, spec.tobServiceId);
+  EXPECT_TRUE(verdict) << verdict.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TOBConformanceSweep,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace boosting::sim

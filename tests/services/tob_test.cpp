@@ -1,0 +1,148 @@
+// Totally ordered broadcast (Section 5.2, Figs. 5-7): one bcast triggers a
+// delivery to EVERY endpoint (hence not expressible as an atomic object),
+// deliveries are identically ordered at all endpoints, no message is lost
+// or duplicated by the service.
+#include <gtest/gtest.h>
+
+#include "services/canonical_oblivious.h"
+#include "types/tob_type.h"
+
+namespace boosting::services {
+namespace {
+
+using ioa::Action;
+using ioa::TaskId;
+using util::sym;
+using util::Value;
+
+CanonicalObliviousService makeTOB(int f = 2) {
+  return CanonicalObliviousService(types::totallyOrderedBroadcastType(), 8,
+                                   {0, 1, 2}, f);
+}
+
+// Drive the service by hand: enqueue bcasts, fire perform/compute tasks,
+// drain one endpoint's responses.
+std::vector<Value> drainResponses(CanonicalObliviousService& tob,
+                                  ioa::AutomatonState& s, int endpoint) {
+  std::vector<Value> out;
+  while (auto r = tob.enabledAction(s, TaskId::serviceOutput(8, endpoint))) {
+    out.push_back(r->payload);
+    tob.apply(s, *r);
+  }
+  return out;
+}
+
+TEST(TOB, HasExactlyOneGlobalTask) {
+  auto tob = makeTOB();
+  int computes = 0;
+  for (const auto& t : tob.tasks()) {
+    if (t.owner == ioa::TaskOwner::ServiceCompute) ++computes;
+  }
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(TOB, BcastPerformMovesMessageIntoMsgs) {
+  auto tob = makeTOB();
+  auto s = tob.initialState();
+  tob.apply(*s, Action::invoke(1, 8, sym("bcast", Value("hello"))));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 1)));
+  const auto& st = CanonicalGeneralService::stateOf(*s);
+  ASSERT_EQ(st.val.size(), 1u);
+  EXPECT_EQ(st.val.at(0).at(0), Value("hello"));
+  EXPECT_EQ(st.val.at(0).at(1), Value(1));  // sender recorded
+  // No responses yet: delivery is the compute step's job.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(tob.enabledAction(*s, TaskId::serviceOutput(8, i)));
+  }
+}
+
+TEST(TOB, ComputeDeliversHeadToAllEndpoints) {
+  auto tob = makeTOB();
+  auto s = tob.initialState();
+  tob.apply(*s, Action::invoke(0, 8, sym("bcast", Value("m"))));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 0)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  for (int i = 0; i < 3; ++i) {
+    auto r = tob.enabledAction(*s, TaskId::serviceOutput(8, i));
+    ASSERT_TRUE(r) << "endpoint " << i;
+    EXPECT_EQ(r->payload, sym("rcv", Value("m"), 0));
+  }
+  // msgs drained.
+  EXPECT_EQ(CanonicalGeneralService::stateOf(*s).val.size(), 0u);
+}
+
+TEST(TOB, ComputeOnEmptyMsgsIsIdentity) {
+  auto tob = makeTOB();
+  auto s = tob.initialState();
+  auto before = s->clone();
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  EXPECT_TRUE(s->equals(*before));
+}
+
+TEST(TOB, TotalOrderIsPerformOrderNotInvocationOrder) {
+  auto tob = makeTOB();
+  auto s = tob.initialState();
+  tob.apply(*s, Action::invoke(0, 8, sym("bcast", Value("a"))));
+  tob.apply(*s, Action::invoke(2, 8, sym("bcast", Value("b"))));
+  // Perform endpoint 2 first: "b" is ordered before "a".
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 2)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 0)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  for (int i = 0; i < 3; ++i) {
+    auto seq = drainResponses(tob, *s, i);
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0], sym("rcv", Value("b"), 2));
+    EXPECT_EQ(seq[1], sym("rcv", Value("a"), 0));
+  }
+}
+
+TEST(TOB, AllEndpointsSeeSameSequenceUnderInterleaving) {
+  auto tob = makeTOB();
+  auto s = tob.initialState();
+  // Three senders, interleaved performs and computes.
+  for (int i = 0; i < 3; ++i) {
+    tob.apply(*s, Action::invoke(i, 8, sym("bcast", Value(i * 10))));
+  }
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 1)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 0)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 2)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  std::vector<Value> ref = drainResponses(tob, *s, 0);
+  ASSERT_EQ(ref.size(), 3u);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(drainResponses(tob, *s, i), ref) << "endpoint " << i;
+  }
+}
+
+TEST(TOB, NoDuplicationNoLoss) {
+  auto tob = makeTOB();
+  auto s = tob.initialState();
+  const int kMessages = 5;
+  for (int m = 0; m < kMessages; ++m) {
+    tob.apply(*s, Action::invoke(0, 8, sym("bcast", Value(m))));
+    tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 0)));
+  }
+  for (int m = 0; m < kMessages; ++m) {
+    tob.apply(*s, *tob.enabledAction(*s, TaskId::serviceCompute(8, 0)));
+  }
+  auto seq = drainResponses(tob, *s, 1);
+  ASSERT_EQ(seq.size(), static_cast<std::size_t>(kMessages));
+  for (int m = 0; m < kMessages; ++m) {
+    EXPECT_EQ(seq[static_cast<std::size_t>(m)], sym("rcv", Value(m), 0));
+  }
+}
+
+TEST(TOB, RejectsNonBcastInvocations) {
+  auto tob = makeTOB();
+  auto s = tob.initialState();
+  tob.apply(*s, Action::invoke(0, 8, sym("write", 1)));
+  EXPECT_THROW(
+      tob.apply(*s, *tob.enabledAction(*s, TaskId::servicePerform(8, 0))),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace boosting::services

@@ -1,0 +1,95 @@
+// Generic contract checks for the system model's assumptions, applied to
+// every system in the repository (see contract_test.cpp):
+//
+//   * Determinism (Section 3.1): enabledAction per task is a pure,
+//     repeatable function of the state, and applying it to equal states
+//     yields equal states.
+//   * Value semantics: cloning a state yields an equal state with an equal
+//     hash; hashes are stable across calls.
+//   * Input-enabledness of processes (Section 2.2.1): every process task
+//     is applicable in every reachable state.
+//   * Locally controlled actions have correct ownership: process tasks
+//     yield process-local actions of the right endpoint, service tasks
+//     yield service-local actions of the right component.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "ioa/system.h"
+#include "util/rng.h"
+
+namespace boosting::testing {
+
+inline void checkStateValueSemantics(const ioa::SystemState& s) {
+  ioa::SystemState copy(s);
+  ASSERT_TRUE(copy.equals(s));
+  ASSERT_TRUE(s.equals(copy));
+  ASSERT_EQ(copy.hash(), s.hash());
+  ASSERT_EQ(s.hash(), s.hash());
+}
+
+inline void checkDeterminism(const ioa::System& sys,
+                             const ioa::SystemState& s) {
+  for (const ioa::TaskId& t : sys.allTasks()) {
+    auto a1 = sys.enabled(s, t);
+    auto a2 = sys.enabled(s, t);
+    ASSERT_EQ(a1.has_value(), a2.has_value()) << t.str();
+    if (!a1) continue;
+    ASSERT_EQ(*a1, *a2) << t.str();
+    // Ownership discipline.
+    if (t.owner == ioa::TaskOwner::Process) {
+      ASSERT_TRUE(a1->isProcessLocal()) << a1->str();
+      ASSERT_EQ(a1->endpoint, t.component) << a1->str();
+    } else {
+      ASSERT_TRUE(a1->isServiceLocal()) << a1->str();
+      ASSERT_EQ(a1->component, t.component) << a1->str();
+    }
+    // Applying the same action to equal states gives equal states.
+    ioa::SystemState s1(s), s2(s);
+    sys.applyInPlace(s1, *a1);
+    sys.applyInPlace(s2, *a1);
+    ASSERT_TRUE(s1.equals(s2)) << "nondeterministic apply for " << a1->str();
+    ASSERT_EQ(s1.hash(), s2.hash());
+  }
+}
+
+inline void checkProcessTasksApplicable(const ioa::System& sys,
+                                        const ioa::SystemState& s) {
+  for (int i = 0; i < sys.processCount(); ++i) {
+    ASSERT_TRUE(sys.enabled(s, ioa::TaskId::process(i)).has_value())
+        << "process " << i << " has no enabled locally controlled action";
+  }
+}
+
+// Random-walk the system for `steps` locally controlled transitions,
+// checking the full contract at every visited state. Environment events
+// (inits for all endpoints, one failure) are injected along the way so
+// post-input and post-failure states are covered too.
+inline void checkSystemContract(const ioa::System& sys, std::uint64_t seed,
+                                int steps, bool injectInits = true,
+                                bool injectFailure = true) {
+  util::Rng rng(seed);
+  ioa::SystemState s = sys.initialState();
+  for (int k = 0; k < steps; ++k) {
+    if (injectInits && k == 2) {
+      for (int i = 0; i < sys.processCount(); ++i) {
+        sys.injectInit(s, i, util::Value(static_cast<int>((seed + i) % 2)));
+      }
+    }
+    if (injectFailure && k == steps / 2 && sys.processCount() > 1) {
+      sys.injectFail(s, static_cast<int>(seed % sys.processCount()));
+    }
+    checkStateValueSemantics(s);
+    checkProcessTasksApplicable(sys, s);
+    checkDeterminism(sys, s);
+
+    std::vector<ioa::Action> enabled;
+    for (const ioa::TaskId& t : sys.allTasks()) {
+      if (auto a = sys.enabled(s, t)) enabled.push_back(std::move(*a));
+    }
+    ASSERT_FALSE(enabled.empty());
+    sys.applyInPlace(s, enabled[rng.nextBelow(enabled.size())]);
+  }
+}
+
+}  // namespace boosting::testing
