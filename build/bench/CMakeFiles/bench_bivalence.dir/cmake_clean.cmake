@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bivalence.dir/bench_bivalence.cpp.o"
+  "CMakeFiles/bench_bivalence.dir/bench_bivalence.cpp.o.d"
+  "bench_bivalence"
+  "bench_bivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

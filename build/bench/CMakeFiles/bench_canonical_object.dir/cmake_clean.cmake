@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_canonical_object.dir/bench_canonical_object.cpp.o"
+  "CMakeFiles/bench_canonical_object.dir/bench_canonical_object.cpp.o.d"
+  "bench_canonical_object"
+  "bench_canonical_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_canonical_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fd_boosting.dir/bench_fd_boosting.cpp.o"
+  "CMakeFiles/bench_fd_boosting.dir/bench_fd_boosting.cpp.o.d"
+  "bench_fd_boosting"
+  "bench_fd_boosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fd_boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hook_search.dir/bench_hook_search.cpp.o"
+  "CMakeFiles/bench_hook_search.dir/bench_hook_search.cpp.o.d"
+  "bench_hook_search"
+  "bench_hook_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hook_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

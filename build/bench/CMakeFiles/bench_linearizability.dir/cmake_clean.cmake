@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linearizability.dir/bench_linearizability.cpp.o"
+  "CMakeFiles/bench_linearizability.dir/bench_linearizability.cpp.o.d"
+  "bench_linearizability"
+  "bench_linearizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linearizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_linearizability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_set_consensus.dir/bench_set_consensus.cpp.o"
+  "CMakeFiles/bench_set_consensus.dir/bench_set_consensus.cpp.o.d"
+  "bench_set_consensus"
+  "bench_set_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_set_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tob.dir/bench_tob.cpp.o"
+  "CMakeFiles/bench_tob.dir/bench_tob.cpp.o.d"
+  "bench_tob"
+  "bench_tob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composed_service.dir/composed_service.cpp.o"
+  "CMakeFiles/composed_service.dir/composed_service.cpp.o.d"
+  "composed_service"
+  "composed_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composed_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failure_detector_boosting.cpp" "examples/CMakeFiles/failure_detector_boosting.dir/failure_detector_boosting.cpp.o" "gcc" "examples/CMakeFiles/failure_detector_boosting.dir/failure_detector_boosting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

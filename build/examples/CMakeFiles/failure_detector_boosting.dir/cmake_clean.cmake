@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_detector_boosting.dir/failure_detector_boosting.cpp.o"
+  "CMakeFiles/failure_detector_boosting.dir/failure_detector_boosting.cpp.o.d"
+  "failure_detector_boosting"
+  "failure_detector_boosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_detector_boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

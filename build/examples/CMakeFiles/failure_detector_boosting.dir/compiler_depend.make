@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for failure_detector_boosting.
+# This may be replaced when dependencies are built.

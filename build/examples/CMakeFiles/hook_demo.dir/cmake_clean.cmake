@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hook_demo.dir/hook_demo.cpp.o"
+  "CMakeFiles/hook_demo.dir/hook_demo.cpp.o.d"
+  "hook_demo"
+  "hook_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hook_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impossibility_frontier.dir/impossibility_frontier.cpp.o"
+  "CMakeFiles/impossibility_frontier.dir/impossibility_frontier.cpp.o.d"
+  "impossibility_frontier"
+  "impossibility_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impossibility_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

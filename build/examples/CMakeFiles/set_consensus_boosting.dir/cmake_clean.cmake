@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_consensus_boosting.dir/set_consensus_boosting.cpp.o"
+  "CMakeFiles/set_consensus_boosting.dir/set_consensus_boosting.cpp.o.d"
+  "set_consensus_boosting"
+  "set_consensus_boosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_consensus_boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/totally_ordered_broadcast.dir/totally_ordered_broadcast.cpp.o"
+  "CMakeFiles/totally_ordered_broadcast.dir/totally_ordered_broadcast.cpp.o.d"
+  "totally_ordered_broadcast"
+  "totally_ordered_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/totally_ordered_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

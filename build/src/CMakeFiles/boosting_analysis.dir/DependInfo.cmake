@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adversary.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/adversary.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/adversary.cpp.o.d"
+  "/root/repo/src/analysis/bivalence.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/bivalence.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/bivalence.cpp.o.d"
+  "/root/repo/src/analysis/dot_export.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/dot_export.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/dot_export.cpp.o.d"
+  "/root/repo/src/analysis/hook.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/hook.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/hook.cpp.o.d"
+  "/root/repo/src/analysis/lemma_replay.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/lemma_replay.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/lemma_replay.cpp.o.d"
+  "/root/repo/src/analysis/similarity.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/similarity.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/similarity.cpp.o.d"
+  "/root/repo/src/analysis/state_graph.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/state_graph.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/state_graph.cpp.o.d"
+  "/root/repo/src/analysis/valence.cpp" "src/CMakeFiles/boosting_analysis.dir/analysis/valence.cpp.o" "gcc" "src/CMakeFiles/boosting_analysis.dir/analysis/valence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_analysis.dir/analysis/adversary.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/adversary.cpp.o.d"
+  "CMakeFiles/boosting_analysis.dir/analysis/bivalence.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/bivalence.cpp.o.d"
+  "CMakeFiles/boosting_analysis.dir/analysis/dot_export.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/dot_export.cpp.o.d"
+  "CMakeFiles/boosting_analysis.dir/analysis/hook.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/hook.cpp.o.d"
+  "CMakeFiles/boosting_analysis.dir/analysis/lemma_replay.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/lemma_replay.cpp.o.d"
+  "CMakeFiles/boosting_analysis.dir/analysis/similarity.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/similarity.cpp.o.d"
+  "CMakeFiles/boosting_analysis.dir/analysis/state_graph.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/state_graph.cpp.o.d"
+  "CMakeFiles/boosting_analysis.dir/analysis/valence.cpp.o"
+  "CMakeFiles/boosting_analysis.dir/analysis/valence.cpp.o.d"
+  "libboosting_analysis.a"
+  "libboosting_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_compose.dir/compose/system_as_service.cpp.o"
+  "CMakeFiles/boosting_compose.dir/compose/system_as_service.cpp.o.d"
+  "libboosting_compose.a"
+  "libboosting_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ioa/action.cpp" "src/CMakeFiles/boosting_ioa.dir/ioa/action.cpp.o" "gcc" "src/CMakeFiles/boosting_ioa.dir/ioa/action.cpp.o.d"
+  "/root/repo/src/ioa/automaton.cpp" "src/CMakeFiles/boosting_ioa.dir/ioa/automaton.cpp.o" "gcc" "src/CMakeFiles/boosting_ioa.dir/ioa/automaton.cpp.o.d"
+  "/root/repo/src/ioa/execution.cpp" "src/CMakeFiles/boosting_ioa.dir/ioa/execution.cpp.o" "gcc" "src/CMakeFiles/boosting_ioa.dir/ioa/execution.cpp.o.d"
+  "/root/repo/src/ioa/scheduler.cpp" "src/CMakeFiles/boosting_ioa.dir/ioa/scheduler.cpp.o" "gcc" "src/CMakeFiles/boosting_ioa.dir/ioa/scheduler.cpp.o.d"
+  "/root/repo/src/ioa/system.cpp" "src/CMakeFiles/boosting_ioa.dir/ioa/system.cpp.o" "gcc" "src/CMakeFiles/boosting_ioa.dir/ioa/system.cpp.o.d"
+  "/root/repo/src/ioa/task.cpp" "src/CMakeFiles/boosting_ioa.dir/ioa/task.cpp.o" "gcc" "src/CMakeFiles/boosting_ioa.dir/ioa/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

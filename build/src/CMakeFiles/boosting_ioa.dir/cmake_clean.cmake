@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_ioa.dir/ioa/action.cpp.o"
+  "CMakeFiles/boosting_ioa.dir/ioa/action.cpp.o.d"
+  "CMakeFiles/boosting_ioa.dir/ioa/automaton.cpp.o"
+  "CMakeFiles/boosting_ioa.dir/ioa/automaton.cpp.o.d"
+  "CMakeFiles/boosting_ioa.dir/ioa/execution.cpp.o"
+  "CMakeFiles/boosting_ioa.dir/ioa/execution.cpp.o.d"
+  "CMakeFiles/boosting_ioa.dir/ioa/scheduler.cpp.o"
+  "CMakeFiles/boosting_ioa.dir/ioa/scheduler.cpp.o.d"
+  "CMakeFiles/boosting_ioa.dir/ioa/system.cpp.o"
+  "CMakeFiles/boosting_ioa.dir/ioa/system.cpp.o.d"
+  "CMakeFiles/boosting_ioa.dir/ioa/task.cpp.o"
+  "CMakeFiles/boosting_ioa.dir/ioa/task.cpp.o.d"
+  "libboosting_ioa.a"
+  "libboosting_ioa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_ioa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/processes/evp_consensus.cpp" "src/CMakeFiles/boosting_processes.dir/processes/evp_consensus.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/evp_consensus.cpp.o.d"
+  "/root/repo/src/processes/fd_booster.cpp" "src/CMakeFiles/boosting_processes.dir/processes/fd_booster.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/fd_booster.cpp.o.d"
+  "/root/repo/src/processes/flooding_consensus.cpp" "src/CMakeFiles/boosting_processes.dir/processes/flooding_consensus.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/flooding_consensus.cpp.o.d"
+  "/root/repo/src/processes/process.cpp" "src/CMakeFiles/boosting_processes.dir/processes/process.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/process.cpp.o.d"
+  "/root/repo/src/processes/relay_consensus.cpp" "src/CMakeFiles/boosting_processes.dir/processes/relay_consensus.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/relay_consensus.cpp.o.d"
+  "/root/repo/src/processes/reliable_broadcast.cpp" "src/CMakeFiles/boosting_processes.dir/processes/reliable_broadcast.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/reliable_broadcast.cpp.o.d"
+  "/root/repo/src/processes/rotating_consensus.cpp" "src/CMakeFiles/boosting_processes.dir/processes/rotating_consensus.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/rotating_consensus.cpp.o.d"
+  "/root/repo/src/processes/script_client.cpp" "src/CMakeFiles/boosting_processes.dir/processes/script_client.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/script_client.cpp.o.d"
+  "/root/repo/src/processes/set_consensus_booster.cpp" "src/CMakeFiles/boosting_processes.dir/processes/set_consensus_booster.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/set_consensus_booster.cpp.o.d"
+  "/root/repo/src/processes/tas_consensus.cpp" "src/CMakeFiles/boosting_processes.dir/processes/tas_consensus.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/tas_consensus.cpp.o.d"
+  "/root/repo/src/processes/tob_consensus.cpp" "src/CMakeFiles/boosting_processes.dir/processes/tob_consensus.cpp.o" "gcc" "src/CMakeFiles/boosting_processes.dir/processes/tob_consensus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

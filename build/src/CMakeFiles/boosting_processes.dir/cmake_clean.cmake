@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_processes.dir/processes/evp_consensus.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/evp_consensus.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/fd_booster.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/fd_booster.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/flooding_consensus.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/flooding_consensus.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/process.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/process.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/relay_consensus.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/relay_consensus.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/reliable_broadcast.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/reliable_broadcast.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/rotating_consensus.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/rotating_consensus.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/script_client.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/script_client.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/set_consensus_booster.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/set_consensus_booster.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/tas_consensus.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/tas_consensus.cpp.o.d"
+  "CMakeFiles/boosting_processes.dir/processes/tob_consensus.cpp.o"
+  "CMakeFiles/boosting_processes.dir/processes/tob_consensus.cpp.o.d"
+  "libboosting_processes.a"
+  "libboosting_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/canonical_atomic.cpp" "src/CMakeFiles/boosting_services.dir/services/canonical_atomic.cpp.o" "gcc" "src/CMakeFiles/boosting_services.dir/services/canonical_atomic.cpp.o.d"
+  "/root/repo/src/services/canonical_general.cpp" "src/CMakeFiles/boosting_services.dir/services/canonical_general.cpp.o" "gcc" "src/CMakeFiles/boosting_services.dir/services/canonical_general.cpp.o.d"
+  "/root/repo/src/services/canonical_oblivious.cpp" "src/CMakeFiles/boosting_services.dir/services/canonical_oblivious.cpp.o" "gcc" "src/CMakeFiles/boosting_services.dir/services/canonical_oblivious.cpp.o.d"
+  "/root/repo/src/services/register.cpp" "src/CMakeFiles/boosting_services.dir/services/register.cpp.o" "gcc" "src/CMakeFiles/boosting_services.dir/services/register.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

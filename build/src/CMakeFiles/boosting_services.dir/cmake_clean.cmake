@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_services.dir/services/canonical_atomic.cpp.o"
+  "CMakeFiles/boosting_services.dir/services/canonical_atomic.cpp.o.d"
+  "CMakeFiles/boosting_services.dir/services/canonical_general.cpp.o"
+  "CMakeFiles/boosting_services.dir/services/canonical_general.cpp.o.d"
+  "CMakeFiles/boosting_services.dir/services/canonical_oblivious.cpp.o"
+  "CMakeFiles/boosting_services.dir/services/canonical_oblivious.cpp.o.d"
+  "CMakeFiles/boosting_services.dir/services/register.cpp.o"
+  "CMakeFiles/boosting_services.dir/services/register.cpp.o.d"
+  "libboosting_services.a"
+  "libboosting_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_sim.dir/sim/linearizability.cpp.o"
+  "CMakeFiles/boosting_sim.dir/sim/linearizability.cpp.o.d"
+  "CMakeFiles/boosting_sim.dir/sim/properties.cpp.o"
+  "CMakeFiles/boosting_sim.dir/sim/properties.cpp.o.d"
+  "CMakeFiles/boosting_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/boosting_sim.dir/sim/runner.cpp.o.d"
+  "CMakeFiles/boosting_sim.dir/sim/trace_io.cpp.o"
+  "CMakeFiles/boosting_sim.dir/sim/trace_io.cpp.o.d"
+  "libboosting_sim.a"
+  "libboosting_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/builtin_types.cpp" "src/CMakeFiles/boosting_types.dir/types/builtin_types.cpp.o" "gcc" "src/CMakeFiles/boosting_types.dir/types/builtin_types.cpp.o.d"
+  "/root/repo/src/types/channel_type.cpp" "src/CMakeFiles/boosting_types.dir/types/channel_type.cpp.o" "gcc" "src/CMakeFiles/boosting_types.dir/types/channel_type.cpp.o.d"
+  "/root/repo/src/types/fd_types.cpp" "src/CMakeFiles/boosting_types.dir/types/fd_types.cpp.o" "gcc" "src/CMakeFiles/boosting_types.dir/types/fd_types.cpp.o.d"
+  "/root/repo/src/types/sequential_type.cpp" "src/CMakeFiles/boosting_types.dir/types/sequential_type.cpp.o" "gcc" "src/CMakeFiles/boosting_types.dir/types/sequential_type.cpp.o.d"
+  "/root/repo/src/types/service_type.cpp" "src/CMakeFiles/boosting_types.dir/types/service_type.cpp.o" "gcc" "src/CMakeFiles/boosting_types.dir/types/service_type.cpp.o.d"
+  "/root/repo/src/types/tob_type.cpp" "src/CMakeFiles/boosting_types.dir/types/tob_type.cpp.o" "gcc" "src/CMakeFiles/boosting_types.dir/types/tob_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

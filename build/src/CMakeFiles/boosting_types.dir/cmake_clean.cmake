@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_types.dir/types/builtin_types.cpp.o"
+  "CMakeFiles/boosting_types.dir/types/builtin_types.cpp.o.d"
+  "CMakeFiles/boosting_types.dir/types/channel_type.cpp.o"
+  "CMakeFiles/boosting_types.dir/types/channel_type.cpp.o.d"
+  "CMakeFiles/boosting_types.dir/types/fd_types.cpp.o"
+  "CMakeFiles/boosting_types.dir/types/fd_types.cpp.o.d"
+  "CMakeFiles/boosting_types.dir/types/sequential_type.cpp.o"
+  "CMakeFiles/boosting_types.dir/types/sequential_type.cpp.o.d"
+  "CMakeFiles/boosting_types.dir/types/service_type.cpp.o"
+  "CMakeFiles/boosting_types.dir/types/service_type.cpp.o.d"
+  "CMakeFiles/boosting_types.dir/types/tob_type.cpp.o"
+  "CMakeFiles/boosting_types.dir/types/tob_type.cpp.o.d"
+  "libboosting_types.a"
+  "libboosting_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

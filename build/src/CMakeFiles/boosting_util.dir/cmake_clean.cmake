@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_util.dir/util/rng.cpp.o"
+  "CMakeFiles/boosting_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/boosting_util.dir/util/value.cpp.o"
+  "CMakeFiles/boosting_util.dir/util/value.cpp.o.d"
+  "libboosting_util.a"
+  "libboosting_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/adversary_paths_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/adversary_paths_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/adversary_paths_test.cpp.o.d"
+  "/root/repo/tests/analysis/adversary_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/adversary_test.cpp.o.d"
+  "/root/repo/tests/analysis/bivalence_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/bivalence_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/bivalence_test.cpp.o.d"
+  "/root/repo/tests/analysis/dot_export_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/dot_export_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/dot_export_test.cpp.o.d"
+  "/root/repo/tests/analysis/hook_enumeration_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/hook_enumeration_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/hook_enumeration_test.cpp.o.d"
+  "/root/repo/tests/analysis/hook_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/hook_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/hook_test.cpp.o.d"
+  "/root/repo/tests/analysis/lemma_replay_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/lemma_replay_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/lemma_replay_test.cpp.o.d"
+  "/root/repo/tests/analysis/similarity_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/similarity_test.cpp.o.d"
+  "/root/repo/tests/analysis/state_graph_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/state_graph_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/state_graph_test.cpp.o.d"
+  "/root/repo/tests/analysis/termination_search_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/termination_search_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/termination_search_test.cpp.o.d"
+  "/root/repo/tests/analysis/theorem10_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/theorem10_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/theorem10_test.cpp.o.d"
+  "/root/repo/tests/analysis/valence_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/valence_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/valence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/adversary_paths_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/adversary_paths_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/adversary_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/adversary_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/bivalence_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/bivalence_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/dot_export_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/dot_export_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/hook_enumeration_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/hook_enumeration_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/hook_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/hook_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/lemma_replay_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/lemma_replay_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/similarity_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/similarity_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/state_graph_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/state_graph_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/termination_search_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/termination_search_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/theorem10_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/theorem10_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/valence_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/valence_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compose/layered_booster_test.cpp" "tests/CMakeFiles/compose_tests.dir/compose/layered_booster_test.cpp.o" "gcc" "tests/CMakeFiles/compose_tests.dir/compose/layered_booster_test.cpp.o.d"
+  "/root/repo/tests/compose/system_as_service_test.cpp" "tests/CMakeFiles/compose_tests.dir/compose/system_as_service_test.cpp.o" "gcc" "tests/CMakeFiles/compose_tests.dir/compose/system_as_service_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_tests.dir/compose/layered_booster_test.cpp.o"
+  "CMakeFiles/compose_tests.dir/compose/layered_booster_test.cpp.o.d"
+  "CMakeFiles/compose_tests.dir/compose/system_as_service_test.cpp.o"
+  "CMakeFiles/compose_tests.dir/compose/system_as_service_test.cpp.o.d"
+  "compose_tests"
+  "compose_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/action_test.cpp" "tests/CMakeFiles/core_tests.dir/core/action_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/action_test.cpp.o.d"
+  "/root/repo/tests/core/contract_test.cpp" "tests/CMakeFiles/core_tests.dir/core/contract_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/contract_test.cpp.o.d"
+  "/root/repo/tests/core/execution_test.cpp" "tests/CMakeFiles/core_tests.dir/core/execution_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/execution_test.cpp.o.d"
+  "/root/repo/tests/core/lemma1_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lemma1_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lemma1_test.cpp.o.d"
+  "/root/repo/tests/core/properties_test.cpp" "tests/CMakeFiles/core_tests.dir/core/properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/properties_test.cpp.o.d"
+  "/root/repo/tests/core/rng_test.cpp" "tests/CMakeFiles/core_tests.dir/core/rng_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rng_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/sequential_type_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sequential_type_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sequential_type_test.cpp.o.d"
+  "/root/repo/tests/core/system_test.cpp" "tests/CMakeFiles/core_tests.dir/core/system_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_test.cpp.o.d"
+  "/root/repo/tests/core/trace_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/trace_io_test.cpp.o.d"
+  "/root/repo/tests/core/value_test.cpp" "tests/CMakeFiles/core_tests.dir/core/value_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/action_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/action_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/contract_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/contract_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/execution_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/execution_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/lemma1_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/lemma1_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/properties_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/properties_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/rng_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/rng_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sequential_type_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sequential_type_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/system_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/system_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/trace_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/trace_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/value_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/value_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

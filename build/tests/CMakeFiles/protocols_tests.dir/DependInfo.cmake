@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocols/evp_consensus_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/evp_consensus_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/evp_consensus_test.cpp.o.d"
+  "/root/repo/tests/protocols/fd_booster_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/fd_booster_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/fd_booster_test.cpp.o.d"
+  "/root/repo/tests/protocols/flooding_consensus_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/flooding_consensus_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/flooding_consensus_test.cpp.o.d"
+  "/root/repo/tests/protocols/relay_consensus_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/relay_consensus_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/relay_consensus_test.cpp.o.d"
+  "/root/repo/tests/protocols/reliable_broadcast_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/reliable_broadcast_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/reliable_broadcast_test.cpp.o.d"
+  "/root/repo/tests/protocols/rotating_consensus_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/rotating_consensus_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/rotating_consensus_test.cpp.o.d"
+  "/root/repo/tests/protocols/scale_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/scale_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/scale_test.cpp.o.d"
+  "/root/repo/tests/protocols/set_consensus_kprime_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/set_consensus_kprime_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/set_consensus_kprime_test.cpp.o.d"
+  "/root/repo/tests/protocols/set_consensus_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/set_consensus_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/set_consensus_test.cpp.o.d"
+  "/root/repo/tests/protocols/tas_consensus_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/tas_consensus_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/tas_consensus_test.cpp.o.d"
+  "/root/repo/tests/protocols/tob_consensus_test.cpp" "tests/CMakeFiles/protocols_tests.dir/protocols/tob_consensus_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_tests.dir/protocols/tob_consensus_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_tests.dir/protocols/evp_consensus_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/evp_consensus_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/fd_booster_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/fd_booster_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/flooding_consensus_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/flooding_consensus_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/relay_consensus_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/relay_consensus_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/reliable_broadcast_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/reliable_broadcast_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/rotating_consensus_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/rotating_consensus_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/scale_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/scale_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/set_consensus_kprime_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/set_consensus_kprime_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/set_consensus_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/set_consensus_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/tas_consensus_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/tas_consensus_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/tob_consensus_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/tob_consensus_test.cpp.o.d"
+  "protocols_tests"
+  "protocols_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

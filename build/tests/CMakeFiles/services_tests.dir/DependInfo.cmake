@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/services/canonical_object_test.cpp" "tests/CMakeFiles/services_tests.dir/services/canonical_object_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/canonical_object_test.cpp.o.d"
+  "/root/repo/tests/services/channel_test.cpp" "tests/CMakeFiles/services_tests.dir/services/channel_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/channel_test.cpp.o.d"
+  "/root/repo/tests/services/fd_test.cpp" "tests/CMakeFiles/services_tests.dir/services/fd_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/fd_test.cpp.o.d"
+  "/root/repo/tests/services/linearizability_fuzz_test.cpp" "tests/CMakeFiles/services_tests.dir/services/linearizability_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/linearizability_fuzz_test.cpp.o.d"
+  "/root/repo/tests/services/linearizability_test.cpp" "tests/CMakeFiles/services_tests.dir/services/linearizability_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/linearizability_test.cpp.o.d"
+  "/root/repo/tests/services/register_test.cpp" "tests/CMakeFiles/services_tests.dir/services/register_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/register_test.cpp.o.d"
+  "/root/repo/tests/services/resilience_test.cpp" "tests/CMakeFiles/services_tests.dir/services/resilience_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/resilience_test.cpp.o.d"
+  "/root/repo/tests/services/tob_conformance_test.cpp" "tests/CMakeFiles/services_tests.dir/services/tob_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/tob_conformance_test.cpp.o.d"
+  "/root/repo/tests/services/tob_test.cpp" "tests/CMakeFiles/services_tests.dir/services/tob_test.cpp.o" "gcc" "tests/CMakeFiles/services_tests.dir/services/tob_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/boosting_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/boosting_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_tests.dir/services/canonical_object_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/canonical_object_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/channel_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/channel_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/fd_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/fd_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/linearizability_fuzz_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/linearizability_fuzz_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/linearizability_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/linearizability_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/register_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/register_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/resilience_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/resilience_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/tob_conformance_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/tob_conformance_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/tob_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/tob_test.cpp.o.d"
+  "services_tests"
+  "services_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

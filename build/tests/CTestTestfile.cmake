@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[core_tests]=] "/root/repo/build/tests/core_tests")
+set_tests_properties([=[core_tests]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[services_tests]=] "/root/repo/build/tests/services_tests")
+set_tests_properties([=[services_tests]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[protocols_tests]=] "/root/repo/build/tests/protocols_tests")
+set_tests_properties([=[protocols_tests]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[analysis_tests]=] "/root/repo/build/tests/analysis_tests")
+set_tests_properties([=[analysis_tests]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[compose_tests]=] "/root/repo/build/tests/compose_tests")
+set_tests_properties([=[compose_tests]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_relay]=] "/root/repo/build/tools/boosting_analyze" "--candidate" "relay" "--n" "2" "--f" "0")
+set_tests_properties([=[cli_relay]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;78;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_tob]=] "/root/repo/build/tools/boosting_analyze" "--candidate" "tob" "--n" "2" "--f" "0")
+set_tests_properties([=[cli_tob]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;80;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_single_fd_brute]=] "/root/repo/build/tools/boosting_analyze" "--candidate" "single-fd" "--n" "2" "--f" "0" "--brute")
+set_tests_properties([=[cli_single_fd_brute]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_analyze.dir/boosting_analyze.cpp.o"
+  "CMakeFiles/boosting_analyze.dir/boosting_analyze.cpp.o.d"
+  "boosting_analyze"
+  "boosting_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
