@@ -1,0 +1,96 @@
+// Parallel exploration throughput: states/sec of the work-stealing engine
+// at 1/2/4/8 workers over the scale-test systems (the graphs large enough
+// for expansion cost -- state cloning, task application, hashing -- to
+// dominate). maxStates caps the runs so the biggest fixtures stay bounded;
+// the cap makes the explored set scheduling-dependent, which is fine for a
+// throughput benchmark (and exactly why capped runs are documented as
+// non-certificate-grade in analysis/parallel_explorer.h).
+#include <benchmark/benchmark.h>
+
+#include "analysis/bivalence.h"
+#include "analysis/parallel_explorer.h"
+#include "processes/flooding_consensus.h"
+#include "processes/relay_consensus.h"
+#include "processes/rotating_consensus.h"
+
+using namespace boosting;
+using analysis::ExplorationPolicy;
+using analysis::NodeId;
+using analysis::StateGraph;
+
+namespace {
+
+std::unique_ptr<ioa::System> relay(int n, int f) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = f;
+  spec.addScratchRegister = false;
+  return processes::buildRelayConsensusSystem(spec);
+}
+
+std::unique_ptr<ioa::System> rotating(int n) {
+  processes::RotatingConsensusSpec spec;
+  spec.processCount = n;
+  return processes::buildRotatingConsensusSystem(spec);
+}
+
+std::unique_ptr<ioa::System> flooding(int n) {
+  processes::FloodingConsensusSpec spec;
+  spec.processCount = n;
+  spec.channelResilience = n - 1;
+  return processes::buildFloodingConsensusSystem(spec);
+}
+
+void runExplore(benchmark::State& state, const ioa::System& sys,
+                std::size_t maxStates) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  std::size_t states = 0;
+  std::int64_t discovered = 0;
+  for (auto _ : state) {
+    StateGraph g(sys);
+    NodeId root =
+        g.intern(analysis::canonicalInitialization(sys, sys.processCount() / 2));
+    auto stats =
+        analysis::exploreReachable(g, root, ExplorationPolicy{threads, maxStates});
+    discovered += static_cast<std::int64_t>(stats.statesDiscovered);
+    states = g.size();
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(discovered), benchmark::Counter::kIsRate);
+}
+
+void BM_ParallelExploreRelay(benchmark::State& state) {
+  auto sys = relay(3, 0);
+  runExplore(state, *sys, 0);  // full region, uncapped
+}
+
+void BM_ParallelExploreRelayWide(benchmark::State& state) {
+  auto sys = relay(4, 0);
+  runExplore(state, *sys, 200000);
+}
+
+void BM_ParallelExploreRotating(benchmark::State& state) {
+  auto sys = rotating(4);
+  runExplore(state, *sys, 150000);
+}
+
+void BM_ParallelExploreFlooding(benchmark::State& state) {
+  auto sys = flooding(4);
+  runExplore(state, *sys, 150000);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParallelExploreRelay)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ParallelExploreRelayWide)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ParallelExploreRotating)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ParallelExploreFlooding)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();

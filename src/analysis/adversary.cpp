@@ -180,9 +180,10 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
 
   StateGraph g(sys);
   ValenceAnalyzer va(g);
+  va.setPolicy(cfg.exploration);
 
   // -- Steps 1 + 2: initializations, valence, exhaustive safety scan. -----
-  BivalenceResult biv = findBivalentInitialization(g, va);
+  BivalenceResult biv = findBivalentInitialization(g, va, cfg.exploration);
   report.initializations = biv.initializations;
   report.statesExplored = g.size();
 
@@ -250,8 +251,8 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
   report.bivalentInit = biv.bivalent;
 
   // -- Step 3: hook search (Lemma 5 / Fig. 3). ----------------------------
-  HookSearchOutcome hs =
-      findHook(g, va, biv.bivalent->node, cfg.hookMaxIterations);
+  HookSearchOutcome hs = findHook(g, va, biv.bivalent->node,
+                                  cfg.hookMaxIterations, cfg.exploration);
   report.statesExplored = g.size();
   report.fairCycle = hs.fairCycle;
 

@@ -42,7 +42,13 @@ struct BivalenceResult {
 ioa::SystemState canonicalInitialization(const ioa::System& sys,
                                          int onesPrefix);
 
-BivalenceResult findBivalentInitialization(StateGraph& g,
-                                           ValenceAnalyzer& va);
+// Classify the n+1 canonical initializations. The scan is embarrassingly
+// parallel: with policy.threads > 1 ALL regions are expanded by one shared
+// work-stealing phase (they are near-disjoint, since process states record
+// their inputs) and then installed region by region in the serial order,
+// so node numbering, valences and the returned outcome are identical to
+// the default serial scan.
+BivalenceResult findBivalentInitialization(StateGraph& g, ValenceAnalyzer& va,
+                                           const ExplorationPolicy& policy = {});
 
 }  // namespace boosting::analysis

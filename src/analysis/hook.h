@@ -50,9 +50,15 @@ struct HookSearchOutcome {
   std::size_t statesTouched = 0;    // graph size after the search
 };
 
+// The Fig. 3 walk. With policy.threads > 1 the bivalent region is
+// pre-expanded by the confluent parallel engine (canonical numbering, see
+// analysis/parallel_explorer.h), so every inner scan of the walk -- the
+// one-step e-extension checks over the e-free-reachable descendants --
+// runs against fully cached successors and valences.
 HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
                            NodeId bivalentInit,
-                           std::size_t maxIterations = 1u << 20);
+                           std::size_t maxIterations = 1u << 20,
+                           const ExplorationPolicy& policy = {});
 
 // Exhaustive Fig.-2 pattern scan (an ablation of the Fig.-3 procedure):
 // enumerate EVERY hook in the reachable region of `root` by checking, at
@@ -67,7 +73,8 @@ struct HookEnumeration {
 };
 
 HookEnumeration enumerateHooks(StateGraph& g, ValenceAnalyzer& va,
-                               NodeId root, std::size_t maxHooks = 4096);
+                               NodeId root, std::size_t maxHooks = 4096,
+                               const ExplorationPolicy& policy = {});
 
 // Does `hook` satisfy the Fig. 2 defining conditions in this graph?
 bool isGenuineHook(StateGraph& g, ValenceAnalyzer& va, const Hook& hook);

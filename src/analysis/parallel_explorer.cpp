@@ -1,0 +1,351 @@
+#include "analysis/parallel_explorer.h"
+
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace boosting::analysis {
+
+namespace {
+
+// Handle of a node in the private table: shard index in the high bits,
+// index within the shard's deque in the low bits.
+using PHandle = std::uint64_t;
+constexpr unsigned kShardBits = 6;
+constexpr std::size_t kShards = 1u << kShardBits;  // 64
+constexpr unsigned kIndexBits = 64 - kShardBits;
+
+PHandle makeHandle(std::size_t shard, std::size_t index) {
+  return (static_cast<PHandle>(shard) << kIndexBits) |
+         static_cast<PHandle>(index);
+}
+std::size_t shardOf(PHandle h) { return static_cast<std::size_t>(h >> kIndexBits); }
+std::size_t indexOf(PHandle h) {
+  return static_cast<std::size_t>(h & ((PHandle{1} << kIndexBits) - 1));
+}
+
+struct PEdge {
+  ioa::TaskId task;
+  ioa::Action action;
+  PHandle to = 0;
+};
+
+struct PNode {
+  ioa::SystemState state;
+  std::size_t hash = 0;
+  std::vector<PEdge> succ;
+  bool expanded = false;  // written by the sole expanding worker, read
+                          // only after the workers have been joined
+};
+
+// Serial fallback: the legacy BFS over StateGraph::successors(), with the
+// maxStates safety valve.
+ExploreStats serialExplore(StateGraph& g, NodeId root,
+                           const ExplorationPolicy& policy) {
+  ExploreStats stats;
+  stats.threadsUsed = 1;
+  std::deque<NodeId> frontier{root};
+  std::unordered_set<NodeId> seen{root};
+  while (!frontier.empty()) {
+    if (policy.maxStates != 0 && seen.size() > policy.maxStates) {
+      stats.truncated = true;
+      break;
+    }
+    const NodeId x = frontier.front();
+    frontier.pop_front();
+    for (const Edge& e : g.successors(x)) {
+      ++stats.edgesComputed;
+      if (seen.insert(e.to).second) frontier.push_back(e.to);
+    }
+  }
+  stats.statesDiscovered = seen.size();
+  return stats;
+}
+
+}  // namespace
+
+struct ParallelExplorer::Impl {
+  struct Shard {
+    std::mutex m;
+    std::deque<PNode> nodes;  // deque: references stable across push_back
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> byHash;
+  };
+
+  struct WorkQueue {
+    std::mutex m;
+    std::deque<PHandle> q;
+  };
+
+  StateGraph& g;
+  const ioa::System& sys;
+  ExplorationPolicy policy;
+  unsigned workers = 1;
+
+  std::vector<Shard> shards{kShards};
+  std::vector<WorkQueue> queues;
+
+  std::atomic<std::int64_t> inflight{0};
+  std::atomic<std::size_t> discovered{0};
+  std::atomic<std::size_t> edges{0};
+  std::atomic<bool> abort{false};
+  std::atomic<bool> truncated{false};
+  std::mutex errMutex;
+  std::exception_ptr firstError;
+
+  std::vector<PHandle> rootHandles;
+  bool expanded = false;
+
+  // Phase-2 memo: which table nodes have already been interned into `g`.
+  std::unordered_map<PHandle, NodeId> installedIds;
+
+  ExploreStats statsOut;
+
+  Impl(StateGraph& graph, const ExplorationPolicy& p)
+      : g(graph), sys(graph.system()), policy(p) {
+    workers = policy.threads == 0 ? std::thread::hardware_concurrency()
+                                  : policy.threads;
+    if (workers == 0) workers = 1;
+    queues = std::vector<WorkQueue>(workers);
+  }
+
+  PNode* nodePtr(PHandle h) {
+    Shard& sh = shards[shardOf(h)];
+    // The deque's internals may be concurrently grown by interning
+    // workers, so even index access needs the shard lock; the returned
+    // reference itself stays stable.
+    std::lock_guard<std::mutex> lock(sh.m);
+    return &sh.nodes[indexOf(h)];
+  }
+
+  // Intern into the private table. Returns (handle, inserted).
+  std::pair<PHandle, bool> internTable(ioa::SystemState&& s,
+                                       std::size_t hash) {
+    const std::size_t shardIdx = hash & (kShards - 1);
+    Shard& sh = shards[shardIdx];
+    std::lock_guard<std::mutex> lock(sh.m);
+    auto& bucket = sh.byHash[hash];
+    for (std::uint32_t idx : bucket) {
+      if (sh.nodes[idx].state.equals(s)) {
+        return {makeHandle(shardIdx, idx), false};
+      }
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(sh.nodes.size());
+    sh.nodes.push_back(PNode{std::move(s), hash, {}, false});
+    bucket.push_back(idx);
+    return {makeHandle(shardIdx, idx), true};
+  }
+
+  void pushWork(unsigned self, PHandle h) {
+    WorkQueue& wq = queues[self];
+    std::lock_guard<std::mutex> lock(wq.m);
+    wq.q.push_back(h);
+  }
+
+  bool popWork(unsigned self, PHandle* out) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return false;
+      {
+        WorkQueue& own = queues[self];
+        std::lock_guard<std::mutex> lock(own.m);
+        if (!own.q.empty()) {
+          *out = own.q.back();
+          own.q.pop_back();
+          return true;
+        }
+      }
+      for (unsigned k = 1; k < workers; ++k) {
+        WorkQueue& victim = queues[(self + k) % workers];
+        std::lock_guard<std::mutex> lock(victim.m);
+        if (!victim.q.empty()) {
+          *out = victim.q.front();  // steal from the cold end
+          victim.q.pop_front();
+          return true;
+        }
+      }
+      if (inflight.load(std::memory_order_acquire) == 0) return false;
+      std::this_thread::yield();
+    }
+  }
+
+  void expandNode(unsigned self, PHandle h) {
+    PNode* n = nodePtr(h);
+    std::vector<PEdge> succ;
+    for (const ioa::TaskId& t : sys.allTasks()) {
+      auto action = sys.enabled(n->state, t);
+      if (!action) continue;
+      edges.fetch_add(1, std::memory_order_relaxed);
+      ioa::SystemState next = sys.apply(n->state, *action);
+      const std::size_t hash = next.hash();
+      auto [child, inserted] = internTable(std::move(next), hash);
+      if (inserted) {
+        const std::size_t count =
+            discovered.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (policy.maxStates != 0 && count > policy.maxStates) {
+          // Leave the child unexpanded: the exploration is truncated.
+          truncated.store(true, std::memory_order_relaxed);
+        } else {
+          inflight.fetch_add(1, std::memory_order_relaxed);
+          pushWork(self, child);
+        }
+      }
+      succ.push_back(PEdge{t, std::move(*action), child});
+    }
+    n->succ = std::move(succ);
+    n->expanded = true;
+  }
+
+  void workerLoop(unsigned self) {
+    PHandle h = 0;
+    while (popWork(self, &h)) {
+      try {
+        expandNode(self, h);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(errMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+      inflight.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  void expand(std::vector<ioa::SystemState> roots) {
+    if (expanded) {
+      throw std::logic_error("ParallelExplorer::expand called twice");
+    }
+    expanded = true;
+    unsigned next = 0;
+    for (ioa::SystemState& s : roots) {
+      const std::size_t hash = s.hash();
+      auto [h, inserted] = internTable(std::move(s), hash);
+      rootHandles.push_back(h);
+      if (inserted) {
+        discovered.fetch_add(1, std::memory_order_relaxed);
+        inflight.fetch_add(1, std::memory_order_relaxed);
+        pushWork(next % workers, h);
+        ++next;
+      }
+    }
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([this, w] { workerLoop(w); });
+      }
+    }  // jthread joins here; everything the workers wrote is now visible
+    if (firstError) std::rethrow_exception(firstError);
+    statsOut.statesDiscovered = discovered.load();
+    statsOut.edgesComputed = edges.load();
+    statsOut.threadsUsed = workers;
+    statsOut.truncated = truncated.load();
+  }
+
+  // Intern a table node into the graph (memoized). Sets *inserted when the
+  // graph created a fresh node.
+  NodeId internGraph(PHandle h, bool* inserted) {
+    if (auto it = installedIds.find(h); it != installedIds.end()) {
+      if (inserted) *inserted = false;
+      return it->second;
+    }
+    PNode* pn = nodePtr(h);
+    // The move consumes pn->state only when the graph actually inserts;
+    // either way the node is memoized so the state is probed at most once.
+    auto r = g.internWithHash(std::move(pn->state), pn->hash);
+    installedIds.emplace(h, r.id);
+    if (inserted) *inserted = r.inserted;
+    return r.id;
+  }
+
+  NodeId install(std::size_t rootIndex,
+                 const std::function<bool(NodeId)>& finalized) {
+    if (!expanded) {
+      throw std::logic_error("ParallelExplorer::install before expand");
+    }
+    const PHandle rootH = rootHandles.at(rootIndex);
+    const NodeId rootId = internGraph(rootH, nullptr);
+    if (finalized && finalized(rootId)) return rootId;
+
+    // Canonical BFS: FIFO frontier, successors in task order -- the exact
+    // discovery order of the serial explorer, so node ids, parents and
+    // successor lists come out bit-for-bit identical.
+    std::deque<PHandle> fifo{rootH};
+    std::unordered_set<PHandle> enqueued{rootH};
+    while (!fifo.empty()) {
+      const PHandle h = fifo.front();
+      fifo.pop_front();
+      const NodeId gid = internGraph(h, nullptr);
+      PNode* pn = nodePtr(h);
+      if (!pn->expanded) continue;  // truncated leaf (maxStates cap)
+      const bool cached = g.cachedSuccessors(gid) != nullptr;
+      std::vector<Edge> edgesOut;
+      if (!cached) edgesOut.reserve(pn->succ.size());
+      for (PEdge& pe : pn->succ) {
+        bool inserted = false;
+        const NodeId cid = internGraph(pe.to, &inserted);
+        if (inserted) {
+          // First discovery happens here, from `gid` via `pe.task` --
+          // the same parent the serial expansion would have recorded.
+          g.setParent(cid, gid, pe.task, pe.action);
+        }
+        if (!cached) {
+          // This branch runs at most once per node (the successors are
+          // cached right below), so moving the action out is safe.
+          edgesOut.push_back(Edge{pe.task, std::move(pe.action), cid});
+        }
+        if (!finalized || !finalized(cid)) {
+          if (enqueued.insert(pe.to).second) fifo.push_back(pe.to);
+        }
+      }
+      if (!cached) g.setSuccessors(gid, std::move(edgesOut));
+    }
+    return rootId;
+  }
+};
+
+ParallelExplorer::ParallelExplorer(StateGraph& g,
+                                   const ExplorationPolicy& policy)
+    : impl_(std::make_unique<Impl>(g, policy)) {}
+
+ParallelExplorer::~ParallelExplorer() = default;
+
+void ParallelExplorer::expand(std::vector<ioa::SystemState> roots) {
+  impl_->expand(std::move(roots));
+}
+
+NodeId ParallelExplorer::install(
+    std::size_t rootIndex, const std::function<bool(NodeId)>& finalized) {
+  return impl_->install(rootIndex, finalized);
+}
+
+const ExploreStats& ParallelExplorer::stats() const { return impl_->statsOut; }
+
+ExploreStats exploreReachable(StateGraph& g, NodeId root,
+                              const ExplorationPolicy& policy) {
+  if (policy.threads == 1) return serialExplore(g, root, policy);
+  ParallelExplorer ex(g, policy);
+  std::vector<ioa::SystemState> roots;
+  roots.push_back(g.state(root));
+  ex.expand(std::move(roots));
+  ex.install(0);
+  return ex.stats();
+}
+
+void expandRegionParallel(StateGraph& g, NodeId root,
+                          const ExplorationPolicy& policy,
+                          const std::function<bool(NodeId)>& finalized) {
+  if (policy.threads == 1) return;  // serial path expands lazily
+  if (g.cachedSuccessors(root) != nullptr) return;  // already expanded
+  ParallelExplorer ex(g, policy);
+  std::vector<ioa::SystemState> roots;
+  roots.push_back(g.state(root));
+  ex.expand(std::move(roots));
+  ex.install(0, finalized);
+}
+
+}  // namespace boosting::analysis

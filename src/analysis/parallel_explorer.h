@@ -1,0 +1,110 @@
+// Work-stealing frontier-parallel exploration of the execution graph G(C).
+//
+// Every proof procedure in this reproduction -- valence classification
+// (Section 3.2), the hook search of Lemma 5 / Fig. 3, and the full
+// ConsensusAdversary pipeline -- reduces to BFS over G(C), and the
+// expensive part of that BFS is state expansion: cloning a SystemState,
+// applying the unique enabled action of each task, hashing and interning
+// the result. The determinism assumptions of Section 3.1 (at most one
+// action per applicable task, deterministic transition function) make the
+// reachable set CONFLUENT: it is a property of the root configuration
+// alone, independent of the order in which frontier nodes are expanded.
+// That is exactly what licenses parallel expansion.
+//
+// The engine therefore runs in two phases:
+//
+//   Phase 1 (parallel): std::jthread workers expand the frontier into a
+//   private sharded, striped-lock interned-state table (shard selected by
+//   state hash; full equality verification within the shard bucket, just
+//   like StateGraph::intern). Work is distributed with per-worker deques
+//   plus stealing; termination is detected with an in-flight node counter.
+//   The StateGraph itself is NEVER touched from worker threads.
+//
+//   Phase 2 (serial, deterministic): the calling thread replays a
+//   canonical BFS over the completed private table and interns states into
+//   the StateGraph in EXACTLY the order the serial explorer would have
+//   (FIFO frontier, successors in allTasks() order), installing successor
+//   lists and first-discovery parents as it goes. Node ids, parents and
+//   witness paths are therefore bit-for-bit identical to serial
+//   exploration, regardless of thread interleaving in phase 1.
+//
+// threads <= 1 bypasses both phases and runs the legacy serial BFS, so
+// ExplorationPolicy{1} byte-identically reproduces the old behaviour.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/state_graph.h"
+
+namespace boosting::analysis {
+
+struct ExplorationPolicy {
+  // Number of expansion workers. 1 = serial legacy path; 0 = use
+  // std::thread::hardware_concurrency().
+  unsigned threads = 1;
+  // Safety valve: stop expanding once this many states have been
+  // discovered (0 = unbounded). A truncated parallel exploration is NOT
+  // canonical -- the surviving frontier depends on thread scheduling -- so
+  // the cap is meant for benchmarks and defensive limits, not for
+  // certificate-producing runs.
+  std::size_t maxStates = 0;
+};
+
+struct ExploreStats {
+  std::size_t statesDiscovered = 0;  // states known to the engine afterwards
+  std::size_t edgesComputed = 0;     // transitions evaluated during expansion
+  unsigned threadsUsed = 1;
+  bool truncated = false;  // maxStates cap was hit
+};
+
+// Two-phase engine exposed as a class so that multiple roots can share one
+// parallel expansion (the Lemma 4 scan over canonical initializations) and
+// then be installed region by region in the serial-equivalent order.
+class ParallelExplorer {
+ public:
+  ParallelExplorer(StateGraph& g, const ExplorationPolicy& policy);
+  ~ParallelExplorer();
+  ParallelExplorer(const ParallelExplorer&) = delete;
+  ParallelExplorer& operator=(const ParallelExplorer&) = delete;
+
+  // Phase 1: expand everything reachable from `roots` (union of regions)
+  // with the configured worker count. Must be called exactly once, before
+  // any install(). Rethrows the first worker exception, if any.
+  void expand(std::vector<ioa::SystemState> roots);
+
+  // Phase 2: canonically intern root `rootIndex`'s region into the
+  // StateGraph and return the root's node id. `finalized`, when provided,
+  // mirrors the caller's notion of already-finalized nodes (e.g.
+  // ValenceAnalyzer::explored): such nodes are interned but not traversed,
+  // exactly as the serial region BFS skips explored nodes. Idempotent per
+  // node across calls: states and successor lists are installed at most
+  // once.
+  NodeId install(std::size_t rootIndex,
+                 const std::function<bool(NodeId)>& finalized = nullptr);
+
+  const ExploreStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// One-shot convenience: expand the full reachable region of `root` (which
+// must already be interned in `g`) and install it canonically. With
+// policy.threads <= 1 this is the plain serial BFS over
+// StateGraph::successors() -- byte-identical to the legacy explorers.
+ExploreStats exploreReachable(StateGraph& g, NodeId root,
+                              const ExplorationPolicy& policy = {});
+
+// Region pre-expansion helper shared by ValenceAnalyzer::explore and the
+// hook search: when `policy` asks for parallelism and `root`'s successors
+// are not cached yet, run the two-phase engine with `finalized` as the
+// traversal fence; otherwise do nothing (the serial path expands lazily).
+void expandRegionParallel(StateGraph& g, NodeId root,
+                          const ExplorationPolicy& policy,
+                          const std::function<bool(NodeId)>& finalized);
+
+}  // namespace boosting::analysis

@@ -1,26 +1,65 @@
 #include "analysis/state_graph.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace boosting::analysis {
 
+StateGraph::StateGraph(const ioa::System& sys) : sys_(sys) {
+#ifndef NDEBUG
+  writer_ = std::this_thread::get_id();
+#endif
+}
+
+void StateGraph::assertWriter() const {
+#ifndef NDEBUG
+  // Single-writer contract: all mutating calls must come from the thread
+  // that constructed the graph. Worker threads of the parallel explorer
+  // must never reach here (they only touch the explorer's private table).
+  assert(writer_ == std::this_thread::get_id() &&
+         "StateGraph mutated from a non-owner thread (single-writer "
+         "contract violated)");
+#endif
+}
+
 NodeId StateGraph::intern(const ioa::SystemState& s) {
-  const std::size_t h = s.hash();
-  auto& bucket = byHash_[h];
+  return internWithHash(s, s.hash()).id;
+}
+
+StateGraph::InternResult StateGraph::internWithHash(const ioa::SystemState& s,
+                                                    std::size_t hash) {
+  assertWriter();
+  auto& bucket = byHash_[hash];
   for (NodeId id : bucket) {
-    if (states_[id].equals(s)) return id;
+    if (states_[id].equals(s)) return {id, false};
   }
   const NodeId id = static_cast<NodeId>(states_.size());
   states_.push_back(s);
   succ_.emplace_back();
   parent_.emplace_back();
   bucket.push_back(id);
-  return id;
+  return {id, true};
+}
+
+StateGraph::InternResult StateGraph::internWithHash(ioa::SystemState&& s,
+                                                    std::size_t hash) {
+  assertWriter();
+  auto& bucket = byHash_[hash];
+  for (NodeId id : bucket) {
+    if (states_[id].equals(s)) return {id, false};
+  }
+  const NodeId id = static_cast<NodeId>(states_.size());
+  states_.push_back(std::move(s));
+  succ_.emplace_back();
+  parent_.emplace_back();
+  bucket.push_back(id);
+  return {id, true};
 }
 
 const std::vector<Edge>& StateGraph::successors(NodeId id) {
   if (succ_[id]) return *succ_[id];
+  assertWriter();
   std::vector<Edge> edges;
   // states_ is a deque: references remain valid across intern() insertions.
   const ioa::SystemState& s = states_[id];
@@ -28,18 +67,42 @@ const std::vector<Edge>& StateGraph::successors(NodeId id) {
     auto action = sys_.enabled(s, t);
     if (!action) continue;
     ioa::SystemState next = sys_.apply(s, *action);
-    const std::size_t before = states_.size();
-    const NodeId to = intern(next);
-    if (static_cast<std::size_t>(to) >= before) {
+    const std::size_t h = next.hash();
+    const InternResult r = internWithHash(std::move(next), h);
+    if (r.inserted) {
       // Newly discovered node: record its first-discovery parent so that
       // witness paths can be reconstructed. Externally interned roots keep
       // kNoNode and terminate pathTo().
-      parent_[to] = Parent{id, t, *action};
+      parent_[r.id] = Parent{id, t, *action};
     }
-    edges.push_back(Edge{t, std::move(*action), to});
+    edges.push_back(Edge{t, std::move(*action), r.id});
   }
   succ_[id] = std::move(edges);
   return *succ_[id];
+}
+
+const std::vector<Edge>* StateGraph::cachedSuccessors(NodeId id) const {
+  if (static_cast<std::size_t>(id) >= succ_.size() || !succ_[id]) {
+    return nullptr;
+  }
+  return &*succ_[id];
+}
+
+void StateGraph::setSuccessors(NodeId id, std::vector<Edge> edges) {
+  assertWriter();
+  if (succ_[id]) {
+    throw std::logic_error("StateGraph::setSuccessors: already cached");
+  }
+  succ_[id] = std::move(edges);
+}
+
+void StateGraph::setParent(NodeId id, NodeId from, const ioa::TaskId& task,
+                           const ioa::Action& action) {
+  assertWriter();
+  if (parent_[id].from != kNoNode) {
+    throw std::logic_error("StateGraph::setParent: parent already set");
+  }
+  parent_[id] = Parent{from, task, action};
 }
 
 std::optional<Edge> StateGraph::successorVia(NodeId id, const ioa::TaskId& e) {

@@ -13,11 +13,22 @@
 // are canonical; successors are expanded lazily; the first-discovery parent
 // of each node is kept so that witness executions (paths from an
 // initialization to an interesting configuration) can be reconstructed.
+//
+// CONCURRENCY CONTRACT (single writer): StateGraph is NOT thread-safe.
+// intern(), successors(), successorVia(), setSuccessors() and setParent()
+// mutate the lazy caches and must only be called from one thread at a time
+// (debug builds assert this). The parallel exploration engine
+// (analysis/parallel_explorer.h) honors the contract by doing all of its
+// concurrent work in a private sharded table and touching the StateGraph
+// only from the calling thread during its deterministic install pass; the
+// const accessors (state(), size(), cachedSuccessors(), pathTo(), rootOf())
+// are safe to call concurrently only while no writer is active.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -36,12 +47,23 @@ struct Edge {
 
 class StateGraph {
  public:
-  explicit StateGraph(const ioa::System& sys) : sys_(sys) {}
+  explicit StateGraph(const ioa::System& sys);
 
   const ioa::System& system() const { return sys_; }
 
   // Canonical node id for `s` (inserted if new).
   NodeId intern(const ioa::SystemState& s);
+
+  // Interning with a precomputed hash (must equal s.hash()); the rvalue
+  // overload moves the state into the graph when it is new. `inserted`
+  // distinguishes first discovery from a lookup hit, which is what decides
+  // whether a first-discovery parent may be attached.
+  struct InternResult {
+    NodeId id = kNoNode;
+    bool inserted = false;
+  };
+  InternResult internWithHash(const ioa::SystemState& s, std::size_t hash);
+  InternResult internWithHash(ioa::SystemState&& s, std::size_t hash);
 
   const ioa::SystemState& state(NodeId id) const { return states_[id]; }
   std::size_t size() const { return states_.size(); }
@@ -49,6 +71,22 @@ class StateGraph {
   // All failure-free locally controlled transitions out of `id` (lazily
   // computed, cached). One edge per applicable task (determinism).
   const std::vector<Edge>& successors(NodeId id);
+
+  // The cached successor list, or nullptr if `id` has not been expanded
+  // yet. Never triggers expansion, so it is const (and safe to call while
+  // no writer is active).
+  const std::vector<Edge>* cachedSuccessors(NodeId id) const;
+
+  // Install an externally computed successor list (the parallel explorer's
+  // install pass). Precondition: `id` has no cached successors yet, and the
+  // edges are exactly what successors(id) would compute (one edge per
+  // applicable task, in allTasks() order).
+  void setSuccessors(NodeId id, std::vector<Edge> edges);
+
+  // Record the first-discovery parent of a node created by an external
+  // expansion pass. Precondition: `id` currently has no parent.
+  void setParent(NodeId id, NodeId from, const ioa::TaskId& task,
+                 const ioa::Action& action);
 
   // The unique e-successor of `id`, if task e is applicable.
   std::optional<Edge> successorVia(NodeId id, const ioa::TaskId& e);
@@ -67,11 +105,16 @@ class StateGraph {
     ioa::Action action;
   };
 
+  void assertWriter() const;
+
   const ioa::System& sys_;
   std::deque<ioa::SystemState> states_;  // stable storage
   std::vector<std::optional<std::vector<Edge>>> succ_;
   std::vector<Parent> parent_;
   std::unordered_map<std::size_t, std::vector<NodeId>> byHash_;
+#ifndef NDEBUG
+  std::thread::id writer_;  // single-writer expectation, asserted in debug
+#endif
 };
 
 }  // namespace boosting::analysis

@@ -36,6 +36,14 @@ void ValenceAnalyzer::explore(NodeId root) {
   ensureSize();
   if (root < bits_.size() && (bits_[root] & kExplored) != 0) return;
 
+  // Parallel pre-expansion (no-op for threads=1): fills the successor
+  // caches of the whole unexplored region with canonical node numbering,
+  // so the serial BFS below touches only cached data. Already-explored
+  // nodes fence the traversal exactly as they fence the BFS below.
+  expandRegionParallel(g_, root, policy_,
+                       [this](NodeId id) { return explored(id); });
+  ensureSize();
+
   // Phase 1: BFS the unexplored region; collect predecessor lists and seed
   // direct-decision bits.
   std::vector<NodeId> region;

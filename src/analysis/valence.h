@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "analysis/parallel_explorer.h"
 #include "analysis/state_graph.h"
 #include "util/value.h"
 
@@ -31,6 +32,14 @@ class ValenceAnalyzer {
   // supplied for other binary-decision problems.
   explicit ValenceAnalyzer(StateGraph& g, util::Value dec0 = util::Value(0),
                            util::Value dec1 = util::Value(1));
+
+  // Exploration policy for region expansion. threads=1 (the default)
+  // reproduces the legacy serial behaviour byte-for-byte; threads>1 runs
+  // the confluent parallel engine of analysis/parallel_explorer.h for the
+  // expansion phase (the dominant cost) and then the usual serial
+  // reverse-propagation over the -- now fully cached -- region.
+  void setPolicy(const ExplorationPolicy& policy) { policy_ = policy; }
+  const ExplorationPolicy& policy() const { return policy_; }
 
   // Expand the full failure-free reachable region of `root` and compute
   // decision reachability for every node in it. Idempotent; regions of
@@ -49,6 +58,7 @@ class ValenceAnalyzer {
  private:
   StateGraph& g_;
   util::Value dec0_, dec1_;
+  ExplorationPolicy policy_;
   // Per node: bit0 = decide(0) reachable, bit1 = decide(1) reachable,
   // bit7 = explored.
   std::vector<std::uint8_t> bits_;

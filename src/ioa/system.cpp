@@ -47,7 +47,7 @@ void System::addProcess(std::shared_ptr<const Automaton> p) {
     throw std::logic_error("System: add all processes before services");
   }
   processes_.push_back(std::move(p));
-  taskCache_.clear();
+  rebuildTaskCache();
 }
 
 void System::addService(std::shared_ptr<const Automaton> s, ServiceMeta meta) {
@@ -63,7 +63,7 @@ void System::addService(std::shared_ptr<const Automaton> s, ServiceMeta meta) {
   serviceSlotById_[meta.id] = processes_.size() + services_.size();
   services_.push_back(std::move(s));
   serviceMetas_.push_back(std::move(meta));
-  taskCache_.clear();
+  rebuildTaskCache();
 }
 
 std::size_t System::slotForService(int serviceId) const {
@@ -110,19 +110,20 @@ SystemState System::initialState() const {
   return s;
 }
 
-const std::vector<TaskId>& System::allTasks() const {
-  if (taskCache_.empty()) {
-    for (const auto& p : processes_) {
-      for (const TaskId& t : p->tasks()) taskCache_.push_back(t);
-    }
-    for (const auto& [id, slot] : serviceSlotById_) {
-      (void)id;
-      for (const TaskId& t : services_[slot - processes_.size()]->tasks()) {
-        taskCache_.push_back(t);
-      }
+// Rebuilt eagerly on every addProcess/addService so that allTasks() is a
+// pure read: concurrent analysis workers may call it (and enabled()/
+// apply()) on a fully built system without synchronization.
+void System::rebuildTaskCache() {
+  taskCache_.clear();
+  for (const auto& p : processes_) {
+    for (const TaskId& t : p->tasks()) taskCache_.push_back(t);
+  }
+  for (const auto& [id, slot] : serviceSlotById_) {
+    (void)id;
+    for (const TaskId& t : services_[slot - processes_.size()]->tasks()) {
+      taskCache_.push_back(t);
     }
   }
-  return taskCache_;
 }
 
 std::optional<Action> System::enabled(const SystemState& s,

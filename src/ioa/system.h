@@ -91,8 +91,12 @@ class System {
   SystemState initialState() const;
 
   // All tasks of the composition, in a fixed deterministic order (process
-  // tasks first, then service tasks grouped per service).
-  const std::vector<TaskId>& allTasks() const;
+  // tasks first, then service tasks grouped per service). The list is
+  // rebuilt eagerly whenever a component is added, so this accessor (like
+  // enabled()/apply(), which are pure over immutable automata) is safe for
+  // concurrent callers once the system is fully built -- the contract the
+  // parallel exploration engine relies on.
+  const std::vector<TaskId>& allTasks() const { return taskCache_; }
 
   // The unique action enabled for task `t` in `s`, if any.
   std::optional<Action> enabled(const SystemState& s, const TaskId& t) const;
@@ -112,11 +116,13 @@ class System {
   void injectFail(SystemState& s, int endpoint) const;
 
  private:
+  void rebuildTaskCache();
+
   std::vector<std::shared_ptr<const Automaton>> processes_;
   std::vector<std::shared_ptr<const Automaton>> services_;
   std::vector<ServiceMeta> serviceMetas_;
   std::map<int, std::size_t> serviceSlotById_;  // id -> absolute slot
-  mutable std::vector<TaskId> taskCache_;
+  std::vector<TaskId> taskCache_;
 };
 
 }  // namespace boosting::ioa

@@ -8,7 +8,12 @@
 //
 // Usage:
 //   boosting_analyze --candidate relay --n 3 --f 1 [--claim 2]
-//                    [--brute] [--witness trace.txt] [--dot graph.dot]
+//                    [--threads T] [--brute] [--witness trace.txt]
+//                    [--dot graph.dot]
+//
+// --threads T runs every G(C) exploration of the pipeline on T
+// work-stealing workers (0 = hardware concurrency). The verdict and all
+// proof artifacts are identical for any T; only the wall clock changes.
 //
 // Candidates:
 //   relay      n processes over one f-resilient consensus object
@@ -39,6 +44,7 @@ struct Options {
   int n = 2;
   int f = 0;
   int claim = -1;  // default: f + 1
+  unsigned threads = 1;
   bool brute = false;
   std::string witnessPath;
   std::string dotPath;
@@ -47,8 +53,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --candidate relay|bridge|tob|flooding|single-fd "
-               "--n N --f F [--claim C] [--brute] [--witness FILE] "
-               "[--dot FILE]\n",
+               "--n N --f F [--claim C] [--threads T] [--brute] "
+               "[--witness FILE] [--dot FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -115,6 +121,10 @@ int main(int argc, char** argv) {
       opt.f = std::atoi(needArg("--f"));
     } else if (std::strcmp(argv[i], "--claim") == 0) {
       opt.claim = std::atoi(needArg("--claim"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const int t = std::atoi(needArg("--threads"));
+      if (t < 0) usage(argv[0]);
+      opt.threads = static_cast<unsigned>(t);
     } else if (std::strcmp(argv[i], "--brute") == 0) {
       opt.brute = true;
     } else if (std::strcmp(argv[i], "--witness") == 0) {
@@ -129,8 +139,8 @@ int main(int argc, char** argv) {
 
   auto sys = buildCandidate(opt);
   std::printf("candidate '%s': n=%d, service resilience f=%d, claimed to "
-              "tolerate %d failures\n",
-              opt.candidate.c_str(), opt.n, opt.f, opt.claim);
+              "tolerate %d failures (exploration threads: %u)\n",
+              opt.candidate.c_str(), opt.n, opt.f, opt.claim, opt.threads);
 
   if (opt.brute) {
     auto report = analysis::searchTerminationCounterexample(*sys, opt.claim);
@@ -157,6 +167,7 @@ int main(int argc, char** argv) {
   analysis::AdversaryConfig cfg;
   cfg.claimedFailures = opt.claim;
   cfg.exemptFailureAware = true;
+  cfg.exploration.threads = opt.threads;
   auto report = analysis::analyzeConsensusCandidate(*sys, cfg);
 
   std::printf("\ninitializations (Lemma 4):\n");
