@@ -5,10 +5,13 @@
 // the cap makes the explored set scheduling-dependent, which is fine for a
 // throughput benchmark (and exactly why capped runs are documented as
 // non-certificate-grade in analysis/parallel_explorer.h).
+// Results are also written to BENCH_parallel_explore.json (override with
+// BENCH_JSON=path) for CI artifacts and EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
 #include "analysis/bivalence.h"
 #include "analysis/parallel_explorer.h"
+#include "bench_json.h"
 #include "processes/flooding_consensus.h"
 #include "processes/relay_consensus.h"
 #include "processes/rotating_consensus.h"
@@ -94,3 +97,8 @@ BENCHMARK(BM_ParallelExploreRotating)
 BENCHMARK(BM_ParallelExploreFlooding)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+int main(int argc, char** argv) {
+  return boosting::benchjson::runBenchmarks(argc, argv,
+                                            "BENCH_parallel_explore.json");
+}

@@ -1,17 +1,26 @@
 // E9 (Sections 3.2-3.3): raw throughput of the execution-graph machinery
-// that every certificate rests on -- state interning/hashing, successor
-// expansion, and full reachable-set exploration with valence computation.
+// that every certificate rests on -- state copying/hashing, successor
+// expansion, and full reachable-set exploration with valence computation,
+// over both the relay and TOB fixtures.
+//
+// Exploration uses the engine's own serial BFS (analysis::exploreReachable
+// with threads=1), so states/sec here is exactly what the certificate
+// pipeline sees. Besides wall-clock rates, each exploration run reports the
+// SystemState perf counters (state copies, COW slot clones, slot rehashes)
+// per discovered state, which is what the copy-on-write representation is
+// meant to shrink. Results are also written to BENCH_state_explore.json
+// (override with BENCH_JSON=path) for CI artifacts and EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
-#include <deque>
-#include <set>
-
 #include "analysis/bivalence.h"
+#include "analysis/parallel_explorer.h"
 #include "analysis/valence.h"
+#include "bench_json.h"
 #include "processes/relay_consensus.h"
+#include "processes/tob_consensus.h"
 
 using namespace boosting;
-using analysis::Edge;
+using analysis::ExplorationPolicy;
 using analysis::NodeId;
 using analysis::StateGraph;
 using analysis::ValenceAnalyzer;
@@ -26,11 +35,27 @@ std::unique_ptr<ioa::System> relay(int n, int f) {
   return processes::buildRelayConsensusSystem(spec);
 }
 
+std::unique_ptr<ioa::System> tob(int n) {
+  processes::TOBConsensusSpec spec;
+  spec.processCount = n;
+  return processes::buildTOBConsensusSystem(spec);
+}
+
 void BM_StateHash(benchmark::State& state) {
   auto sys = relay(static_cast<int>(state.range(0)), 0);
   ioa::SystemState s = analysis::canonicalInitialization(*sys, 1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(s.hash());
+  }
+}
+
+void BM_StateHashColdCache(benchmark::State& state) {
+  // Worst case for the per-slot caches: every slot's hash is recomputed
+  // (fullRehash bypasses the memoization entirely).
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  ioa::SystemState s = analysis::canonicalInitialization(*sys, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.fullRehash());
   }
 }
 
@@ -43,29 +68,85 @@ void BM_StateClone(benchmark::State& state) {
   }
 }
 
-void BM_ReachableExpansion(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto sys = relay(n, 0);
+// Full failure-free reachable region from the canonical initialization
+// alpha_{n/2}, expanded by the engine's own serial BFS. Reports states/sec
+// plus the COW counters normalized per discovered state.
+void exploreSerial(const ioa::System& sys, benchmark::State& state) {
   std::size_t states = 0;
   std::int64_t expanded = 0;
+  const ioa::StatePerfCounters before = ioa::statePerfSnapshot();
   for (auto _ : state) {
-    StateGraph g(*sys);
-    NodeId root = g.intern(analysis::canonicalInitialization(*sys, n / 2));
-    std::deque<NodeId> frontier{root};
-    std::set<NodeId> seen{root};
-    while (!frontier.empty()) {
-      NodeId x = frontier.front();
-      frontier.pop_front();
-      ++expanded;
-      for (const Edge& e : g.successors(x)) {
-        if (seen.insert(e.to).second) frontier.push_back(e.to);
-      }
-    }
+    StateGraph g(sys);
+    NodeId root = g.intern(
+        analysis::canonicalInitialization(sys, sys.processCount() / 2));
+    auto stats =
+        analysis::exploreReachable(g, root, ExplorationPolicy{1, 0});
+    expanded += static_cast<std::int64_t>(stats.statesDiscovered);
     states = g.size();
   }
+  const ioa::StatePerfCounters after = ioa::statePerfSnapshot();
+  const double denom = expanded > 0 ? static_cast<double>(expanded) : 1.0;
   state.counters["states"] = static_cast<double>(states);
   state.counters["states_per_sec"] = benchmark::Counter(
       static_cast<double>(expanded), benchmark::Counter::kIsRate);
+  state.counters["state_copies_per_state"] =
+      static_cast<double>(after.stateCopies - before.stateCopies) / denom;
+  state.counters["slot_clones_per_state"] =
+      static_cast<double>(after.slotClones - before.slotClones) / denom;
+  state.counters["slot_hashes_per_state"] =
+      static_cast<double>(after.slotHashes - before.slotHashes) / denom;
+}
+
+void BM_ReachableExpansion(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  exploreSerial(*sys, state);
+}
+
+void BM_ReachableExpansionTob(benchmark::State& state) {
+  auto sys = tob(static_cast<int>(state.range(0)));
+  exploreSerial(*sys, state);
+}
+
+// Headline workload: the analyzer's actual hot loop. The bivalence search
+// (analysis/bivalence.cpp) explores the failure-free region of EVERY
+// canonical initialization alpha_0..alpha_n on one shared StateGraph, so
+// regions overlap and re-expansion, hash-consing, and transition
+// memoization across regions are all exercised exactly as in production.
+void regionScan(const ioa::System& sys, benchmark::State& state) {
+  const int n = sys.processCount();
+  std::size_t states = 0;
+  std::int64_t expanded = 0;
+  const ioa::StatePerfCounters before = ioa::statePerfSnapshot();
+  for (auto _ : state) {
+    StateGraph g(sys);
+    for (int j = 0; j <= n; ++j) {
+      NodeId root = g.intern(analysis::canonicalInitialization(sys, j));
+      auto stats = analysis::exploreReachable(g, root, ExplorationPolicy{1, 0});
+      expanded += static_cast<std::int64_t>(stats.statesDiscovered);
+    }
+    states = g.size();
+  }
+  const ioa::StatePerfCounters after = ioa::statePerfSnapshot();
+  const double denom = expanded > 0 ? static_cast<double>(expanded) : 1.0;
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(expanded), benchmark::Counter::kIsRate);
+  state.counters["state_copies_per_state"] =
+      static_cast<double>(after.stateCopies - before.stateCopies) / denom;
+  state.counters["slot_clones_per_state"] =
+      static_cast<double>(after.slotClones - before.slotClones) / denom;
+  state.counters["slot_hashes_per_state"] =
+      static_cast<double>(after.slotHashes - before.slotHashes) / denom;
+}
+
+void BM_RegionScanRelay(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  regionScan(*sys, state);
+}
+
+void BM_RegionScanTob(benchmark::State& state) {
+  auto sys = tob(static_cast<int>(state.range(0)));
+  regionScan(*sys, state);
 }
 
 void BM_ValenceFullRegion(benchmark::State& state) {
@@ -86,6 +167,15 @@ void BM_ValenceFullRegion(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_StateHash)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_StateHashColdCache)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_StateClone)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_ReachableExpansion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReachableExpansionTob)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegionScanRelay)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegionScanTob)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ValenceFullRegion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  return boosting::benchjson::runBenchmarks(argc, argv,
+                                            "BENCH_state_explore.json");
+}

@@ -39,6 +39,7 @@ struct PNode {
   ioa::SystemState state;
   std::size_t hash = 0;
   std::vector<PEdge> succ;
+  std::uint32_t nextSameHash = UINT32_MAX;  // intrusive shard hash chain
   bool expanded = false;  // written by the sole expanding worker, read
                           // only after the workers have been joined
 };
@@ -73,7 +74,8 @@ struct ParallelExplorer::Impl {
   struct Shard {
     std::mutex m;
     std::deque<PNode> nodes;  // deque: references stable across push_back
-    std::unordered_map<std::size_t, std::vector<std::uint32_t>> byHash;
+    // hash -> head of an intrusive chain through PNode::nextSameHash.
+    std::unordered_map<std::size_t, std::uint32_t> headByHash;
   };
 
   struct WorkQueue {
@@ -87,6 +89,9 @@ struct ParallelExplorer::Impl {
   unsigned workers = 1;
 
   std::vector<Shard> shards{kShards};
+  // Striped slot hash-consing shared by all workers: probe states are
+  // thread-private while being canonicalized; only the table is shared.
+  ioa::SlotCanonTable slotCanon{/*concurrent=*/true};
   std::vector<WorkQueue> queues;
 
   std::atomic<std::int64_t> inflight{0};
@@ -125,18 +130,23 @@ struct ParallelExplorer::Impl {
   // Intern into the private table. Returns (handle, inserted).
   std::pair<PHandle, bool> internTable(ioa::SystemState&& s,
                                        std::size_t hash) {
+    // Canonicalize outside the shard lock (stripe locks are disjoint from
+    // shard locks, and `s` is still private to this worker).
+    slotCanon.canonicalize(s);
     const std::size_t shardIdx = hash & (kShards - 1);
     Shard& sh = shards[shardIdx];
     std::lock_guard<std::mutex> lock(sh.m);
-    auto& bucket = sh.byHash[hash];
-    for (std::uint32_t idx : bucket) {
+    auto [it, fresh] = sh.headByHash.try_emplace(hash, UINT32_MAX);
+    (void)fresh;
+    for (std::uint32_t idx = it->second; idx != UINT32_MAX;
+         idx = sh.nodes[idx].nextSameHash) {
       if (sh.nodes[idx].state.equals(s)) {
         return {makeHandle(shardIdx, idx), false};
       }
     }
     const std::uint32_t idx = static_cast<std::uint32_t>(sh.nodes.size());
-    sh.nodes.push_back(PNode{std::move(s), hash, {}, false});
-    bucket.push_back(idx);
+    sh.nodes.push_back(PNode{std::move(s), hash, {}, it->second, false});
+    it->second = idx;
     return {makeHandle(shardIdx, idx), true};
   }
 
@@ -172,14 +182,16 @@ struct ParallelExplorer::Impl {
     }
   }
 
-  void expandNode(unsigned self, PHandle h) {
+  void expandNode(unsigned self, PHandle h, TransitionCache& transitions) {
     PNode* n = nodePtr(h);
     std::vector<PEdge> succ;
-    for (const ioa::TaskId& t : sys.allTasks()) {
-      auto action = sys.enabled(n->state, t);
+    const std::vector<ioa::TaskId>& tasks = sys.allTasks();
+    succ.reserve(tasks.size());
+    ioa::SystemState next;  // reusable successor buffer (see step())
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+      const ioa::Action* action = transitions.step(n->state, ti, &next);
       if (!action) continue;
       edges.fetch_add(1, std::memory_order_relaxed);
-      ioa::SystemState next = sys.apply(n->state, *action);
       const std::size_t hash = next.hash();
       auto [child, inserted] = internTable(std::move(next), hash);
       if (inserted) {
@@ -193,17 +205,20 @@ struct ParallelExplorer::Impl {
           pushWork(self, child);
         }
       }
-      succ.push_back(PEdge{t, std::move(*action), child});
+      succ.push_back(PEdge{tasks[ti], *action, child});
     }
     n->succ = std::move(succ);
     n->expanded = true;
   }
 
   void workerLoop(unsigned self) {
+    // Worker-local transition memo over the shared (striped) canon table:
+    // no locking on lookups; only first-time computations touch stripes.
+    TransitionCache transitions(sys, slotCanon);
     PHandle h = 0;
     while (popWork(self, &h)) {
       try {
-        expandNode(self, h);
+        expandNode(self, h, transitions);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(errMutex);

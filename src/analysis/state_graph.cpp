@@ -6,7 +6,8 @@
 
 namespace boosting::analysis {
 
-StateGraph::StateGraph(const ioa::System& sys) : sys_(sys) {
+StateGraph::StateGraph(const ioa::System& sys)
+    : sys_(sys), transitions_(sys, slotCanon_) {
 #ifndef NDEBUG
   writer_ = std::this_thread::get_id();
 #endif
@@ -29,31 +30,27 @@ NodeId StateGraph::intern(const ioa::SystemState& s) {
 
 StateGraph::InternResult StateGraph::internWithHash(const ioa::SystemState& s,
                                                     std::size_t hash) {
-  assertWriter();
-  auto& bucket = byHash_[hash];
-  for (NodeId id : bucket) {
-    if (states_[id].equals(s)) return {id, false};
-  }
-  const NodeId id = static_cast<NodeId>(states_.size());
-  states_.push_back(s);
-  succ_.emplace_back();
-  parent_.emplace_back();
-  bucket.push_back(id);
-  return {id, true};
+  // Copying is a refcount bump per slot under the COW representation, so
+  // the copy-then-move keeps one canonicalizing hot path.
+  ioa::SystemState copy(s);
+  return internWithHash(std::move(copy), hash);
 }
 
 StateGraph::InternResult StateGraph::internWithHash(ioa::SystemState&& s,
                                                     std::size_t hash) {
   assertWriter();
-  auto& bucket = byHash_[hash];
-  for (NodeId id : bucket) {
+  slotCanon_.canonicalize(s);
+  auto [it, fresh] = headByHash_.try_emplace(hash, kNoNode);
+  for (NodeId id = it->second; id != kNoNode; id = nextSameHash_[id]) {
     if (states_[id].equals(s)) return {id, false};
   }
+  (void)fresh;
   const NodeId id = static_cast<NodeId>(states_.size());
   states_.push_back(std::move(s));
   succ_.emplace_back();
   parent_.emplace_back();
-  bucket.push_back(id);
+  nextSameHash_.push_back(it->second);
+  it->second = id;
   return {id, true};
 }
 
@@ -63,19 +60,21 @@ const std::vector<Edge>& StateGraph::successors(NodeId id) {
   std::vector<Edge> edges;
   // states_ is a deque: references remain valid across intern() insertions.
   const ioa::SystemState& s = states_[id];
-  for (const ioa::TaskId& t : sys_.allTasks()) {
-    auto action = sys_.enabled(s, t);
+  const std::vector<ioa::TaskId>& tasks = sys_.allTasks();
+  edges.reserve(tasks.size());
+  ioa::SystemState next;  // reusable successor buffer (see step())
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    const ioa::Action* action = transitions_.step(s, ti, &next);
     if (!action) continue;
-    ioa::SystemState next = sys_.apply(s, *action);
     const std::size_t h = next.hash();
     const InternResult r = internWithHash(std::move(next), h);
     if (r.inserted) {
       // Newly discovered node: record its first-discovery parent so that
       // witness paths can be reconstructed. Externally interned roots keep
       // kNoNode and terminate pathTo().
-      parent_[r.id] = Parent{id, t, *action};
+      parent_[r.id] = Parent{id, tasks[ti], *action};
     }
-    edges.push_back(Edge{t, std::move(*action), r.id});
+    edges.push_back(Edge{tasks[ti], *action, r.id});
   }
   succ_[id] = std::move(edges);
   return *succ_[id];

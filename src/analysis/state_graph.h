@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/transition_cache.h"
 #include "ioa/system.h"
 
 namespace boosting::analysis {
@@ -111,7 +112,17 @@ class StateGraph {
   std::deque<ioa::SystemState> states_;  // stable storage
   std::vector<std::optional<std::vector<Edge>>> succ_;
   std::vector<Parent> parent_;
-  std::unordered_map<std::size_t, std::vector<NodeId>> byHash_;
+  // Interning index: hash -> head of an intrusive chain through
+  // nextSameHash_ (no per-bucket vector allocations on the hot path).
+  std::unordered_map<std::size_t, NodeId> headByHash_;
+  std::vector<NodeId> nextSameHash_;
+  // Slot hash-consing: states are canonicalized before probing/storing so
+  // bucket equality resolves by per-slot pointer identity (single-writer,
+  // like every other mutating member).
+  ioa::SlotCanonTable slotCanon_;
+  // Memoized component transitions over the canonical slots (declared after
+  // slotCanon_: construction order). successors() expands edges through it.
+  TransitionCache transitions_;
 #ifndef NDEBUG
   std::thread::id writer_;  // single-writer expectation, asserted in debug
 #endif

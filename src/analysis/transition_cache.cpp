@@ -1,0 +1,62 @@
+#include "analysis/transition_cache.h"
+
+namespace boosting::analysis {
+
+TransitionCache::TransitionCache(const ioa::System& sys,
+                                 ioa::SlotCanonTable& canon)
+    : sys_(sys), canon_(canon) {
+  const auto& tasks = sys.allTasks();
+  ownerSlot_.reserve(tasks.size());
+  for (const ioa::TaskId& t : tasks) ownerSlot_.push_back(sys.ownerSlot(t));
+}
+
+const ioa::Action* TransitionCache::step(const ioa::SystemState& s,
+                                         std::size_t taskIndex,
+                                         ioa::SystemState* next) {
+  const ioa::AutomatonState* owner = &s.part(ownerSlot_[taskIndex]);
+  auto [it, fresh] = entries_.try_emplace(Key{owner, taskIndex});
+  TaskEntry& e = it->second;  // stable: unordered_map nodes don't move
+  if (fresh) {
+    auto a = sys_.enabled(s, sys_.allTasks()[taskIndex]);
+    e.enabled = a.has_value();
+    if (e.enabled) {
+      e.action = std::move(*a);
+      sys_.forEachParticipant(e.action, [&e](std::size_t slot) {
+        e.participants.push_back(Participant{slot, {}});
+      });
+    }
+  }
+  if (!e.enabled) return nullptr;
+
+  // Prepare the scratch buffer: a fresh (or moved-from, or foreign-source)
+  // buffer gets a full copy of s; a buffer still holding s's previous
+  // successor only has the previously touched slots reverted.
+  if (lastSource_ != &s || next->partCount() != s.partCount()) {
+    *next = s;  // refcount bumps only
+    lastSource_ = &s;
+  } else {
+    for (std::size_t slot : lastTouched_) {
+      next->adoptCanonicalSlot(slot, s.slotShared(slot), s.slotHashValue(slot));
+    }
+  }
+  lastTouched_.clear();
+  for (Participant& p : e.participants) {
+    const ioa::AutomatonState* cur = &s.part(p.slot);
+    auto [nit, miss] = p.next.try_emplace(cur);
+    if (miss) {
+      std::unique_ptr<ioa::AutomatonState> stepped = cur->clone();
+      sys_.componentAtSlot(p.slot).apply(*stepped, e.action);
+      std::shared_ptr<const ioa::AutomatonState> sp(std::move(stepped));
+      const std::size_t h = sp->hash();
+      ioa::statePerfNoteSlotClone();
+      ioa::statePerfNoteSlotHash();
+      nit->second = SlotNext{canon_.canonicalizeSlot(p.slot, std::move(sp), h),
+                             h};
+    }
+    next->adoptCanonicalSlot(p.slot, nit->second.state, nit->second.hash);
+    lastTouched_.push_back(p.slot);
+  }
+  return &e.action;
+}
+
+}  // namespace boosting::analysis

@@ -1,45 +1,185 @@
 #include "ioa/system.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "util/hashing.h"
 
 namespace boosting::ioa {
 
-SystemState::SystemState(const SystemState& other) {
-  parts_.reserve(other.parts_.size());
-  for (const auto& p : other.parts_) parts_.push_back(p->clone());
+namespace {
+
+// Relaxed tallies: cross-thread precision does not matter, cheapness does.
+std::atomic<std::uint64_t> gStateCopies{0};
+std::atomic<std::uint64_t> gSlotClones{0};
+std::atomic<std::uint64_t> gSlotHashes{0};
+
+// Position-salted slot mix: the combined hash is the XOR of these, so a
+// slot's contribution can be removed and re-added independently
+// (Zobrist-style). The salt keeps equal component states at different
+// slots from colliding or cancelling.
+std::size_t slotMix(std::size_t slot, std::size_t h) {
+  return static_cast<std::size_t>(
+      util::mix64(static_cast<std::uint64_t>(h) ^
+                  (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(slot) + 1))));
+}
+
+}  // namespace
+
+StatePerfCounters statePerfSnapshot() {
+  return StatePerfCounters{gStateCopies.load(std::memory_order_relaxed),
+                           gSlotClones.load(std::memory_order_relaxed),
+                           gSlotHashes.load(std::memory_order_relaxed)};
+}
+
+void statePerfReset() {
+  gStateCopies.store(0, std::memory_order_relaxed);
+  gSlotClones.store(0, std::memory_order_relaxed);
+  gSlotHashes.store(0, std::memory_order_relaxed);
+}
+
+void statePerfNoteSlotClone() {
+  gSlotClones.fetch_add(1, std::memory_order_relaxed);
+}
+
+void statePerfNoteSlotHash() {
+  gSlotHashes.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Copying is structural sharing: per slot a shared_ptr refcount bump plus
+// the cached hash -- no component state is cloned until a copy mutates.
+SystemState::SystemState(const SystemState& other)
+    : slots_(other.slots_), combined_(other.combined_) {
+  gStateCopies.fetch_add(1, std::memory_order_relaxed);
 }
 
 SystemState& SystemState::operator=(const SystemState& other) {
   if (this == &other) return *this;
-  SystemState copy(other);
-  parts_ = std::move(copy.parts_);
+  slots_ = other.slots_;
+  combined_ = other.combined_;
+  gStateCopies.fetch_add(1, std::memory_order_relaxed);
   return *this;
 }
 
+void SystemState::appendSlot(std::unique_ptr<AutomatonState> s) {
+  Slot sl;
+  sl.state = std::shared_ptr<const AutomatonState>(std::move(s));
+  slots_.push_back(std::move(sl));
+}
+
+AutomatonState& SystemState::mutablePart(std::size_t slot) {
+  Slot& sl = slots_[slot];
+  // use_count() == 1 proves unique ownership: any concurrent sharer would
+  // have had to copy from a shared_ptr it already holds (count >= 2).
+  if (sl.state.use_count() != 1) {
+    sl.state = std::shared_ptr<const AutomatonState>(sl.state->clone());
+    gSlotClones.fetch_add(1, std::memory_order_relaxed);
+  }
+  sl.canon = false;  // content is about to change
+  if (sl.hashValid) {
+    combined_ ^= slotMix(slot, sl.hash);  // retract the stale contribution
+    sl.hashValid = false;
+  }
+  // Safe: the object is uniquely owned here and was created non-const
+  // (initialState()/clone() return unique_ptr<AutomatonState>).
+  return const_cast<AutomatonState&>(*sl.state);
+}
+
+void SystemState::adoptCanonicalSlot(std::size_t slot,
+                                     std::shared_ptr<const AutomatonState> rep,
+                                     std::size_t repHash) {
+  Slot& sl = slots_[slot];
+  if (sl.state.get() == rep.get()) return;  // self-loop on this slot
+  if (sl.hashValid) combined_ ^= slotMix(slot, sl.hash);
+  sl.state = std::move(rep);
+  sl.hash = repHash;
+  sl.hashValid = true;
+  sl.canon = true;
+  combined_ ^= slotMix(slot, repHash);
+}
+
 std::size_t SystemState::hash() const {
-  std::size_t h = 0x51ab5e17u;
-  for (const auto& p : parts_) util::hashCombine(h, p->hash());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& sl = slots_[i];
+    if (sl.hashValid) continue;
+    sl.hash = sl.state->hash();
+    sl.hashValid = true;
+    combined_ ^= slotMix(i, sl.hash);
+    gSlotHashes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return combined_;
+}
+
+std::size_t SystemState::fullRehash() const {
+  std::size_t h = kSystemStateHashSeed;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    h ^= slotMix(i, slots_[i].state->hash());
+  }
   return h;
 }
 
 bool SystemState::equals(const SystemState& other) const {
-  if (parts_.size() != other.parts_.size()) return false;
-  for (std::size_t i = 0; i < parts_.size(); ++i) {
-    if (!parts_[i]->equals(*other.parts_[i])) return false;
+  if (slots_.size() != other.slots_.size()) return false;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& a = slots_[i];
+    const Slot& b = other.slots_[i];
+    if (a.state.get() == b.state.get()) continue;  // structural sharing
+    if (a.hashValid && b.hashValid && a.hash != b.hash) return false;
+    if (!a.state->equals(*b.state)) return false;
   }
   return true;
 }
 
 std::string SystemState::str() const {
   std::string out;
-  for (std::size_t i = 0; i < parts_.size(); ++i) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (i > 0) out += "\n";
-    out += "  [" + std::to_string(i) + "] " + parts_[i]->str();
+    out += "  [" + std::to_string(i) + "] " + slots_[i].state->str();
   }
   return out;
+}
+
+struct SlotCanonTable::Stripe {
+  std::mutex m;
+  // key (mixed slot index + slot hash) -> representatives with that key.
+  // The chain is almost always a single entry; longer chains only on slot
+  // hash collisions.
+  std::unordered_map<std::size_t,
+                     std::vector<std::shared_ptr<const AutomatonState>>>
+      byKey;
+};
+
+SlotCanonTable::SlotCanonTable(bool concurrent)
+    : concurrent_(concurrent), stripes_(concurrent ? 64 : 1) {}
+
+SlotCanonTable::~SlotCanonTable() = default;
+
+std::shared_ptr<const AutomatonState> SlotCanonTable::canonicalizeSlot(
+    std::size_t slot, std::shared_ptr<const AutomatonState> probe,
+    std::size_t probeHash) {
+  const std::size_t key = slotMix(slot, probeHash);
+  Stripe& st = stripes_[concurrent_ ? (key & (stripes_.size() - 1)) : 0];
+  std::unique_lock<std::mutex> lock(st.m, std::defer_lock);
+  if (concurrent_) lock.lock();
+  auto& chain = st.byKey[key];
+  for (const auto& rep : chain) {
+    if (rep.get() == probe.get() || rep->equals(*probe)) return rep;
+  }
+  chain.push_back(probe);
+  return probe;
+}
+
+void SlotCanonTable::canonicalize(SystemState& s) {
+  s.hash();  // flush per-slot caches so every slot hash is valid
+  for (std::size_t i = 0; i < s.slots_.size(); ++i) {
+    SystemState::Slot& sl = s.slots_[i];
+    if (sl.canon) continue;  // already a representative somewhere
+    sl.state = canonicalizeSlot(i, sl.state, sl.hash);
+    sl.canon = true;
+  }
 }
 
 void System::addProcess(std::shared_ptr<const Automaton> p) {
@@ -104,9 +244,9 @@ const Automaton& System::componentAtSlot(std::size_t slot) const {
 
 SystemState System::initialState() const {
   SystemState s;
-  s.parts_.reserve(processes_.size() + services_.size());
-  for (const auto& p : processes_) s.parts_.push_back(p->initialState());
-  for (const auto& svc : services_) s.parts_.push_back(svc->initialState());
+  s.slots_.reserve(processes_.size() + services_.size());
+  for (const auto& p : processes_) s.appendSlot(p->initialState());
+  for (const auto& svc : services_) s.appendSlot(svc->initialState());
   return s;
 }
 
@@ -126,61 +266,36 @@ void System::rebuildTaskCache() {
   }
 }
 
-std::optional<Action> System::enabled(const SystemState& s,
-                                      const TaskId& t) const {
-  std::size_t slot = 0;
+std::size_t System::ownerSlot(const TaskId& t) const {
   switch (t.owner) {
     case TaskOwner::Process:
-      slot = slotForProcess(t.component);
-      break;
+      return slotForProcess(t.component);
     case TaskOwner::ServicePerform:
     case TaskOwner::ServiceOutput:
     case TaskOwner::ServiceCompute:
-      slot = slotForService(t.component);
       break;
   }
+  return slotForService(t.component);
+}
+
+std::optional<Action> System::enabled(const SystemState& s,
+                                      const TaskId& t) const {
+  const std::size_t slot = ownerSlot(t);
   return componentAtSlot(slot).enabledAction(s.part(slot), t);
 }
 
 std::vector<std::size_t> System::participants(const Action& a) const {
   std::vector<std::size_t> out;
-  switch (a.kind) {
-    case ActionKind::EnvInit:
-    case ActionKind::EnvDecide:
-    case ActionKind::ProcStep:
-    case ActionKind::ProcDummy:
-      out.push_back(slotForProcess(a.endpoint));
-      break;
-    case ActionKind::Invoke:
-    case ActionKind::Respond:
-      out.push_back(slotForProcess(a.endpoint));
-      out.push_back(slotForService(a.component));
-      break;
-    case ActionKind::Perform:
-    case ActionKind::DummyPerform:
-    case ActionKind::DummyOutput:
-    case ActionKind::Compute:
-    case ActionKind::DummyCompute:
-      out.push_back(slotForService(a.component));
-      break;
-    case ActionKind::Fail:
-      // fail_i: input of P_i and of every service with i in J_c.
-      out.push_back(slotForProcess(a.endpoint));
-      for (std::size_t k = 0; k < services_.size(); ++k) {
-        const auto& ends = serviceMetas_[k].endpoints;
-        if (std::find(ends.begin(), ends.end(), a.endpoint) != ends.end()) {
-          out.push_back(processes_.size() + k);
-        }
-      }
-      break;
-  }
+  forEachParticipant(a, [&out](std::size_t slot) { out.push_back(slot); });
   return out;
 }
 
 void System::applyInPlace(SystemState& s, const Action& a) const {
-  for (std::size_t slot : participants(a)) {
-    componentAtSlot(slot).apply(s.part(slot), a);
-  }
+  // mutablePart detaches (COW) and invalidates exactly the participant
+  // slots, so the subsequent re-hash touches only those.
+  forEachParticipant(a, [this, &s, &a](std::size_t slot) {
+    componentAtSlot(slot).apply(s.mutablePart(slot), a);
+  });
 }
 
 SystemState System::apply(const SystemState& s, const Action& a) const {

@@ -15,6 +15,22 @@
 // (clonable, hashable, comparable), which is what allows the analysis
 // engine to explore the execution tree G(C) of Section 3.3 explicitly.
 //
+// Representation (see DESIGN.md "State representation"): slots hold
+// copy-on-write shared component states, so copying a SystemState is a
+// refcount bump per slot, and mutation detaches (clones) only the slots an
+// action actually touches -- at most two, plus the fail fan-out. Each slot
+// carries a cached component hash, and the combined hash is maintained
+// incrementally as a position-salted XOR (Zobrist-style), so re-hashing
+// after a transition recombines only the touched slots. This drops the
+// per-edge cost of BFS over G(C) from O(total state size) to
+// O(participants).
+//
+// Sharing discipline: a slot whose cached hash is stale is never shared
+// across threads. mutablePart() detaches before invalidating, and every
+// state published to another thread (interned into a graph or the parallel
+// explorer's table) has been hash()-flushed first, so concurrent readers
+// only ever see clean, immutable slots (shared_ptr refcounts are atomic).
+//
 // ServiceMeta records the connection pattern J_c, the resilience level f_c,
 // and whether the service is failure-aware -- the data that Theorems 2, 9
 // and 10 quantify over (arbitrary connection patterns for atomic objects
@@ -22,6 +38,8 @@
 // services).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -40,6 +58,24 @@ struct ServiceMeta {
   bool isRegister = false;      // true for canonical reliable registers
 };
 
+// Cheap global tallies of the state-representation hot path, for benches
+// and perf-regression tracking (relaxed atomics; zero when unused).
+struct StatePerfCounters {
+  std::uint64_t stateCopies = 0;  // SystemState copy ctor / assignments
+  std::uint64_t slotClones = 0;   // COW detaches (virtual clone() calls)
+  std::uint64_t slotHashes = 0;   // per-slot virtual hash() computations
+};
+StatePerfCounters statePerfSnapshot();
+void statePerfReset();
+// Manual tally hooks for engine code that clones/rehashes component states
+// outside the SystemState mutators (the transition memo's miss path), so
+// the counters keep meaning "work the representation could not avoid".
+void statePerfNoteSlotClone();
+void statePerfNoteSlotHash();
+
+// Seed of the combined state hash (also the hash of the empty state).
+inline constexpr std::size_t kSystemStateHashSeed = 0x51ab5e17u;
+
 class SystemState final {
  public:
   SystemState() = default;
@@ -48,18 +84,114 @@ class SystemState final {
   SystemState(SystemState&&) noexcept = default;
   SystemState& operator=(SystemState&&) noexcept = default;
 
+  // Combined hash over all slots. Flushes stale per-slot caches (mutable),
+  // recombining only slots touched since the last call.
   std::size_t hash() const;
+  // From-scratch recomputation that bypasses every cache; the invariant
+  // hash() == fullRehash() is what the hash-consistency fuzz suite checks.
+  std::size_t fullRehash() const;
   bool equals(const SystemState& other) const;
   bool operator==(const SystemState& other) const { return equals(other); }
   std::string str() const;
 
-  const AutomatonState& part(std::size_t slot) const { return *parts_[slot]; }
-  AutomatonState& part(std::size_t slot) { return *parts_[slot]; }
-  std::size_t partCount() const { return parts_.size(); }
+  const AutomatonState& part(std::size_t slot) const {
+    return *slots_[slot].state;
+  }
+  // Mutable access detaches the slot from any sibling copies (clone-on-
+  // write) and invalidates its cached hash. All mutators -- applyInPlace,
+  // injectInit/injectFail, and the non-const part() -- route through here.
+  AutomatonState& mutablePart(std::size_t slot);
+  AutomatonState& part(std::size_t slot) { return mutablePart(slot); }
+  std::size_t partCount() const { return slots_.size(); }
+
+  // True when the two states share the same underlying component object --
+  // the structural-sharing fast path equals() takes per slot.
+  bool sharesSlotWith(const SystemState& other, std::size_t slot) const {
+    return slots_[slot].state.get() == other.slots_[slot].state.get();
+  }
+
+  // Replace a slot with a canonical representative of its successor
+  // content. Precondition: `rep` is immutable, shared through a
+  // SlotCanonTable, and repHash == rep->hash(). The combined hash is fixed
+  // up incrementally; no clone or component rehash happens. This is the
+  // transition-memo fast path (analysis/transition_cache.h): the slot is
+  // swapped wholesale, so sibling copies are never affected.
+  void adoptCanonicalSlot(std::size_t slot,
+                          std::shared_ptr<const AutomatonState> rep,
+                          std::size_t repHash);
+
+  // Engine hooks for the slot-swap fast path: the shared component object
+  // at `slot`, and its cached hash (only valid after a hash() flush --
+  // every state the engines expand qualifies). Together with
+  // adoptCanonicalSlot these let TransitionCache::step() rewrite only the
+  // participant slots of a reusable successor buffer.
+  const std::shared_ptr<const AutomatonState>& slotShared(
+      std::size_t slot) const {
+    return slots_[slot].state;
+  }
+  std::size_t slotHashValue(std::size_t slot) const {
+    return slots_[slot].hashValid ? slots_[slot].hash
+                                  : slots_[slot].state->hash();
+  }
 
  private:
   friend class System;
-  std::vector<std::unique_ptr<AutomatonState>> parts_;
+  friend class SlotCanonTable;
+
+  struct Slot {
+    std::shared_ptr<const AutomatonState> state;
+    // Cached state->hash(); valid iff hashValid. Mutable: hash() memoizes.
+    mutable std::size_t hash = 0;
+    mutable bool hashValid = false;
+    // True once a SlotCanonTable has made this pointer a canonical
+    // representative (cleared whenever the slot is mutated). Purely an
+    // optimization flag: equality never depends on it.
+    bool canon = false;
+  };
+
+  void appendSlot(std::unique_ptr<AutomatonState> s);
+
+  std::vector<Slot> slots_;
+  // Incrementally maintained: kHashSeed XOR slotMix(i, hash_i) over every
+  // slot whose cache is valid. hash() equals combined_ once all are valid.
+  mutable std::size_t combined_ = kSystemStateHashSeed;
+};
+
+// Slot hash-consing (maximal structural sharing): maps (slot index, slot
+// hash) to the canonical representative of that component-state content.
+// Interning engines (StateGraph, the parallel explorer's sharded table) own
+// one table per interned-state set and canonicalize() every state before
+// probing/storing it, so that equals() between two canonicalized states
+// almost always resolves through the per-slot pointer-identity fast path
+// and the deep virtual equals runs at most once per distinct slot content.
+// Also dedupes memory: equal component states are stored once.
+//
+// `concurrent = true` stripes the table with mutexes so the parallel
+// explorer's workers can canonicalize probe states concurrently; the states
+// being canonicalized are always thread-private, only the table is shared.
+class SlotCanonTable {
+ public:
+  explicit SlotCanonTable(bool concurrent = false);
+  SlotCanonTable(const SlotCanonTable&) = delete;
+  SlotCanonTable& operator=(const SlotCanonTable&) = delete;
+  ~SlotCanonTable();
+
+  // Flushes s's slot hashes and rewrites every non-canonical slot pointer
+  // to the table's representative of equal content (registering first-seen
+  // content as the representative). Equality and hash of `s` are unchanged.
+  void canonicalize(SystemState& s);
+
+  // Single-slot entry point: the representative of `probe`'s content at
+  // `slot` (registering `probe` if first seen). probeHash must equal
+  // probe->hash(); the representative hashes identically.
+  std::shared_ptr<const AutomatonState> canonicalizeSlot(
+      std::size_t slot, std::shared_ptr<const AutomatonState> probe,
+      std::size_t probeHash);
+
+ private:
+  struct Stripe;
+  bool concurrent_;
+  std::vector<Stripe> stripes_;
 };
 
 class System {
@@ -98,12 +230,23 @@ class System {
   // parallel exploration engine relies on.
   const std::vector<TaskId>& allTasks() const { return taskCache_; }
 
+  // The slot whose component owns task `t` (the only slot enabled()
+  // reads: locally controlled actions are enabled by their owner alone,
+  // which is what makes per-slot transition memoization sound).
+  std::size_t ownerSlot(const TaskId& t) const;
+
   // The unique action enabled for task `t` in `s`, if any.
   std::optional<Action> enabled(const SystemState& s, const TaskId& t) const;
 
   // Component slots participating in `a` (at most two, plus fan-out for
   // fail actions, which are inputs to the process and all its services).
   std::vector<std::size_t> participants(const Action& a) const;
+
+  // Allocation-free participant enumeration for the transition hot loop;
+  // calls `fn(slot)` for each participant in the same order participants()
+  // returns them.
+  template <typename Fn>
+  void forEachParticipant(const Action& a, Fn&& fn) const;
 
   // Apply `a` to every participant, in place.
   void applyInPlace(SystemState& s, const Action& a) const;
@@ -124,5 +267,42 @@ class System {
   std::map<int, std::size_t> serviceSlotById_;  // id -> absolute slot
   std::vector<TaskId> taskCache_;
 };
+
+template <typename Fn>
+void System::forEachParticipant(const Action& a, Fn&& fn) const {
+  switch (a.kind) {
+    case ActionKind::EnvInit:
+    case ActionKind::EnvDecide:
+    case ActionKind::ProcStep:
+    case ActionKind::ProcDummy:
+      fn(slotForProcess(a.endpoint));
+      break;
+    case ActionKind::Invoke:
+    case ActionKind::Respond:
+      fn(slotForProcess(a.endpoint));
+      fn(slotForService(a.component));
+      break;
+    case ActionKind::Perform:
+    case ActionKind::DummyPerform:
+    case ActionKind::DummyOutput:
+    case ActionKind::Compute:
+    case ActionKind::DummyCompute:
+      fn(slotForService(a.component));
+      break;
+    case ActionKind::Fail:
+      // fail_i: input of P_i and of every service with i in J_c.
+      fn(slotForProcess(a.endpoint));
+      for (std::size_t k = 0; k < services_.size(); ++k) {
+        const auto& ends = serviceMetas_[k].endpoints;
+        for (int e : ends) {
+          if (e == a.endpoint) {
+            fn(processes_.size() + k);
+            break;
+          }
+        }
+      }
+      break;
+  }
+}
 
 }  // namespace boosting::ioa

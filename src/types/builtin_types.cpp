@@ -23,7 +23,7 @@ SequentialType registerType(Value v0) {
   t.name = "register";
   t.initialValues = {std::move(v0)};
   t.deltaAll = [](const Value& inv, const Value& val) -> Options {
-    const std::string tag = inv.tag();
+    const std::string_view tag = inv.tag();
     if (tag == "read") return {{val, val}};
     if (tag == "write") return {{sym("ack"), inv.at(1)}};
     badInvocation("register", inv);
@@ -94,7 +94,7 @@ SequentialType testAndSetType() {
   t.name = "test&set";
   t.initialValues = {Value(0)};
   t.deltaAll = [](const Value& inv, const Value& val) -> Options {
-    const std::string tag = inv.tag();
+    const std::string_view tag = inv.tag();
     if (tag == "tas") return {{val, Value(1)}};
     if (tag == "reset") return {{sym("ack"), Value(0)}};
     if (tag == "read") return {{val, val}};
@@ -109,7 +109,7 @@ SequentialType compareAndSwapType(Value v0) {
   t.name = "compare&swap";
   t.initialValues = {std::move(v0)};
   t.deltaAll = [](const Value& inv, const Value& val) -> Options {
-    const std::string tag = inv.tag();
+    const std::string_view tag = inv.tag();
     if (tag == "cas") {
       if (val == inv.at(1)) return {{val, inv.at(2)}};
       return {{val, val}};
@@ -126,7 +126,7 @@ SequentialType counterType() {
   t.name = "counter";
   t.initialValues = {Value(0)};
   t.deltaAll = [](const Value& inv, const Value& val) -> Options {
-    const std::string tag = inv.tag();
+    const std::string_view tag = inv.tag();
     if (tag == "inc") return {{sym("ack"), Value(val.asInt() + 1)}};
     if (tag == "read") return {{val, val}};
     badInvocation("counter", inv);
@@ -155,7 +155,7 @@ SequentialType queueType() {
   t.name = "queue";
   t.initialValues = {Value(Value::List{})};
   t.deltaAll = [](const Value& inv, const Value& val) -> Options {
-    const std::string tag = inv.tag();
+    const std::string_view tag = inv.tag();
     if (tag == "enq") {
       Value::List xs = val.asList();
       xs.push_back(inv.at(1));
@@ -181,7 +181,7 @@ SequentialType snapshotType(int segments) {
   t.initialValues = {
       Value(Value::List(static_cast<std::size_t>(segments), Value::nil()))};
   t.deltaAll = [segments](const Value& inv, const Value& val) -> Options {
-    const std::string tag = inv.tag();
+    const std::string_view tag = inv.tag();
     if (tag == "scan") return {{val, val}};
     if (tag == "update") {
       const auto idx = inv.at(1).asInt();

@@ -28,7 +28,7 @@ const Value::List& Value::asList() const {
   throw std::logic_error("Value::asList on non-list: " + str());
 }
 
-std::string Value::tag() const {
+std::string_view Value::tag() const {
   if (isStr()) return asStr();
   if (isList() && !asList().empty() && asList().front().isStr()) {
     return asList().front().asStr();

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -34,6 +35,20 @@ class Value {
   Value(std::string v) : rep_(std::move(v)) {} // NOLINT(google-explicit-constructor)
   Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
   Value(List v) : rep_(std::move(v)) {}        // NOLINT(google-explicit-constructor)
+
+  Value(const Value&) = default;
+  Value(Value&&) noexcept = default;
+  // Copy-then-move: variant's copy assignment destroys the current
+  // alternative before reading the source, so `v = v.at(1)` (assigning a
+  // value from its own list) would read freed memory. Aliasing like that
+  // is natural under the symbolic ("tag", arg...) convention -- unwrapping
+  // a payload in place -- so make assignment safe for it.
+  Value& operator=(const Value& other) {
+    Value tmp(other);
+    rep_ = std::move(tmp.rep_);
+    return *this;
+  }
+  Value& operator=(Value&&) noexcept = default;
 
   static Value nil() { return Value(); }
   static Value list(std::initializer_list<Value> xs) { return Value(List(xs)); }
@@ -57,7 +72,9 @@ class Value {
 
   // Convenience for the symbolic ("tag", arg...) convention: the tag of a
   // list whose head is a string, or the string itself; empty otherwise.
-  std::string tag() const;
+  // The view borrows from this Value -- no allocation in the transition
+  // hot loop -- and is invalidated when the Value is destroyed/assigned.
+  std::string_view tag() const;
   // The i-th element of a list value (checked).
   const Value& at(std::size_t i) const;
   std::size_t size() const;  // list length; 0 for non-lists

@@ -1,0 +1,154 @@
+// Aliasing regression tests for the copy-on-write SystemState: a copy must
+// share structure with its sibling (refcount bump, no clones) until one of
+// them mutates, and mutation through any path -- applyInPlace, injectInit,
+// injectFail, or the mutable part() accessor -- must detach exactly the
+// touched slots and never leak into the sibling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/bivalence.h"
+#include "ioa/system.h"
+#include "processes/relay_consensus.h"
+
+using namespace boosting;
+
+namespace {
+
+std::unique_ptr<ioa::System> relay(int n) {
+  processes::RelaySystemSpec spec;
+  spec.processCount = n;
+  spec.objectResilience = 0;
+  spec.addScratchRegister = false;
+  return processes::buildRelayConsensusSystem(spec);
+}
+
+TEST(StateCowTest, CopySharesEverySlot) {
+  auto sys = relay(3);
+  ioa::SystemState a = sys->initialState();
+  ioa::SystemState b = a;
+  ASSERT_EQ(a.partCount(), b.partCount());
+  for (std::size_t i = 0; i < a.partCount(); ++i) {
+    EXPECT_TRUE(a.sharesSlotWith(b, i)) << "slot " << i;
+    // Read through const refs: the non-const part() overload would detach.
+    EXPECT_EQ(&std::as_const(a).part(i), &std::as_const(b).part(i))
+        << "slot " << i;
+  }
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(StateCowTest, InjectInitDetachesOnlyTheTouchedSlot) {
+  auto sys = relay(3);
+  ioa::SystemState a = sys->initialState();
+  const std::size_t baseline = a.hash();
+  ioa::SystemState b = a;
+  sys->injectInit(b, 0, util::Value(1));
+
+  // The sibling is untouched: state, hash, and rendering all unchanged.
+  EXPECT_TRUE(a.equals(sys->initialState()));
+  EXPECT_EQ(a.hash(), baseline);
+  EXPECT_FALSE(a.equals(b));
+  EXPECT_NE(b.hash(), baseline);
+
+  // Only process 0's slot detached; every other slot is still shared.
+  for (std::size_t i = 0; i < a.partCount(); ++i) {
+    if (i == sys->slotForProcess(0)) {
+      EXPECT_FALSE(a.sharesSlotWith(b, i));
+    } else {
+      EXPECT_TRUE(a.sharesSlotWith(b, i)) << "slot " << i;
+    }
+  }
+}
+
+TEST(StateCowTest, InjectFailDetachesProcessAndConnectedServices) {
+  auto sys = relay(2);
+  ioa::SystemState a = sys->initialState();
+  ioa::SystemState b = a;
+  sys->injectFail(b, 1);
+  EXPECT_TRUE(a.equals(sys->initialState()));
+  EXPECT_FALSE(a.sharesSlotWith(b, sys->slotForProcess(1)));
+  // fail_1 fans out to every service with endpoint 1; those slots must
+  // have detached too, and process 0's slot must still be shared.
+  EXPECT_TRUE(a.sharesSlotWith(b, sys->slotForProcess(0)));
+  for (int c : sys->serviceIds()) {
+    const auto& meta = sys->serviceMeta(c);
+    const bool connected =
+        std::find(meta.endpoints.begin(), meta.endpoints.end(), 1) !=
+        meta.endpoints.end();
+    EXPECT_EQ(!a.sharesSlotWith(b, sys->slotForService(c)), connected)
+        << "service " << c;
+  }
+}
+
+TEST(StateCowTest, MutablePartAccessorDetaches) {
+  auto sys = relay(2);
+  ioa::SystemState a = sys->initialState();
+  sys->injectInit(a, 0, util::Value(1));
+  ioa::SystemState b = a;
+  // Non-const part() routes through mutablePart: taking it alone must
+  // already un-share the slot so later writes cannot leak into `a`.
+  ioa::AutomatonState& slot0 = b.part(sys->slotForProcess(0));
+  (void)slot0;
+  EXPECT_FALSE(a.sharesSlotWith(b, sys->slotForProcess(0)));
+  EXPECT_TRUE(a.equals(b));  // no actual mutation yet: still equal values
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(StateCowTest, ApplyInPlaceAfterManyCopiesKeepsSiblingsIndependent) {
+  auto sys = relay(2);
+  ioa::SystemState root = sys->initialState();
+  sys->injectInit(root, 0, util::Value(0));
+  sys->injectInit(root, 1, util::Value(1));
+  const std::size_t rootHash = root.hash();
+
+  // Fan out a chain of copies, stepping each one differently.
+  std::vector<ioa::SystemState> branches(4, root);
+  for (std::size_t k = 0; k < branches.size(); ++k) {
+    const auto& tasks = sys->allTasks();
+    std::size_t applied = 0;
+    for (const auto& t : tasks) {
+      if (applied > k) break;
+      if (auto a = sys->enabled(branches[k], t)) {
+        sys->applyInPlace(branches[k], *a);
+        ++applied;
+      }
+    }
+  }
+  // The root never changed, and every branch is self-consistent.
+  EXPECT_EQ(root.hash(), rootHash);
+  EXPECT_EQ(root.hash(), root.fullRehash());
+  for (const auto& b : branches) {
+    EXPECT_EQ(b.hash(), b.fullRehash());
+  }
+}
+
+TEST(StateCowTest, AssignmentSharesAndDetachesLikeCopy) {
+  auto sys = relay(2);
+  ioa::SystemState a = sys->initialState();
+  ioa::SystemState b = sys->initialState();
+  sys->injectInit(b, 0, util::Value(1));
+  b = a;  // assignment re-shares
+  for (std::size_t i = 0; i < a.partCount(); ++i) {
+    EXPECT_TRUE(a.sharesSlotWith(b, i));
+  }
+  sys->injectInit(b, 1, util::Value(0));
+  EXPECT_TRUE(a.equals(sys->initialState()));
+}
+
+TEST(StateCowTest, CanonicalizedStatesStayValueCorrect) {
+  // Interning through a StateGraph canonicalizes slot pointers; mutating a
+  // state copied out of the graph must never write through to the graph.
+  auto sys = relay(2);
+  analysis::StateGraph g(*sys);
+  analysis::NodeId root = g.intern(analysis::canonicalInitialization(*sys, 1));
+  ioa::SystemState probe = g.state(root);
+  const std::size_t before = g.state(root).hash();
+  sys->injectFail(probe, 0);
+  EXPECT_EQ(g.state(root).hash(), before);
+  EXPECT_TRUE(g.state(root).equals(analysis::canonicalInitialization(*sys, 1)));
+  EXPECT_FALSE(probe.equals(g.state(root)));
+}
+
+}  // namespace

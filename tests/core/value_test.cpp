@@ -131,6 +131,23 @@ TEST(Value, NestedListsCompareStructurally) {
   EXPECT_NE(a, c);
 }
 
+TEST(Value, SelfAliasingAssignmentUnwrapsInPlace) {
+  // v = v.at(1) assigns from a reference into v's own list -- the natural
+  // way to unwrap a ("tag", arg) payload in place. A naive variant
+  // copy-assign destroys the list before reading the element.
+  Value v = sym("init", 7);
+  v = v.at(1);
+  EXPECT_EQ(v, Value(7));
+
+  Value nested = sym("wrap", Value::list({Value(1), Value(2)}));
+  nested = nested.at(1);
+  EXPECT_EQ(nested, Value::list({Value(1), Value(2)}));
+
+  Value self = sym("x", 3);
+  self = self;  // NOLINT(clang-diagnostic-self-assign-overloaded)
+  EXPECT_EQ(self, sym("x", 3));
+}
+
 TEST(Value, UsableInStdSet) {
   std::set<Value> s;
   s.insert(Value(2));
