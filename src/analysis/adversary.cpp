@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "analysis/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "processes/process.h"
 #include "sim/runner.h"
 
@@ -134,12 +137,14 @@ std::set<int> chooseFailureSet(const ioa::System& sys,
 }
 
 sim::RunResult runGamma(const ioa::System& sys, const ioa::SystemState& start,
-                        const std::set<int>& J, std::size_t maxSteps) {
+                        const std::set<int>& J, std::size_t maxSteps,
+                        obs::Registry* metrics = nullptr) {
   sim::RunConfig cfg;
   cfg.startState = start;
   cfg.maxSteps = maxSteps;
   cfg.detectLivelock = true;
   cfg.stopWhenAllDecided = false;
+  cfg.metrics = metrics;
   for (int i : J) cfg.failures.emplace_back(0, i);
   cfg.stop = [&J](const ioa::SystemState&, const ioa::Execution& exec) {
     if (exec.empty()) return false;
@@ -181,19 +186,36 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
   StateGraph g(sys);
   ValenceAnalyzer va(g);
   va.setPolicy(cfg.exploration);
+  obs::Registry* reg = cfg.exploration.metrics;
+
+  // RAII: the graph- and cache-level tallies reach the registry on every
+  // return path of the case analysis below, and phase.adversary brackets
+  // the whole pipeline. Declared after `g` so the flush runs before the
+  // graph is torn down.
+  obs::ScopedTimer adversaryTimer(reg, "phase.adversary");
+  struct Flusher {
+    obs::Registry* reg;
+    const StateGraph& g;
+    ~Flusher() { flushGraphMetrics(reg, g); }
+  } flusher{reg, g};
 
   // -- Steps 1 + 2: initializations, valence, exhaustive safety scan. -----
   BivalenceResult biv = findBivalentInitialization(g, va, cfg.exploration);
   report.initializations = biv.initializations;
   report.statesExplored = g.size();
 
-  for (NodeId node = 0; node < g.size(); ++node) {
-    if (auto violation = nodeSafetyViolation(sys, g.state(node))) {
-      report.verdict = AdversaryReport::Verdict::SafetyViolation;
-      report.narrative = *violation;
-      report.witness = witnessToNode(g, node);
-      return report;
+  {
+    obs::ScopedTimer safetyTimer(reg, "phase.safety_scan");
+    for (NodeId node = 0; node < g.size(); ++node) {
+      if (reg) reg->progress("safety_scan.nodes", node);
+      if (auto violation = nodeSafetyViolation(sys, g.state(node))) {
+        report.verdict = AdversaryReport::Verdict::SafetyViolation;
+        report.narrative = *violation;
+        report.witness = witnessToNode(g, node);
+        return report;
+      }
     }
+    if (reg) reg->add("safety_scan.nodes", g.size());
   }
 
   for (const InitializationOutcome& init : biv.initializations) {
@@ -205,6 +227,7 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
       rc.detectLivelock = true;
       rc.stopWhenAllDecided = false;
       rc.maxSteps = cfg.gammaMaxSteps;
+      rc.metrics = reg;
       sim::RunResult rr = sim::run(sys, rc);
       report.verdict = AdversaryReport::Verdict::TerminationViolation;
       report.narrative =
@@ -228,7 +251,7 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
     const int d = a.onesPrefix;  // alpha_j vs alpha_{j+1} differ at P_j
     for (const InitializationOutcome* init : {&a, &b}) {
       sim::RunResult rr =
-          runGamma(sys, g.state(init->node), {d}, cfg.gammaMaxSteps);
+          runGamma(sys, g.state(init->node), {d}, cfg.gammaMaxSteps, reg);
       if (rr.livelocked() || rr.reason == sim::RunResult::Reason::StepLimit) {
         report.verdict = AdversaryReport::Verdict::TerminationViolation;
         report.narrative =
@@ -299,7 +322,16 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
 
   const std::set<int> J =
       chooseFailureSet(sys, report.classification, cfg.claimedFailures);
-  sim::RunResult rr = runGamma(sys, g.state(startNode), J, cfg.gammaMaxSteps);
+  if (reg) {
+    if (auto* tw = reg->trace()) {
+      tw->event("adversary.gamma",
+                {{"start_node", static_cast<std::uint64_t>(startNode)},
+                 {"failures", static_cast<std::uint64_t>(J.size())},
+                 {"classification", report.classification.narrative}});
+    }
+  }
+  sim::RunResult rr =
+      runGamma(sys, g.state(startNode), J, cfg.gammaMaxSteps, reg);
 
   if (rr.livelocked() || rr.reason == sim::RunResult::Reason::StepLimit) {
     report.verdict = AdversaryReport::Verdict::TerminationViolation;

@@ -1,5 +1,8 @@
 #include "analysis/bivalence.h"
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace boosting::analysis {
 
 ioa::SystemState canonicalInitialization(const ioa::System& sys,
@@ -15,6 +18,8 @@ BivalenceResult findBivalentInitialization(StateGraph& g, ValenceAnalyzer& va,
                                            const ExplorationPolicy& policy) {
   BivalenceResult result;
   const int n = g.system().processCount();
+  obs::Registry* reg = policy.metrics;
+  obs::ScopedTimer timer(reg, "phase.bivalence");
 
   // Parallel mode: one shared expansion covers all n+1 regions at once, so
   // worker threads stay saturated even when individual regions are small.
@@ -46,6 +51,18 @@ BivalenceResult findBivalentInitialization(StateGraph& g, ValenceAnalyzer& va,
     va.explore(out.node);
     out.valence = va.valence(out.node);
     result.initializations.push_back(out);
+    if (reg) {
+      reg->add("bivalence.initializations", 1);
+      reg->progress("bivalence.initializations",
+                    result.initializations.size());
+      if (auto* tw = reg->trace()) {
+        tw->event("initialization",
+                  {{"alpha", j},
+                   {"node", static_cast<std::uint64_t>(out.node)},
+                   {"valence", valenceName(out.valence)},
+                   {"states", static_cast<std::uint64_t>(g.size())}});
+      }
+    }
     if (!result.bivalent && out.valence == Valence::Bivalent) {
       result.bivalent = out;
     }

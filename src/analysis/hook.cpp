@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace boosting::analysis {
 
 namespace {
@@ -51,6 +54,8 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
   }
 
   HookSearchOutcome outcome;
+  obs::Registry* reg = policy.metrics;
+  obs::ScopedTimer timer(reg, "phase.hook");
   const auto& tasks = g.system().allTasks();
   NodeId alpha = bivalentInit;
   std::size_t cursor = 0;
@@ -61,6 +66,16 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
 
   for (std::size_t iter = 0; iter < maxIterations; ++iter) {
     outcome.iterations = iter;
+    if (reg) {
+      reg->add("hook.iterations", 1);
+      reg->progress("hook.iterations", iter + 1);
+      if (auto* tw = reg->trace()) {
+        tw->event("hook.iteration",
+                  {{"iter", static_cast<std::uint64_t>(iter)},
+                   {"alpha", static_cast<std::uint64_t>(alpha)},
+                   {"states", static_cast<std::uint64_t>(g.size())}});
+      }
+    }
 
     auto key = std::make_pair(alpha, cursor);
     if (auto it = seen.find(key); it != seen.end()) {
@@ -75,6 +90,15 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
         }
       }
       outcome.statesTouched = g.size();
+      if (reg) {
+        reg->add("hook.fair_cycles", 1);
+        if (auto* tw = reg->trace()) {
+          tw->event("hook.fair_cycle",
+                    {{"cycle_start", static_cast<std::uint64_t>(alpha)},
+                     {"cycle_tasks",
+                      static_cast<std::uint64_t>(outcome.cycleTasks.size())}});
+        }
+      }
       return outcome;
     }
     seen.emplace(key, appliedPerIteration.size());
@@ -211,6 +235,15 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
         hook.alpha1Valence = target;
         outcome.hook = hook;
         outcome.statesTouched = g.size();
+        if (reg) {
+          reg->add("hook.found", 1);
+          if (auto* tw = reg->trace()) {
+            tw->event("hook.found",
+                      {{"alpha", static_cast<std::uint64_t>(hook.alpha)},
+                       {"alpha0", static_cast<std::uint64_t>(hook.alpha0)},
+                       {"alpha1", static_cast<std::uint64_t>(hook.alpha1)}});
+          }
+        }
         return outcome;
       }
     }

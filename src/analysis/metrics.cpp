@@ -1,0 +1,41 @@
+#include "analysis/metrics.h"
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace boosting::analysis {
+
+void flushTransitionCacheMetrics(obs::Registry* reg,
+                                 const TransitionCache::Stats& stats,
+                                 const char* prefix) {
+  if (!reg) return;
+  const std::string p = std::string("cache.") + prefix;
+  reg->add(p + "enabled_lookups", stats.enabledLookups);
+  reg->add(p + "enabled_hits", stats.enabledHits);
+  reg->add(p + "enabled_misses", stats.enabledMisses);
+  reg->add(p + "apply_lookups", stats.applyLookups);
+  reg->add(p + "apply_hits", stats.applyHits);
+  reg->add(p + "apply_misses", stats.applyMisses);
+}
+
+void flushGraphMetrics(obs::Registry* reg, const StateGraph& g) {
+  if (!reg) return;
+  const StateGraph::Stats& gs = g.stats();
+  reg->add("graph.states_discovered", gs.statesDiscovered);
+  reg->add("graph.dedup_hits", gs.dedupHits);
+  reg->add("graph.edges_discovered", gs.edgesDiscovered);
+  reg->add("graph.expansions", gs.expansions);
+  flushTransitionCacheMetrics(reg, g.transitionStats());
+}
+
+void flushStatePerfDelta(obs::Registry* reg,
+                         const ioa::StatePerfCounters& before,
+                         const ioa::StatePerfCounters& after) {
+  if (!reg) return;
+  reg->add("state.copies", after.stateCopies - before.stateCopies);
+  reg->add("state.slot_clones", after.slotClones - before.slotClones);
+  reg->add("state.slot_hashes", after.slotHashes - before.slotHashes);
+}
+
+}  // namespace boosting::analysis

@@ -1,0 +1,36 @@
+// Flush helpers: copy the engine-local tallies (StateGraph::Stats,
+// TransitionCache::Stats, ioa::StatePerfCounters) into an obs::Registry
+// under the stable dotted names documented in DESIGN.md. The engines
+// themselves never hold a registry for these -- they maintain plain
+// counters on the hot path and the owning driver (the adversary pipeline,
+// the CLI, a test) flushes once at a phase boundary, which is what keeps
+// the disabled-observability overhead near zero.
+#pragma once
+
+#include "analysis/state_graph.h"
+#include "ioa/system.h"
+
+namespace boosting::obs {
+class Registry;
+}  // namespace boosting::obs
+
+namespace boosting::analysis {
+
+// graph.states_discovered / graph.dedup_hits / graph.edges_discovered /
+// graph.expansions, plus the graph-owned TransitionCache under cache.*.
+void flushGraphMetrics(obs::Registry* reg, const StateGraph& g);
+
+// cache.<prefix>enabled_lookups|hits|misses and apply_* for an arbitrary
+// cache (the graph flush uses an empty prefix; workers report through
+// the parallel explorer instead).
+void flushTransitionCacheMetrics(obs::Registry* reg,
+                                 const TransitionCache::Stats& stats,
+                                 const char* prefix = "");
+
+// state.copies / state.slot_clones / state.slot_hashes from a delta of
+// ioa::statePerfSnapshot() taken around the measured phase.
+void flushStatePerfDelta(obs::Registry* reg,
+                         const ioa::StatePerfCounters& before,
+                         const ioa::StatePerfCounters& after);
+
+}  // namespace boosting::analysis

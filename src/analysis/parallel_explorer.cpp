@@ -1,13 +1,18 @@
 #include "analysis/parallel_explorer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace boosting::analysis {
 
@@ -44,6 +49,17 @@ struct PNode {
                           // only after the workers have been joined
 };
 
+// Flush the tallies of one exploration into the registry under the serial
+// BFS naming (explore.*). The parallel engine uses explorer.* names so the
+// two paths stay distinguishable in a merged metrics file.
+void flushSerialExplore(obs::Registry* reg, const ExploreStats& stats) {
+  if (!reg) return;
+  reg->add("explore.states_discovered", stats.statesDiscovered);
+  reg->add("explore.edges_computed", stats.edgesComputed);
+  reg->maxOf("explore.frontier_peak", stats.frontierPeak);
+  if (stats.truncated) reg->add("explore.truncations", 1);
+}
+
 // Serial fallback: the legacy BFS over StateGraph::successors(), with the
 // maxStates safety valve.
 ExploreStats serialExplore(StateGraph& g, NodeId root,
@@ -52,19 +68,34 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
   stats.threadsUsed = 1;
   std::deque<NodeId> frontier{root};
   std::unordered_set<NodeId> seen{root};
-  while (!frontier.empty()) {
-    if (policy.maxStates != 0 && seen.size() > policy.maxStates) {
-      stats.truncated = true;
-      break;
+  std::uint64_t expansions = 0;
+  try {
+    while (!frontier.empty()) {
+      if (policy.maxStates != 0 && seen.size() > policy.maxStates) {
+        stats.truncated = true;
+        break;
+      }
+      stats.frontierPeak = std::max<std::uint64_t>(stats.frontierPeak,
+                                                   frontier.size());
+      const NodeId x = frontier.front();
+      frontier.pop_front();
+      if (policy.expansionHook) policy.expansionHook(++expansions);
+      for (const Edge& e : g.successors(x)) {
+        ++stats.edgesComputed;
+        if (seen.insert(e.to).second) frontier.push_back(e.to);
+      }
     }
-    const NodeId x = frontier.front();
-    frontier.pop_front();
-    for (const Edge& e : g.successors(x)) {
-      ++stats.edgesComputed;
-      if (seen.insert(e.to).second) frontier.push_back(e.to);
-    }
+  } catch (...) {
+    // A throwing expansion hook (or a pathological component transition)
+    // interrupts the BFS between whole-node expansions: the graph holds
+    // only fully installed nodes/edges and must self-check clean.
+    assert(g.checkConsistent() &&
+           "serialExplore: StateGraph inconsistent after aborted BFS");
+    if (policy.metrics) policy.metrics->add("explore.aborts", 1);
+    throw;
   }
   stats.statesDiscovered = seen.size();
+  flushSerialExplore(policy.metrics, stats);
   return stats;
 }
 
@@ -102,8 +133,18 @@ struct ParallelExplorer::Impl {
   std::mutex errMutex;
   std::exception_ptr firstError;
 
+  // One slot per worker, written only by that worker during phase 1 and
+  // read after the join (the jthread join is the publication fence).
+  std::vector<ExploreStats::WorkerStats> workerStats;
+  // Running expansion count shared by all workers, fed to the (optional)
+  // expansion hook. Only maintained when a hook is installed.
+  std::atomic<std::uint64_t> expansionsSeen{0};
+
   std::vector<PHandle> rootHandles;
   bool expanded = false;
+  // Set when expand() rethrew a worker exception: the private table is not
+  // canonical, so install() is poisoned.
+  bool abortedForError = false;
 
   // Phase-2 memo: which table nodes have already been interned into `g`.
   std::unordered_map<PHandle, NodeId> installedIds;
@@ -116,6 +157,7 @@ struct ParallelExplorer::Impl {
                                   : policy.threads;
     if (workers == 0) workers = 1;
     queues = std::vector<WorkQueue>(workers);
+    workerStats.resize(workers);
   }
 
   PNode* nodePtr(PHandle h) {
@@ -154,9 +196,12 @@ struct ParallelExplorer::Impl {
     WorkQueue& wq = queues[self];
     std::lock_guard<std::mutex> lock(wq.m);
     wq.q.push_back(h);
+    workerStats[self].frontierPeak =
+        std::max<std::uint64_t>(workerStats[self].frontierPeak, wq.q.size());
   }
 
   bool popWork(unsigned self, PHandle* out) {
+    ExploreStats::WorkerStats& ws = workerStats[self];
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return false;
       {
@@ -174,15 +219,23 @@ struct ParallelExplorer::Impl {
         if (!victim.q.empty()) {
           *out = victim.q.front();  // steal from the cold end
           victim.q.pop_front();
+          ++ws.steals;
           return true;
         }
       }
       if (inflight.load(std::memory_order_acquire) == 0) return false;
+      ++ws.idleSpins;
       std::this_thread::yield();
     }
   }
 
   void expandNode(unsigned self, PHandle h, TransitionCache& transitions) {
+    if (policy.expansionHook) {
+      // Fired before the node mutates the table, so a throwing hook leaves
+      // the engine exactly as an expansion failure would.
+      policy.expansionHook(
+          expansionsSeen.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
     PNode* n = nodePtr(h);
     std::vector<PEdge> succ;
     const std::vector<ioa::TaskId>& tasks = sys.allTasks();
@@ -209,6 +262,7 @@ struct ParallelExplorer::Impl {
     }
     n->succ = std::move(succ);
     n->expanded = true;
+    ++workerStats[self].expanded;
   }
 
   void workerLoop(unsigned self) {
@@ -228,6 +282,7 @@ struct ParallelExplorer::Impl {
       }
       inflight.fetch_sub(1, std::memory_order_release);
     }
+    workerStats[self].cache = transitions.stats();
   }
 
   void expand(std::vector<ioa::SystemState> roots) {
@@ -254,11 +309,63 @@ struct ParallelExplorer::Impl {
         pool.emplace_back([this, w] { workerLoop(w); });
       }
     }  // jthread joins here; everything the workers wrote is now visible
-    if (firstError) std::rethrow_exception(firstError);
+    if (firstError) {
+      abortedForError = true;
+      // Phase 1 never touches the StateGraph, so the abort must leave it
+      // exactly as consistent as it was on entry.
+      assert(g.checkConsistent() &&
+             "ParallelExplorer: StateGraph inconsistent after worker abort");
+      if (policy.metrics) {
+        policy.metrics->add("explorer.aborts", 1);
+        if (auto* tw = policy.metrics->trace()) {
+          tw->event("explorer.abort",
+                    {{"states_discovered",
+                      static_cast<std::uint64_t>(discovered.load())},
+                     {"workers", static_cast<std::uint64_t>(workers)}});
+        }
+      }
+      std::rethrow_exception(firstError);
+    }
     statsOut.statesDiscovered = discovered.load();
     statsOut.edgesComputed = edges.load();
     statsOut.threadsUsed = workers;
     statsOut.truncated = truncated.load();
+    statsOut.perWorker = workerStats;
+    flushMetrics();
+  }
+
+  void flushMetrics() {
+    obs::Registry* reg = policy.metrics;
+    if (!reg) return;
+    reg->add("explorer.expansions", 1);
+    reg->add("explorer.states_discovered", statsOut.statesDiscovered);
+    reg->add("explorer.edges_computed", statsOut.edgesComputed);
+    reg->maxOf("explorer.threads", statsOut.threadsUsed);
+    if (statsOut.truncated) reg->add("explorer.truncations", 1);
+    TransitionCache::Stats cache;
+    for (unsigned w = 0; w < workers; ++w) {
+      const ExploreStats::WorkerStats& ws = workerStats[w];
+      const std::string prefix = "explorer.worker" + std::to_string(w);
+      reg->add(prefix + ".expanded", ws.expanded);
+      reg->add(prefix + ".steals", ws.steals);
+      reg->add(prefix + ".idle_spins", ws.idleSpins);
+      reg->maxOf(prefix + ".frontier_peak", ws.frontierPeak);
+      cache.accumulate(ws.cache);
+    }
+    reg->add("explorer.cache.enabled_lookups", cache.enabledLookups);
+    reg->add("explorer.cache.enabled_hits", cache.enabledHits);
+    reg->add("explorer.cache.enabled_misses", cache.enabledMisses);
+    reg->add("explorer.cache.apply_lookups", cache.applyLookups);
+    reg->add("explorer.cache.apply_hits", cache.applyHits);
+    reg->add("explorer.cache.apply_misses", cache.applyMisses);
+    if (auto* tw = reg->trace()) {
+      tw->event(
+          "explorer.expand_done",
+          {{"states", static_cast<std::uint64_t>(statsOut.statesDiscovered)},
+           {"edges", static_cast<std::uint64_t>(statsOut.edgesComputed)},
+           {"workers", static_cast<std::uint64_t>(statsOut.threadsUsed)},
+           {"truncated", statsOut.truncated}});
+    }
   }
 
   // Intern a table node into the graph (memoized). Sets *inserted when the
@@ -281,6 +388,12 @@ struct ParallelExplorer::Impl {
                  const std::function<bool(NodeId)>& finalized) {
     if (!expanded) {
       throw std::logic_error("ParallelExplorer::install before expand");
+    }
+    if (abortedForError) {
+      // The private table stopped mid-flight: node ids would not be
+      // canonical, so refuse rather than silently install a partial graph.
+      throw std::logic_error(
+          "ParallelExplorer::install after a failed expand");
     }
     const PHandle rootH = rootHandles.at(rootIndex);
     const NodeId rootId = internGraph(rootH, nullptr);

@@ -39,6 +39,10 @@
 
 #include "analysis/state_graph.h"
 
+namespace boosting::obs {
+class Registry;
+}  // namespace boosting::obs
+
 namespace boosting::analysis {
 
 struct ExplorationPolicy {
@@ -51,13 +55,35 @@ struct ExplorationPolicy {
   // the cap is meant for benchmarks and defensive limits, not for
   // certificate-producing runs.
   std::size_t maxStates = 0;
+  // Optional observability sink. Engines keep plain local tallies and
+  // flush them here only at phase boundaries, so a null registry costs
+  // nothing on the hot path. (Appended after the original members: the
+  // test suite aggregate-initializes ExplorationPolicy{threads, maxStates}.)
+  obs::Registry* metrics = nullptr;
+  // Test seam: invoked once per node expansion with the running expansion
+  // count, on whichever thread performs the expansion. A throwing hook
+  // exercises the worker-abort path; the engines guarantee the StateGraph
+  // stays consistent (checkConsistent) when the hook throws.
+  std::function<void(std::size_t)> expansionHook;
 };
 
 struct ExploreStats {
+  // Per-worker phase-1 tallies, recorded by each worker into its own slot
+  // and published by the join in expand().
+  struct WorkerStats {
+    std::uint64_t expanded = 0;      // nodes this worker expanded
+    std::uint64_t steals = 0;        // work items taken from other queues
+    std::uint64_t idleSpins = 0;     // empty sweeps over all queues
+    std::uint64_t frontierPeak = 0;  // own-deque high-water mark
+    TransitionCache::Stats cache;    // worker-private memo tallies
+  };
+
   std::size_t statesDiscovered = 0;  // states known to the engine afterwards
   std::size_t edgesComputed = 0;     // transitions evaluated during expansion
   unsigned threadsUsed = 1;
   bool truncated = false;  // maxStates cap was hit
+  std::uint64_t frontierPeak = 0;          // serial path: BFS queue high-water
+  std::vector<WorkerStats> perWorker;      // parallel path: one per worker
 };
 
 // Two-phase engine exposed as a class so that multiple roots can share one
@@ -72,7 +98,10 @@ class ParallelExplorer {
 
   // Phase 1: expand everything reachable from `roots` (union of regions)
   // with the configured worker count. Must be called exactly once, before
-  // any install(). Rethrows the first worker exception, if any.
+  // any install(). Rethrows the first worker exception, if any; after a
+  // failed expand the explorer is poisoned (install() throws
+  // std::logic_error) and the StateGraph -- which phase 1 never touches --
+  // is still consistent, asserted via checkConsistent() in debug builds.
   void expand(std::vector<ioa::SystemState> roots);
 
   // Phase 2: canonically intern root `rootIndex`'s region into the

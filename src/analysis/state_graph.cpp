@@ -42,7 +42,10 @@ StateGraph::InternResult StateGraph::internWithHash(ioa::SystemState&& s,
   slotCanon_.canonicalize(s);
   auto [it, fresh] = headByHash_.try_emplace(hash, kNoNode);
   for (NodeId id = it->second; id != kNoNode; id = nextSameHash_[id]) {
-    if (states_[id].equals(s)) return {id, false};
+    if (states_[id].equals(s)) {
+      ++stats_.dedupHits;
+      return {id, false};
+    }
   }
   (void)fresh;
   const NodeId id = static_cast<NodeId>(states_.size());
@@ -51,6 +54,7 @@ StateGraph::InternResult StateGraph::internWithHash(ioa::SystemState&& s,
   parent_.emplace_back();
   nextSameHash_.push_back(it->second);
   it->second = id;
+  ++stats_.statesDiscovered;
   return {id, true};
 }
 
@@ -76,6 +80,8 @@ const std::vector<Edge>& StateGraph::successors(NodeId id) {
     }
     edges.push_back(Edge{tasks[ti], *action, r.id});
   }
+  stats_.edgesDiscovered += edges.size();
+  ++stats_.expansions;
   succ_[id] = std::move(edges);
   return *succ_[id];
 }
@@ -92,6 +98,8 @@ void StateGraph::setSuccessors(NodeId id, std::vector<Edge> edges) {
   if (succ_[id]) {
     throw std::logic_error("StateGraph::setSuccessors: already cached");
   }
+  stats_.edgesDiscovered += edges.size();
+  ++stats_.expansions;
   succ_[id] = std::move(edges);
 }
 
@@ -109,6 +117,61 @@ std::optional<Edge> StateGraph::successorVia(NodeId id, const ioa::TaskId& e) {
     if (edge.task == e) return edge;
   }
   return std::nullopt;
+}
+
+bool StateGraph::checkConsistent(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  const std::size_t n = states_.size();
+  if (succ_.size() != n) return fail("succ_ size != states_ size");
+  if (parent_.size() != n) return fail("parent_ size != states_ size");
+  if (nextSameHash_.size() != n) return fail("nextSameHash_ size mismatch");
+  if (stats_.statesDiscovered != n) {
+    return fail("statesDiscovered != size()");
+  }
+  // The hash chains must partition the node set: every node reachable from
+  // exactly one bucket head, no cycles, total length == size().
+  std::vector<char> seen(n, 0);
+  std::size_t chained = 0;
+  for (const auto& [hash, head] : headByHash_) {
+    (void)hash;
+    for (NodeId id = head; id != kNoNode; id = nextSameHash_[id]) {
+      if (static_cast<std::size_t>(id) >= n) {
+        return fail("hash chain references out-of-range node");
+      }
+      if (seen[id]) return fail("node on two hash chains (or chain cycle)");
+      seen[id] = 1;
+      ++chained;
+    }
+  }
+  if (chained != n) return fail("hash chains do not cover all nodes");
+  std::uint64_t edges = 0;
+  std::uint64_t expanded = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (!succ_[id]) continue;
+    ++expanded;
+    for (const Edge& e : *succ_[id]) {
+      if (static_cast<std::size_t>(e.to) >= n) {
+        return fail("edge targets out-of-range node");
+      }
+      ++edges;
+    }
+  }
+  if (edges != stats_.edgesDiscovered) {
+    return fail("edgesDiscovered != sum of cached successor lists");
+  }
+  if (expanded != stats_.expansions) {
+    return fail("expansions != number of cached successor lists");
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    if (parent_[id].from != kNoNode &&
+        static_cast<std::size_t>(parent_[id].from) >= n) {
+      return fail("parent references out-of-range node");
+    }
+  }
+  return true;
 }
 
 NodeId StateGraph::rootOf(NodeId id) const {

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -48,9 +49,39 @@ struct Edge {
 
 class StateGraph {
  public:
+  // Discovery tallies, maintained inline (plain increments, no
+  // synchronization: single-writer contract) and flushed to an
+  // obs::Registry by the owning engine. statesDiscovered counts fresh
+  // interns and always equals size(); dedupHits counts intern probes that
+  // resolved to an existing node; edgesDiscovered counts edges recorded via
+  // successors() or setSuccessors(); expansions counts nodes whose
+  // successor list was computed or installed.
+  struct Stats {
+    std::uint64_t statesDiscovered = 0;
+    std::uint64_t dedupHits = 0;
+    std::uint64_t edgesDiscovered = 0;
+    std::uint64_t expansions = 0;
+  };
+
   explicit StateGraph(const ioa::System& sys);
 
   const ioa::System& system() const { return sys_; }
+
+  const Stats& stats() const { return stats_; }
+
+  // Tallies of the graph-owned TransitionCache that successors() expands
+  // edges through (workers of the parallel explorer use private caches,
+  // reported separately).
+  const TransitionCache::Stats& transitionStats() const {
+    return transitions_.stats();
+  }
+
+  // Structural self-check, used to assert that abort paths (a worker throw
+  // inside the parallel explorer, a truncated exploration) never leave the
+  // graph half-mutated. Verifies parallel-array sizes, stats/size
+  // agreement, the hash-chain partition, and edge-target bounds. Returns
+  // false and (when `why` is non-null) a diagnostic on the first violation.
+  bool checkConsistent(std::string* why = nullptr) const;
 
   // Canonical node id for `s` (inserted if new).
   NodeId intern(const ioa::SystemState& s);
@@ -123,6 +154,7 @@ class StateGraph {
   // Memoized component transitions over the canonical slots (declared after
   // slotCanon_: construction order). successors() expands edges through it.
   TransitionCache transitions_;
+  Stats stats_;
 #ifndef NDEBUG
   std::thread::id writer_;  // single-writer expectation, asserted in debug
 #endif

@@ -16,6 +16,12 @@ const ioa::Action* TransitionCache::step(const ioa::SystemState& s,
   const ioa::AutomatonState* owner = &s.part(ownerSlot_[taskIndex]);
   auto [it, fresh] = entries_.try_emplace(Key{owner, taskIndex});
   TaskEntry& e = it->second;  // stable: unordered_map nodes don't move
+  ++stats_.enabledLookups;
+  if (fresh) {
+    ++stats_.enabledMisses;
+  } else {
+    ++stats_.enabledHits;
+  }
   if (fresh) {
     auto a = sys_.enabled(s, sys_.allTasks()[taskIndex]);
     e.enabled = a.has_value();
@@ -43,6 +49,12 @@ const ioa::Action* TransitionCache::step(const ioa::SystemState& s,
   for (Participant& p : e.participants) {
     const ioa::AutomatonState* cur = &s.part(p.slot);
     auto [nit, miss] = p.next.try_emplace(cur);
+    ++stats_.applyLookups;
+    if (miss) {
+      ++stats_.applyMisses;
+    } else {
+      ++stats_.applyHits;
+    }
     if (miss) {
       std::unique_ptr<ioa::AutomatonState> stepped = cur->clone();
       sys_.componentAtSlot(p.slot).apply(*stepped, e.action);

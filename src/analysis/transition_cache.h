@@ -37,9 +37,34 @@ namespace boosting::analysis {
 
 class TransitionCache {
  public:
+  // Memo effectiveness tallies, kept as plain members (the cache is
+  // single-threaded by contract) and flushed to an obs::Registry by the
+  // owning engine at phase boundaries. By construction
+  // hits + misses == lookups for each memo; the observability test suite
+  // asserts the invariant end to end.
+  struct Stats {
+    std::uint64_t enabledLookups = 0;  // (owner slot, task) memo probes
+    std::uint64_t enabledHits = 0;
+    std::uint64_t enabledMisses = 0;
+    std::uint64_t applyLookups = 0;  // (participant slot, action) probes
+    std::uint64_t applyHits = 0;
+    std::uint64_t applyMisses = 0;
+
+    void accumulate(const Stats& other) {
+      enabledLookups += other.enabledLookups;
+      enabledHits += other.enabledHits;
+      enabledMisses += other.enabledMisses;
+      applyLookups += other.applyLookups;
+      applyHits += other.applyHits;
+      applyMisses += other.applyMisses;
+    }
+  };
+
   // Both referees must outlive the cache; `sys` must be fully built (the
   // task list is snapshotted here).
   TransitionCache(const ioa::System& sys, ioa::SlotCanonTable& canon);
+
+  const Stats& stats() const { return stats_; }
 
   // If task #taskIndex (in sys.allTasks() order) is enabled in `s`, makes
   // *next the successor state -- canonical slots, all hash caches valid --
@@ -94,6 +119,7 @@ class TransitionCache {
   // previous step wrote, so the next step can revert just those.
   const ioa::SystemState* lastSource_ = nullptr;
   std::vector<std::size_t> lastTouched_;
+  Stats stats_;
 };
 
 }  // namespace boosting::analysis

@@ -1,7 +1,9 @@
 #include "analysis/valence.h"
 
 #include "ioa/execution.h"
+#include "obs/registry.h"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
@@ -35,6 +37,9 @@ void ValenceAnalyzer::ensureSize() {
 void ValenceAnalyzer::explore(NodeId root) {
   ensureSize();
   if (root < bits_.size() && (bits_[root] & kExplored) != 0) return;
+  obs::Registry* reg = policy_.metrics;
+  obs::ScopedTimer timer(reg, "phase.valence");
+  std::uint64_t frontierPeak = 0;
 
   // Parallel pre-expansion (no-op for threads=1): fills the successor
   // caches of the whole unexplored region with canonical node numbering,
@@ -66,9 +71,11 @@ void ValenceAnalyzer::explore(NodeId root) {
     frontier.push_back(root);
   }
   while (!frontier.empty()) {
+    frontierPeak = std::max<std::uint64_t>(frontierPeak, frontier.size());
     const NodeId id = frontier.front();
     frontier.pop_front();
     region.push_back(id);
+    if (reg) reg->progress("valence.region_nodes", region.size());
     for (const Edge& e : g_.successors(id)) {
       ensureSize();
       // Direct decision edges seed the source node's bits.
@@ -122,6 +129,11 @@ void ValenceAnalyzer::explore(NodeId root) {
     bits_[id] = static_cast<std::uint8_t>((bits_[id] & ~0x40) | kExplored);
   }
   exploredCount_ += region.size();
+  if (reg) {
+    reg->add("valence.regions", 1);
+    reg->add("valence.region_nodes", region.size());
+    reg->maxOf("valence.frontier_peak", frontierPeak);
+  }
 }
 
 Valence ValenceAnalyzer::valence(NodeId id) const {

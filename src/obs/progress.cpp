@@ -1,0 +1,26 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+namespace boosting::obs {
+
+void ProgressTicker::operator()(std::string_view label, std::uint64_t value) {
+  const auto nowNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  std::uint64_t last = lastNs_.load(std::memory_order_relaxed);
+  if (nowNs - last < minIntervalNs_ && last != 0) return;
+  // One winner per interval; losers simply skip their line.
+  if (!lastNs_.compare_exchange_strong(last, nowNs,
+                                       std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "progress[%7.2fs] %.*s=%llu\n",
+               static_cast<double>(nowNs) / 1e9,
+               static_cast<int>(label.size()), label.data(),
+               static_cast<unsigned long long>(value));
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace boosting::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+namespace boosting::obs {
+
+namespace {
+
+// JSON string escape for keys and string values: quotes, backslashes, and
+// control characters (payload renderings may contain quoted symbols).
+void writeEscaped(std::FILE* f, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': std::fputs("\\\"", f); break;
+      case '\\': std::fputs("\\\\", f); break;
+      case '\n': std::fputs("\\n", f); break;
+      case '\t': std::fputs("\\t", f); break;
+      case '\r': std::fputs("\\r", f); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(f, "\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          std::fputc(c, f);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<TraceWriter> TraceWriter::open(const std::string& path,
+                                               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return nullptr;
+  }
+  return std::make_shared<TraceWriter>(f);
+}
+
+TraceWriter::TraceWriter(std::FILE* f)
+    : f_(f), start_(std::chrono::steady_clock::now()) {}
+
+TraceWriter::~TraceWriter() {
+  if (f_) std::fclose(f_);
+}
+
+void TraceWriter::event(std::string_view type,
+                        std::initializer_list<Field> fields) {
+  const auto tNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  std::lock_guard<std::mutex> lock(m_);
+  std::fputs("{\"ev\":\"", f_);
+  writeEscaped(f_, type);
+  std::fprintf(f_, "\",\"t_ns\":%lld", static_cast<long long>(tNs));
+  for (const Field& field : fields) {
+    std::fputs(",\"", f_);
+    writeEscaped(f_, field.key);
+    std::fputs("\":", f_);
+    switch (field.kind) {
+      case Field::Kind::Int:
+        std::fprintf(f_, "%lld", static_cast<long long>(field.i));
+        break;
+      case Field::Kind::UInt:
+        std::fprintf(f_, "%llu", static_cast<unsigned long long>(field.u));
+        break;
+      case Field::Kind::Double:
+        std::fprintf(f_, "%.6g", field.d);
+        break;
+      case Field::Kind::Bool:
+        std::fputs(field.b ? "true" : "false", f_);
+        break;
+      case Field::Kind::Str:
+        std::fputc('"', f_);
+        writeEscaped(f_, field.s);
+        std::fputc('"', f_);
+        break;
+    }
+  }
+  std::fputs("}\n", f_);
+  ++events_;
+}
+
+}  // namespace boosting::obs

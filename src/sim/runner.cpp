@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace boosting::sim {
 
 using ioa::Action;
 using ioa::SystemState;
+
+const char* runReasonName(RunResult::Reason reason) {
+  switch (reason) {
+    case RunResult::Reason::AllDecided: return "all_decided";
+    case RunResult::Reason::Livelock: return "livelock";
+    case RunResult::Reason::StepLimit: return "step_limit";
+    case RunResult::Reason::Deadlock: return "deadlock";
+    case RunResult::Reason::Custom: return "custom";
+  }
+  return "?";
+}
 
 std::vector<std::pair<int, util::Value>> binaryInits(int processCount,
                                                      unsigned bitmask) {
@@ -21,6 +35,37 @@ std::vector<std::pair<int, util::Value>> binaryInits(int processCount,
 RunResult run(const ioa::System& sys, const RunConfig& cfg) {
   RunResult result;
   SystemState state = cfg.startState ? *cfg.startState : sys.initialState();
+
+  obs::Registry* reg = cfg.metrics;
+  obs::TraceWriter* tw = reg ? reg->trace() : nullptr;
+  obs::ScopedTimer runTimer(reg, "phase.run");
+  if (tw) {
+    tw->event("run.start",
+              {{"inits", static_cast<std::uint64_t>(cfg.inits.size())},
+               {"failures", static_cast<std::uint64_t>(cfg.failures.size())},
+               {"max_steps", static_cast<std::uint64_t>(cfg.maxSteps)}});
+  }
+  // Single flush point shared by every return path below.
+  auto finish = [&](RunResult::Reason reason, SystemState&& finalState,
+                    std::size_t steps) {
+    result.reason = reason;
+    result.finalState = std::move(finalState);
+    result.steps = steps;
+    if (reg) {
+      reg->add("runner.runs", 1);
+      reg->add("runner.steps", steps);
+      reg->add("runner.decisions", result.decisions.size());
+      reg->add("runner.failures_injected", result.failed.size());
+      reg->add(std::string("runner.stopped.") + runReasonName(reason), 1);
+    }
+    if (tw) {
+      tw->event("run.end",
+                {{"reason", runReasonName(reason)},
+                 {"steps", static_cast<std::uint64_t>(steps)},
+                 {"decisions",
+                  static_cast<std::uint64_t>(result.decisions.size())}});
+    }
+  };
 
   // Sort failure schedule by step, stable.
   std::vector<std::pair<std::size_t, int>> failures = cfg.failures;
@@ -74,6 +119,11 @@ RunResult run(const ioa::System& sys, const RunConfig& cfg) {
       result.exec.append(std::move(a));
       result.failed.insert(endpoint);
       ++nextFailure;
+      if (tw) {
+        tw->event("run.fail",
+                  {{"endpoint", endpoint},
+                   {"step", static_cast<std::uint64_t>(step)}});
+      }
     }
 
     if (livelockEnabled && nextFailure >= failures.size()) {
@@ -81,9 +131,7 @@ RunResult run(const ioa::System& sys, const RunConfig& cfg) {
       auto& bucket = seen[h];
       for (const auto& [prev, cursor] : bucket) {
         if (cursor == rr.cursor() && prev.equals(state)) {
-          result.reason = RunResult::Reason::Livelock;
-          result.finalState = std::move(state);
-          result.steps = step;
+          finish(RunResult::Reason::Livelock, std::move(state), step);
           return result;
         }
       }
@@ -92,36 +140,34 @@ RunResult run(const ioa::System& sys, const RunConfig& cfg) {
 
     auto fired = sched.step(state);
     if (!fired) {
-      result.reason = RunResult::Reason::Deadlock;
-      result.finalState = std::move(state);
-      result.steps = step;
+      finish(RunResult::Reason::Deadlock, std::move(state), step);
       return result;
     }
     if (fired->action.kind == ioa::ActionKind::EnvDecide) {
       if (auto v = ioa::decisionValue(fired->action)) {
         decisions.insert_or_assign(fired->action.endpoint, *v);
+        if (tw) {
+          tw->event("run.decide",
+                    {{"endpoint", fired->action.endpoint},
+                     {"value", v->str()},
+                     {"step", static_cast<std::uint64_t>(step)}});
+        }
       }
     }
     result.exec.append(fired->action);
     result.tasks.push_back(fired->task);
 
     if (cfg.stop && cfg.stop(state, result.exec)) {
-      result.reason = RunResult::Reason::Custom;
-      result.finalState = std::move(state);
-      result.steps = step + 1;
+      finish(RunResult::Reason::Custom, std::move(state), step + 1);
       return result;
     }
     if (cfg.stopWhenAllDecided && allDecided()) {
-      result.reason = RunResult::Reason::AllDecided;
-      result.finalState = std::move(state);
-      result.steps = step + 1;
+      finish(RunResult::Reason::AllDecided, std::move(state), step + 1);
       return result;
     }
   }
 
-  result.reason = RunResult::Reason::StepLimit;
-  result.finalState = std::move(state);
-  result.steps = cfg.maxSteps;
+  finish(RunResult::Reason::StepLimit, std::move(state), cfg.maxSteps);
   return result;
 }
 

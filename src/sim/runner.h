@@ -28,6 +28,10 @@
 #include "ioa/scheduler.h"
 #include "ioa/system.h"
 
+namespace boosting::obs {
+class Registry;
+}  // namespace boosting::obs
+
 namespace boosting::sim {
 
 struct RunConfig {
@@ -57,6 +61,12 @@ struct RunConfig {
 
   // Optional custom stop predicate, checked after every step.
   std::function<bool(const ioa::SystemState&, const ioa::Execution&)> stop;
+
+  // Optional observability sink: runner.* counters are flushed once when
+  // the run ends, and -- when the registry carries a TraceWriter --
+  // schedule-level events (run start/end, failure injections, decisions)
+  // are emitted as they happen. Null costs nothing on the step loop.
+  obs::Registry* metrics = nullptr;
 };
 
 struct RunResult {
@@ -73,6 +83,10 @@ struct RunResult {
   bool livelocked() const { return reason == Reason::Livelock; }
   bool allDecided() const { return reason == Reason::AllDecided; }
 };
+
+// Stable lowercase name for a stop reason ("all_decided", "livelock",
+// "step_limit", "deadlock", "custom"), used in trace events and reports.
+const char* runReasonName(RunResult::Reason reason);
 
 RunResult run(const ioa::System& sys, const RunConfig& cfg);
 

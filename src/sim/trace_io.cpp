@@ -1,6 +1,8 @@
 #include "sim/trace_io.h"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <sstream>
 
 namespace boosting::sim {
@@ -108,6 +110,20 @@ struct Parser {
   }
 };
 
+// Offending-token excerpt for diagnostics: the whitespace-delimited token
+// starting at `pos`, truncated to keep messages one line.
+std::string tokenAt(const std::string& text, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[end]))) {
+    ++end;
+  }
+  constexpr std::size_t kMaxToken = 32;
+  std::string out = text.substr(pos, std::min(end - pos, kMaxToken));
+  if (end - pos > kMaxToken) out += "...";
+  return out;
+}
+
 std::optional<ActionKind> kindFromName(const std::string& name) {
   using K = ActionKind;
   static const std::pair<const char*, K> kTable[] = {
@@ -155,10 +171,34 @@ std::string renderValue(const Value& v) {
   return "nil";
 }
 
+std::string TraceParseError::str() const {
+  if (line == 0) return "no error";
+  std::string out = "line " + std::to_string(line) + ", column " +
+                    std::to_string(column) + ": " + message;
+  if (!token.empty()) out += " '" + token + "'";
+  return out;
+}
+
 std::optional<Value> parseValue(const std::string& text) {
+  return parseValue(text, nullptr);
+}
+
+std::optional<Value> parseValue(const std::string& text,
+                                TraceParseError* error) {
   Parser p{text};
   Value v = p.value();
-  if (p.failed || !p.atEnd()) return std::nullopt;
+  if (p.failed || !p.atEnd()) {
+    if (error) {
+      // p.pos sits at (or just past) the character that broke the grammar;
+      // for "parsed but trailing garbage" it sits at the garbage itself.
+      const std::size_t at = std::min(p.pos, text.size());
+      error->line = 1;
+      error->column = at + 1;
+      error->token = tokenAt(text, at);
+      error->message = p.failed ? "malformed value" : "trailing input after value";
+    }
+    return std::nullopt;
+  }
   return v;
 }
 
@@ -175,34 +215,100 @@ std::string renderExecution(const ioa::Execution& exec) {
   return out;
 }
 
-std::optional<ioa::Execution> parseExecution(const std::string& text) {
+ExecutionParseResult parseExecutionDetailed(const std::string& text) {
+  ExecutionParseResult result;
   ioa::Execution exec;
   std::istringstream in(text);
   std::string line;
+  std::size_t lineNo = 0;
+
+  auto fail = [&](std::size_t column, std::string message,
+                  std::string token) -> ExecutionParseResult& {
+    result.error.line = lineNo;
+    result.error.column = column;
+    result.error.message = std::move(message);
+    result.error.token = std::move(token);
+    return result;
+  };
+
   while (std::getline(in, line)) {
+    ++lineNo;
     std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream ls(line);
-    std::string kindName;
-    int endpoint = 0, component = 0, gtask = 0;
-    if (!(ls >> kindName >> endpoint >> component >> gtask)) {
-      return std::nullopt;
+
+    // Hand-tokenize the four header fields so every complaint can point at
+    // the exact line/column (istream extraction reports neither).
+    std::size_t pos = first;
+    auto nextToken = [&](std::size_t* start) -> std::string {
+      while (pos < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      *start = pos;
+      while (pos < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      return line.substr(*start, pos - *start);
+    };
+
+    std::size_t kindCol = 0;
+    const std::string kindName = nextToken(&kindCol);
+    const auto kind = kindFromName(kindName);
+    if (!kind) {
+      return fail(kindCol + 1, "unknown action kind", kindName);
     }
-    auto kind = kindFromName(kindName);
-    if (!kind) return std::nullopt;
-    std::string rest;
-    std::getline(ls, rest);
-    auto payload = parseValue(rest.empty() ? "nil" : rest);
-    if (!payload) return std::nullopt;
+
+    static const char* kFieldName[3] = {"endpoint", "component", "gtask"};
+    int fields[3] = {0, 0, 0};
+    for (int fi = 0; fi < 3; ++fi) {
+      std::size_t col = 0;
+      const std::string tok = nextToken(&col);
+      if (tok.empty()) {
+        return fail(col + 1,
+                    std::string("missing integer field <") + kFieldName[fi] +
+                        ">",
+                    "");
+      }
+      const char* b = tok.data();
+      const char* e = b + tok.size();
+      auto [ptr, ec] = std::from_chars(b, e, fields[fi]);
+      if (ec != std::errc() || ptr != e) {
+        return fail(col + 1,
+                    std::string("expected integer for <") + kFieldName[fi] +
+                        ">, got",
+                    tok);
+      }
+    }
+
+    // Payload: the rest of the line (defaulting to nil), parsed with the
+    // value grammar; its error columns are offsets into `rest`, shifted
+    // back to line coordinates here.
+    const std::size_t restStart = pos;
+    const std::string rest = line.substr(restStart);
+    const bool restBlank =
+        rest.find_first_not_of(" \t\r") == std::string::npos;
+    TraceParseError verr;
+    auto payload = parseValue(restBlank ? "nil" : rest, &verr);
+    if (!payload) {
+      return fail(restStart + verr.column, "bad payload: " + verr.message,
+                  verr.token);
+    }
+
     Action a;
     a.kind = *kind;
-    a.endpoint = endpoint;
-    a.component = component;
-    a.gtask = gtask;
+    a.endpoint = fields[0];
+    a.component = fields[1];
+    a.gtask = fields[2];
     a.payload = std::move(*payload);
     exec.append(std::move(a));
   }
-  return exec;
+  result.execution = std::move(exec);
+  return result;
+}
+
+std::optional<ioa::Execution> parseExecution(const std::string& text) {
+  return parseExecutionDetailed(text).execution;
 }
 
 }  // namespace boosting::sim

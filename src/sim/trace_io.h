@@ -26,15 +26,43 @@
 
 namespace boosting::sim {
 
+// Diagnostic for a rejected trace: 1-based line and column of the first
+// offense, the offending token (possibly truncated), and a human message.
+// line == 0 means "no error recorded".
+struct TraceParseError {
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string token;
+  std::string message;
+
+  // "line 3, column 7: unknown action kind 'frob'"
+  std::string str() const;
+};
+
 // -- Value syntax --------------------------------------------------------
 std::string renderValue(const util::Value& v);
-// Parses a single value; returns nullopt on syntax errors.
+// Parses a single value; returns nullopt on syntax errors. The overload
+// with `error` reports where the value syntax broke (line is always 1).
 std::optional<util::Value> parseValue(const std::string& text);
+std::optional<util::Value> parseValue(const std::string& text,
+                                      TraceParseError* error);
 
 // -- Executions ----------------------------------------------------------
 std::string renderExecution(const ioa::Execution& exec);
-// Parses the format above; returns nullopt on any malformed line. Comments
-// and blank lines are skipped.
+
+// Parse outcome that distinguishes "parsed an execution -- possibly with
+// zero actions" (ok()) from "rejected the input at error.line/column".
+struct ExecutionParseResult {
+  std::optional<ioa::Execution> execution;
+  TraceParseError error;
+
+  bool ok() const { return execution.has_value(); }
+};
+ExecutionParseResult parseExecutionDetailed(const std::string& text);
+
+// Legacy wrapper over parseExecutionDetailed: returns nullopt on any
+// malformed line, discarding the diagnostic. Comments and blank lines are
+// skipped; an empty document parses as an empty execution.
 std::optional<ioa::Execution> parseExecution(const std::string& text);
 
 }  // namespace boosting::sim

@@ -86,6 +86,74 @@ TEST(TraceIO, ParseRejectsUnknownKinds) {
   EXPECT_FALSE(parseExecution("fail x -1 -1 nil").has_value());
 }
 
+TEST(TraceIO, ParseErrorReportsLineColumnAndToken) {
+  // The bad kind sits on line 3 (after a comment and a good line), at
+  // column 1.
+  const std::string text =
+      "# header\n"
+      "fail 2 -1 -1 nil\n"
+      "frobnicate 0 1 2 nil\n";
+  auto result = parseExecutionDetailed(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.line, 3u);
+  EXPECT_EQ(result.error.column, 1u);
+  EXPECT_EQ(result.error.token, "frobnicate");
+  EXPECT_EQ(result.error.message, "unknown action kind");
+  EXPECT_EQ(result.error.str(),
+            "line 3, column 1: unknown action kind 'frobnicate'");
+}
+
+TEST(TraceIO, ParseErrorOnNonIntegerField) {
+  auto result = parseExecutionDetailed("fail x -1 -1 nil");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.line, 1u);
+  EXPECT_EQ(result.error.column, 6u);  // "x" starts at column 6
+  EXPECT_EQ(result.error.token, "x");
+  EXPECT_NE(result.error.message.find("endpoint"), std::string::npos);
+
+  // A missing field names the first absent one.
+  auto missing = parseExecutionDetailed("fail 2");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error.message.find("component"), std::string::npos);
+}
+
+TEST(TraceIO, ParseErrorOnBadPayload) {
+  auto result = parseExecutionDetailed("invoke 0 100 -1 (unclosed");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.line, 1u);
+  EXPECT_GT(result.error.column, 16u);  // inside the payload, not the header
+  EXPECT_NE(result.error.message.find("bad payload"), std::string::npos);
+}
+
+TEST(TraceIO, EmptyTraceDistinguishedFromParseError) {
+  // Empty and comment-only documents are VALID zero-action executions...
+  for (const char* text : {"", "# only a comment\n", "\n  \n# c\n"}) {
+    auto result = parseExecutionDetailed(text);
+    ASSERT_TRUE(result.ok()) << '"' << text << '"';
+    EXPECT_EQ(result.execution->size(), 0u);
+    EXPECT_EQ(result.error.line, 0u);  // no error recorded
+    EXPECT_EQ(result.error.str(), "no error");
+  }
+  // ...while garbage is a hard error, not an empty execution.
+  auto bad = parseExecutionDetailed("garbage\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error.line, 1u);
+}
+
+TEST(TraceIO, ParseValueReportsColumn) {
+  TraceParseError err;
+  EXPECT_FALSE(parseValue("(a b", &err).has_value());
+  EXPECT_EQ(err.line, 1u);
+  EXPECT_EQ(err.message, "malformed value");
+
+  TraceParseError trailing;
+  EXPECT_FALSE(parseValue("7 junk", &trailing).has_value());
+  EXPECT_EQ(trailing.line, 1u);
+  EXPECT_EQ(trailing.column, 3u);
+  EXPECT_EQ(trailing.token, "junk");
+  EXPECT_EQ(trailing.message, "trailing input after value");
+}
+
 TEST(TraceIO, AdversaryWitnessRoundTripsAndReplays) {
   processes::RelaySystemSpec spec;
   spec.processCount = 2;

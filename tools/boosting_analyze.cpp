@@ -9,11 +9,22 @@
 // Usage:
 //   boosting_analyze --candidate relay --n 3 --f 1 [--claim 2]
 //                    [--threads T] [--brute] [--witness trace.txt]
-//                    [--dot graph.dot]
+//                    [--dot graph.dot] [--metrics-json FILE]
+//                    [--trace FILE] [--progress] [--replay FILE]
 //
 // --threads T runs every G(C) exploration of the pipeline on T
 // work-stealing workers (0 = hardware concurrency). The verdict and all
 // proof artifacts are identical for any T; only the wall clock changes.
+//
+// Observability:
+//   --metrics-json FILE   write phase timings, counters and derived rates
+//                         (states/sec, cache hit rate) as one JSON document
+//   --trace FILE          append structured JSON-lines events (one object
+//                         per line) as the pipeline runs
+//   --progress            print a rate-limited progress ticker to stderr
+//
+// --replay FILE parses a previously written witness trace and reports its
+// shape; malformed traces are rejected with a line/column diagnostic.
 //
 // Candidates:
 //   relay      n processes over one f-resilient consensus object
@@ -22,13 +33,19 @@
 //   flooding   message-passing flooding consensus over an f-resilient fabric
 //   single-fd  rotating coordinator over ONE f-resilient all-process
 //              perfect failure detector (the Theorem-10 setting)
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "analysis/adversary.h"
 #include "analysis/dot_export.h"
+#include "analysis/metrics.h"
+#include "obs/progress.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "processes/flooding_consensus.h"
 #include "processes/relay_consensus.h"
 #include "processes/rotating_consensus.h"
@@ -46,17 +63,42 @@ struct Options {
   int claim = -1;  // default: f + 1
   unsigned threads = 1;
   bool brute = false;
+  bool progress = false;
   std::string witnessPath;
   std::string dotPath;
+  std::string metricsJsonPath;
+  std::string tracePath;
+  std::string replayPath;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --candidate relay|bridge|tob|flooding|single-fd "
                "--n N --f F [--claim C] [--threads T] [--brute] "
-               "[--witness FILE] [--dot FILE]\n",
+               "[--witness FILE] [--dot FILE] [--metrics-json FILE] "
+               "[--trace FILE] [--progress] [--replay FILE]\n",
                argv0);
   std::exit(2);
+}
+
+// Strict integer option parsing: the full token must be a decimal integer
+// within [lo, hi]. Anything else -- "banana", "2x", empty, out of range --
+// names the offending flag and value on stderr and exits non-zero, instead
+// of the old atoi behaviour of silently reading 0.
+long parseIntOrDie(const char* flag, const char* text, long lo, long hi) {
+  long value = 0;
+  const char* end = text + std::strlen(text);
+  auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc() || ptr != end || text == end) {
+    std::fprintf(stderr, "%s: not an integer: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  if (value < lo || value > hi) {
+    std::fprintf(stderr, "%s: value %ld out of range [%ld, %ld]\n", flag,
+                 value, lo, hi);
+    std::exit(2);
+  }
+  return value;
 }
 
 std::unique_ptr<ioa::System> buildCandidate(const Options& opt) {
@@ -101,6 +143,65 @@ std::unique_ptr<ioa::System> buildCandidate(const Options& opt) {
   std::exit(2);
 }
 
+// --replay: load a witness trace and report its shape, distinguishing an
+// empty (but well-formed) trace from a parse error with its diagnostic.
+int replayTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "--replay: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = sim::parseExecutionDetailed(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--replay: %s: parse error at %s\n", path.c_str(),
+                 parsed.error.str().c_str());
+    return 2;
+  }
+  const ioa::Execution& exec = *parsed.execution;
+  if (exec.empty()) {
+    std::printf("replay: %s parsed cleanly: 0 actions (empty trace)\n",
+                path.c_str());
+    return 0;
+  }
+  std::size_t fails = 0, decides = 0;
+  for (const ioa::Action& a : exec.actions()) {
+    if (a.kind == ioa::ActionKind::Fail) ++fails;
+    if (a.kind == ioa::ActionKind::EnvDecide) ++decides;
+  }
+  std::printf("replay: %s parsed cleanly: %zu actions (%zu failures, %zu "
+              "decisions)\n",
+              path.c_str(), exec.size(), fails, decides);
+  return 0;
+}
+
+// Derived metrics computed from whatever the run flushed: overall
+// states/sec, the combined transition-memo hit rate, and phase wall times
+// in seconds.
+void deriveSummaryMetrics(obs::Registry& reg) {
+  const auto adversary = reg.timer("phase.adversary");
+  const double wallS = static_cast<double>(adversary.wallNs) / 1e9;
+  if (wallS > 0) {
+    reg.derive("wall_s", wallS);
+    reg.derive("states_per_sec",
+               static_cast<double>(reg.value("graph.states_discovered")) /
+                   wallS);
+  }
+  const std::uint64_t hits =
+      reg.value("cache.enabled_hits") + reg.value("cache.apply_hits") +
+      reg.value("explorer.cache.enabled_hits") +
+      reg.value("explorer.cache.apply_hits");
+  const std::uint64_t lookups =
+      reg.value("cache.enabled_lookups") + reg.value("cache.apply_lookups") +
+      reg.value("explorer.cache.enabled_lookups") +
+      reg.value("explorer.cache.apply_lookups");
+  if (lookups > 0) {
+    reg.derive("cache_hit_rate",
+               static_cast<double>(hits) / static_cast<double>(lookups));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,34 +217,89 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--candidate") == 0) {
       opt.candidate = needArg("--candidate");
     } else if (std::strcmp(argv[i], "--n") == 0) {
-      opt.n = std::atoi(needArg("--n"));
+      opt.n = static_cast<int>(parseIntOrDie("--n", needArg("--n"), 2, 20));
     } else if (std::strcmp(argv[i], "--f") == 0) {
-      opt.f = std::atoi(needArg("--f"));
+      opt.f = static_cast<int>(parseIntOrDie("--f", needArg("--f"), 0, 19));
     } else if (std::strcmp(argv[i], "--claim") == 0) {
-      opt.claim = std::atoi(needArg("--claim"));
+      opt.claim = static_cast<int>(
+          parseIntOrDie("--claim", needArg("--claim"), 1, 19));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      const int t = std::atoi(needArg("--threads"));
-      if (t < 0) usage(argv[0]);
-      opt.threads = static_cast<unsigned>(t);
+      opt.threads = static_cast<unsigned>(
+          parseIntOrDie("--threads", needArg("--threads"), 0, 256));
     } else if (std::strcmp(argv[i], "--brute") == 0) {
       opt.brute = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      opt.progress = true;
     } else if (std::strcmp(argv[i], "--witness") == 0) {
       opt.witnessPath = needArg("--witness");
     } else if (std::strcmp(argv[i], "--dot") == 0) {
       opt.dotPath = needArg("--dot");
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      opt.metricsJsonPath = needArg("--metrics-json");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.tracePath = needArg("--trace");
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      opt.replayPath = needArg("--replay");
     } else {
       usage(argv[0]);
     }
   }
+
+  if (!opt.replayPath.empty()) return replayTrace(opt.replayPath);
+
+  // Cross-field domain validation, naming the offending flag.
+  if (opt.f >= opt.n) {
+    std::fprintf(stderr,
+                 "--f: service resilience %d must be smaller than --n %d\n",
+                 opt.f, opt.n);
+    return 2;
+  }
   if (opt.claim < 0) opt.claim = opt.f + 1;
+  if (opt.claim >= opt.n) {
+    std::fprintf(stderr,
+                 "--claim: claimed failures %d must be smaller than --n %d "
+                 "(the theorems assume f+1 <= n-1)\n",
+                 opt.claim, opt.n);
+    return 2;
+  }
+
+  // Observability: one registry for the whole invocation. A null registry
+  // pointer downstream disables all collection, so only wire it when some
+  // output was requested.
+  obs::Registry registry;
+  obs::ProgressTicker ticker;
+  const bool wantObs = !opt.metricsJsonPath.empty() ||
+                       !opt.tracePath.empty() || opt.progress;
+  obs::Registry* reg = wantObs ? &registry : nullptr;
+  if (!opt.tracePath.empty()) {
+    std::string err;
+    auto tw = obs::TraceWriter::open(opt.tracePath, &err);
+    if (!tw) {
+      std::fprintf(stderr, "--trace: %s\n", err.c_str());
+      return 2;
+    }
+    registry.setTrace(std::move(tw));
+  }
+  if (opt.progress) {
+    registry.setProgress([&ticker](std::string_view label,
+                                   std::uint64_t value) {
+      ticker(label, value);
+    });
+  }
 
   auto sys = buildCandidate(opt);
   std::printf("candidate '%s': n=%d, service resilience f=%d, claimed to "
               "tolerate %d failures (exploration threads: %u)\n",
               opt.candidate.c_str(), opt.n, opt.f, opt.claim, opt.threads);
 
+  const ioa::StatePerfCounters perfBefore = ioa::statePerfSnapshot();
+
   if (opt.brute) {
     auto report = analysis::searchTerminationCounterexample(*sys, opt.claim);
+    if (!opt.metricsJsonPath.empty()) {
+      deriveSummaryMetrics(registry);
+      registry.writeMetricsJson(opt.metricsJsonPath, "boosting_analyze");
+    }
     if (report.counterexampleFound) {
       std::printf("BRUTE-FORCE REFUTED: livelock with failures {");
       bool first = true;
@@ -168,7 +324,19 @@ int main(int argc, char** argv) {
   cfg.claimedFailures = opt.claim;
   cfg.exemptFailureAware = true;
   cfg.exploration.threads = opt.threads;
+  cfg.exploration.metrics = reg;
   auto report = analysis::analyzeConsensusCandidate(*sys, cfg);
+
+  if (reg) {
+    analysis::flushStatePerfDelta(reg, perfBefore, ioa::statePerfSnapshot());
+  }
+  if (!opt.metricsJsonPath.empty()) {
+    deriveSummaryMetrics(registry);
+    if (!registry.writeMetricsJson(opt.metricsJsonPath, "boosting_analyze")) {
+      return 2;
+    }
+    std::printf("metrics written to %s\n", opt.metricsJsonPath.c_str());
+  }
 
   std::printf("\ninitializations (Lemma 4):\n");
   for (const auto& init : report.initializations) {

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate a boosting-metrics-v1 JSON file against docs/metrics_schema.json.
+
+Hand-rolled validator for the draft-07 subset the schema actually uses
+(type, required, properties, additionalProperties, items, enum, minimum,
+minLength), so CI needs nothing beyond the stock Python interpreter.
+
+Beyond the schema, this also checks the semantic invariants the metrics
+promise:
+  * counter/timer/derived names are unique and sorted;
+  * every memo-cache family satisfies hits + misses == lookups;
+  * with --expect-workers N, per-worker expansion counters exist for
+    workers 0..N-1 and sum to explorer.states_discovered.
+
+Usage: validate_metrics.py [--schema SCHEMA] [--expect-workers N] METRICS
+Exits 0 when valid, 1 with one "path: problem" line per violation.
+"""
+
+import argparse
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON booleans are not integers.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, str) and "minLength" in schema:
+        if len(value) < schema["minLength"]:
+            errors.append(f"{path}: string shorter than {schema['minLength']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key '{key}'")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def named_section(doc, section):
+    return {entry["name"]: entry for entry in doc.get(section, [])
+            if isinstance(entry, dict) and "name" in entry}
+
+
+def check_invariants(doc, expect_workers, errors):
+    for section in ("counters", "timers", "derived"):
+        names = [e["name"] for e in doc.get(section, [])
+                 if isinstance(e, dict) and "name" in e]
+        if len(names) != len(set(names)):
+            errors.append(f"$.{section}: duplicate names")
+        if names != sorted(names):
+            errors.append(f"$.{section}: names not sorted")
+
+    counters = named_section(doc, "counters")
+
+    def cval(name):
+        return counters[name]["value"] if name in counters else 0
+
+    for prefix in ("cache.", "explorer.cache."):
+        for family in ("enabled", "apply"):
+            lookups = cval(f"{prefix}{family}_lookups")
+            hits = cval(f"{prefix}{family}_hits")
+            misses = cval(f"{prefix}{family}_misses")
+            if hits + misses != lookups:
+                errors.append(
+                    f"$.counters: {prefix}{family}: hits {hits} + misses "
+                    f"{misses} != lookups {lookups}")
+
+    if expect_workers is not None:
+        total = 0
+        for w in range(expect_workers):
+            name = f"explorer.worker{w}.expanded"
+            if name not in counters:
+                errors.append(f"$.counters: missing {name}")
+            else:
+                total += cval(name)
+        if "explorer.states_discovered" in counters and \
+                total != cval("explorer.states_discovered"):
+            errors.append(
+                f"$.counters: per-worker expanded sum {total} != "
+                f"explorer.states_discovered "
+                f"{cval('explorer.states_discovered')}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("metrics", help="metrics JSON file to validate")
+    ap.add_argument("--schema", default=None,
+                    help="schema file (default: docs/metrics_schema.json "
+                         "next to this script's repo)")
+    ap.add_argument("--expect-workers", type=int, default=None, metavar="N",
+                    help="require explorer.worker{0..N-1}.expanded counters")
+    args = ap.parse_args()
+
+    schema_path = args.schema
+    if schema_path is None:
+        import os
+        schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "..", "docs", "metrics_schema.json")
+
+    try:
+        with open(schema_path, encoding="utf-8") as fh:
+            schema = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load schema {schema_path}: {e}", file=sys.stderr)
+        return 1
+
+    try:
+        with open(args.metrics, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load metrics {args.metrics}: {e}", file=sys.stderr)
+        return 1
+
+    errors = []
+    validate(doc, schema, "$", errors)
+    if not errors:
+        check_invariants(doc, args.expect_workers, errors)
+
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        print(f"{args.metrics}: INVALID ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+
+    counters = len(doc.get("counters", []))
+    timers = len(doc.get("timers", []))
+    print(f"{args.metrics}: valid boosting-metrics-v1 "
+          f"({counters} counters, {timers} timers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
