@@ -14,6 +14,7 @@
 
 #include "analysis/bivalence.h"
 #include "analysis/parallel_explorer.h"
+#include "analysis/symmetry.h"
 #include "analysis/valence.h"
 #include "bench_json.h"
 #include "processes/relay_consensus.h"
@@ -149,6 +150,40 @@ void BM_RegionScanTob(benchmark::State& state) {
   regionScan(*sys, state);
 }
 
+// The same headline workload under orbit canonicalization (--symmetry on):
+// states/sec now counts canonical representatives, so the interesting
+// figure is the raw_per_canonical collapse ratio next to the wall time.
+void regionScanSymmetry(const ioa::System& sys, benchmark::State& state) {
+  const int n = sys.processCount();
+  std::size_t states = 0;
+  std::int64_t expanded = 0;
+  double rawPerCanonical = 0.0;
+  for (auto _ : state) {
+    auto pol = analysis::SymmetryPolicy::forSystem(
+        sys, analysis::SymmetryMode::On);
+    StateGraph g(sys, pol);
+    for (int j = 0; j <= n; ++j) {
+      NodeId root = g.intern(analysis::canonicalInitialization(sys, j));
+      auto stats = analysis::exploreReachable(g, root, ExplorationPolicy{1, 0});
+      expanded += static_cast<std::int64_t>(stats.statesDiscovered);
+    }
+    states = g.size();
+    if (states > 0) {
+      rawPerCanonical = static_cast<double>(pol->statesRaw()) /
+                        static_cast<double>(states);
+    }
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(expanded), benchmark::Counter::kIsRate);
+  state.counters["raw_per_canonical"] = rawPerCanonical;
+}
+
+void BM_RegionScanRelaySymmetry(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  regionScanSymmetry(*sys, state);
+}
+
 void BM_ValenceFullRegion(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto sys = relay(n, 0);
@@ -173,6 +208,8 @@ BENCHMARK(BM_ReachableExpansion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReachableExpansionTob)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RegionScanRelay)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RegionScanTob)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegionScanRelaySymmetry)
+    ->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ValenceFullRegion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {

@@ -80,13 +80,53 @@ std::optional<std::string> nodeSafetyViolation(const ioa::System& sys,
 }
 
 // Witness = init prefix of the node's root + the failure-free path to it.
+//
+// Under symmetry reduction the parent edges jump between orbit
+// REPRESENTATIVES: apply(state(from), action) is in general only
+// orbit-equal to state(to), so the recorded actions do not form an
+// execution verbatim. Lifting re-aligns the path into one concrete frame.
+// Pass 1 replays it, accumulating the canonicalization permutation at
+// every step (pi_0 = id, pi_{t+1} = sigma_{t+1} o pi_t, where sigma is the
+// permutation canonicalize() applied after the step). Pass 2 relabels the
+// root by Pi = pi_T and the action taken at canonical state r_t by
+// Pi o pi_t^{-1} (that state's concrete counterpart in the lifted
+// execution is relabel_{Pi o pi_t^{-1}}(r_t)). By equivariance the lifted
+// execution is genuine and ends exactly in state(node).
 ioa::Execution witnessToNode(StateGraph& g, NodeId node) {
-  ioa::Execution exec;
+  const ioa::System& sys = g.system();
   const NodeId root = g.rootOf(node);
-  for (Action& a : initActionsOf(g.system(), g.state(root))) {
-    exec.append(std::move(a));
+  const std::vector<Edge> path = g.pathTo(node);
+  if (!g.symmetryActive()) {
+    ioa::Execution exec;
+    for (Action& a : initActionsOf(sys, g.state(root))) {
+      exec.append(std::move(a));
+    }
+    for (const Edge& e : path) exec.append(e.action);
+    return exec;
   }
-  for (const Edge& e : g.pathTo(node)) exec.append(e.action);
+  const SymmetryPolicy& pol = *g.symmetryPolicy();
+  std::vector<std::vector<int>> pis;
+  pis.reserve(path.size() + 1);
+  pis.push_back(SymmetryPolicy::identityPerm(sys.processCount()));
+  ioa::SystemState cur = g.state(root);
+  for (const Edge& e : path) {
+    cur = sys.apply(cur, e.action);
+    if (auto c = pol.canonicalize(cur)) {
+      pis.push_back(SymmetryPolicy::composePerm(c->perm, pis.back()));
+      cur = std::move(c->state);
+    } else {
+      pis.push_back(pis.back());
+    }
+  }
+  const std::vector<int>& Pi = pis.back();
+  ioa::Execution exec;
+  const ioa::SystemState start = pol.relabeled(g.state(root), Pi);
+  for (Action& a : initActionsOf(sys, start)) exec.append(std::move(a));
+  for (std::size_t t = 0; t < path.size(); ++t) {
+    exec.append(pol.relabelAction(
+        path[t].action,
+        SymmetryPolicy::composePerm(Pi, SymmetryPolicy::invertPerm(pis[t]))));
+  }
   return exec;
 }
 
@@ -183,7 +223,15 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
         "(the theorems assume 0 <= f < n-1)");
   }
 
-  StateGraph g(sys);
+  const std::shared_ptr<const SymmetryPolicy> symmetry =
+      SymmetryPolicy::forSystem(sys, cfg.symmetry);
+  StateGraph g(sys, symmetry);
+  report.symmetryReduced = g.symmetryActive();
+  if (!report.symmetryReduced) report.symmetryNote = symmetry->disabledReason();
+
+  // The case analysis runs in an immediately-invoked closure so the
+  // quotient statistics after it are collected on every return path.
+  [&] {
   ValenceAnalyzer va(g);
   va.setPolicy(cfg.exploration);
   obs::Registry* reg = cfg.exploration.metrics;
@@ -212,7 +260,7 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
         report.verdict = AdversaryReport::Verdict::SafetyViolation;
         report.narrative = *violation;
         report.witness = witnessToNode(g, node);
-        return report;
+        return;
       }
     }
     if (reg) reg->add("safety_scan.nodes", g.size());
@@ -234,7 +282,7 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
           "initialization with " + std::to_string(init.onesPrefix) +
           " ones is Null-valent: no extension decides at all";
       report.witness = witnessFromRun(g, init.node, rr);
-      return report;
+      return;
     }
   }
 
@@ -245,13 +293,18 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
       report.narrative =
           "no bivalent initialization and no adjacent opposite-valent pair: "
           "valence certificates violate validity assumptions";
-      return report;
+      return;
     }
     const auto& [a, b] = *biv.adjacentOppositePair;
     const int d = a.onesPrefix;  // alpha_j vs alpha_{j+1} differ at P_j
     for (const InitializationOutcome* init : {&a, &b}) {
-      sim::RunResult rr =
-          runGamma(sys, g.state(init->node), {d}, cfg.gammaMaxSteps, reg);
+      // The differing process P_d is meaningful in the CONCRETE frame of
+      // the canonical initializations; under symmetry the graph node only
+      // holds the orbit representative, so rebuild alpha_j itself.
+      const ioa::SystemState start =
+          g.symmetryActive() ? canonicalInitialization(sys, init->onesPrefix)
+                             : g.state(init->node);
+      sim::RunResult rr = runGamma(sys, start, {d}, cfg.gammaMaxSteps, reg);
       if (rr.livelocked() || rr.reason == sim::RunResult::Reason::StepLimit) {
         report.verdict = AdversaryReport::Verdict::TerminationViolation;
         report.narrative =
@@ -260,15 +313,24 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
             std::to_string(init->onesPrefix) +
             "-ones initialization yields a fair execution in which no "
             "correct process decides";
-        report.witness = witnessFromRun(g, init->node, rr);
+        if (g.symmetryActive()) {
+          ioa::Execution exec;
+          for (Action& ia : initActionsOf(sys, start)) {
+            exec.append(std::move(ia));
+          }
+          for (const Action& ra : rr.exec.actions()) exec.append(ra);
+          report.witness = std::move(exec);
+        } else {
+          report.witness = witnessFromRun(g, init->node, rr);
+        }
         report.witnessFailures = {d};
-        return report;
+        return;
       }
     }
     report.narrative =
         "adjacent opposite-valent initializations both decide after failing "
         "the differing process: valence certificates are inconsistent";
-    return report;
+    return;
   }
 
   report.bivalentInit = biv.bivalent;
@@ -296,28 +358,86 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
       }
     }
     report.witness = std::move(exec);
-    return report;
+    return;
   }
 
   if (!hs.hook) {
     report.narrative = "hook search budget exhausted";
-    return report;
+    return;
   }
   report.hook = hs.hook;
 
   // -- Step 4: Lemma 8 case analysis + the gamma construction. ------------
   SimilarityOptions simOpts;
   simOpts.exemptFailureAware = cfg.exemptFailureAware;
-  report.classification = classifyHook(g, *hs.hook, simOpts);
 
   const bool zeroSideIsAlpha0 = hs.hook->alpha0Valence == Valence::Zero;
-  // Start the gamma run from the 0-valent side (the proofs' convention);
-  // with viaEPrime, from its e'-extension, which is still 0-valent.
-  NodeId startNode = zeroSideIsAlpha0 ? hs.hook->alpha0 : hs.hook->alpha1;
-  if (report.classification.viaEPrime) {
-    if (auto edge = g.successorVia(hs.hook->alpha0, hs.hook->ePrime)) {
-      startNode = edge->to;
+  std::optional<ioa::SystemState> gammaStart;
+  NodeId witnessAnchor = kNoNode;  // witness = lifted path here + prefix
+  std::vector<Action> gammaPrefix;  // concrete actions from the anchor
+
+  if (!g.symmetryActive()) {
+    report.classification = classifyHook(g, *hs.hook, simOpts);
+    // Start the gamma run from the 0-valent side (the proofs' convention);
+    // with viaEPrime, from its e'-extension, which is still 0-valent.
+    NodeId startNode = zeroSideIsAlpha0 ? hs.hook->alpha0 : hs.hook->alpha1;
+    if (report.classification.viaEPrime) {
+      if (auto edge = g.successorVia(hs.hook->alpha0, hs.hook->ePrime)) {
+        startNode = edge->to;
+      }
     }
+    gammaStart = g.state(startNode);
+    witnessAnchor = startNode;
+  } else {
+    // Under the quotient, alpha1's representative is reached by applying e
+    // at the REPRESENTATIVE of e'(alpha), i.e. by a possibly relabeled
+    // copy of e -- the quotient hook does not certify a same-task concrete
+    // hook directly. Re-derive the extensions concretely from
+    // A = state(alpha), itself a genuine reachable configuration, so the
+    // classification, the failure set J and the gamma start share one
+    // concrete frame and need no permutation bookkeeping. (The verdict
+    // never rests on this alignment: it comes from the gamma run itself,
+    // a concrete simulation from a reachable state.)
+    const ioa::SystemState& A = g.state(hs.hook->alpha);
+    const std::optional<Action> aE = sys.enabled(A, hs.hook->e);
+    const std::optional<Action> aEp = sys.enabled(A, hs.hook->ePrime);
+    std::optional<ioa::SystemState> x0, x1, x0p;
+    std::optional<Action> aEAtB, aEpAtX0;
+    if (aE) x0 = sys.apply(A, *aE);
+    if (aEp) {
+      const ioa::SystemState b = sys.apply(A, *aEp);
+      if ((aEAtB = sys.enabled(b, hs.hook->e))) x1 = sys.apply(b, *aEAtB);
+    }
+    if (x0 && (aEpAtX0 = sys.enabled(*x0, hs.hook->ePrime))) {
+      x0p = sys.apply(*x0, *aEpAtX0);
+    }
+    if (x0 && x1) {
+      report.classification =
+          classifyHookStates(sys, *x0, *x1, x0p ? &*x0p : nullptr, simOpts);
+    } else {
+      report.classification.narrative =
+          "hook tasks not concretely co-applicable at the representative "
+          "of alpha (quotient artifact); failing a default f+1 set";
+    }
+    // Gamma start on the 0-valent side, built concretely: x0 is in
+    // alpha0's orbit, so it carries alpha0's valence exactly; the
+    // e/e'-swapped x1 is the natural counterpart for the mirror hook.
+    if (report.classification.viaEPrime && x0p) {
+      gammaStart = *x0p;
+      gammaPrefix = {*aE, *aEpAtX0};
+    } else if (zeroSideIsAlpha0 && x0) {
+      gammaStart = *x0;
+      gammaPrefix = {*aE};
+    } else if (!zeroSideIsAlpha0 && x1) {
+      gammaStart = *x1;
+      gammaPrefix = {*aEp, *aEAtB};
+    } else if (x0) {
+      gammaStart = *x0;
+      gammaPrefix = {*aE};
+    } else {
+      gammaStart = A;
+    }
+    witnessAnchor = hs.hook->alpha;
   }
 
   const std::set<int> J =
@@ -325,13 +445,12 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
   if (reg) {
     if (auto* tw = reg->trace()) {
       tw->event("adversary.gamma",
-                {{"start_node", static_cast<std::uint64_t>(startNode)},
+                {{"start_node", static_cast<std::uint64_t>(witnessAnchor)},
                  {"failures", static_cast<std::uint64_t>(J.size())},
                  {"classification", report.classification.narrative}});
     }
   }
-  sim::RunResult rr =
-      runGamma(sys, g.state(startNode), J, cfg.gammaMaxSteps, reg);
+  sim::RunResult rr = runGamma(sys, *gammaStart, J, cfg.gammaMaxSteps, reg);
 
   if (rr.livelocked() || rr.reason == sim::RunResult::Reason::StepLimit) {
     report.verdict = AdversaryReport::Verdict::TerminationViolation;
@@ -339,9 +458,12 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
         "gamma construction (" + report.classification.narrative +
         "): after failing J = f+1 processes and letting the silenced "
         "services take dummy steps, the fair execution never decides";
-    report.witness = witnessFromRun(g, startNode, rr);
+    ioa::Execution exec = witnessToNode(g, witnessAnchor);
+    for (const Action& pa : gammaPrefix) exec.append(pa);
+    for (const Action& ra : rr.exec.actions()) exec.append(ra);
+    report.witness = std::move(exec);
     report.witnessFailures = J;
-    return report;
+    return;
   }
 
   // The gamma run decided. For a sound valence certificate this is
@@ -352,6 +474,12 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
       report.classification.narrative +
       "); replay after the opposite hook endpoint would contradict its "
       "valence -- certificate inconsistency, inspect the candidate";
+  }();
+
+  if (report.symmetryReduced) {
+    report.symmetryStatesRaw = symmetry->statesRaw();
+    report.symmetryOrbitsCollapsed = symmetry->orbitsCollapsed();
+  }
   return report;
 }
 

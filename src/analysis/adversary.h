@@ -38,6 +38,7 @@
 // under both policies.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
@@ -45,6 +46,7 @@
 #include "analysis/bivalence.h"
 #include "analysis/hook.h"
 #include "analysis/similarity.h"
+#include "analysis/symmetry.h"
 #include "ioa/execution.h"
 
 namespace boosting::analysis {
@@ -59,6 +61,12 @@ struct AdversaryConfig {
   // serial engine byte-for-byte; the verdict and all proof artifacts are
   // identical for any thread count (see analysis/parallel_explorer.h).
   ExplorationPolicy exploration;
+  // Orbit reduction of every explored graph by the candidate's declared
+  // process-permutation group (analysis/symmetry.h). Off preserves the
+  // legacy engine bit-for-bit; Auto enables reduction exactly when the
+  // candidate declares a symmetry the policy can exploit; On requests it
+  // and surfaces the reason when it cannot be honored.
+  SymmetryMode symmetry = SymmetryMode::Off;
 };
 
 struct AdversaryReport {
@@ -83,6 +91,14 @@ struct AdversaryReport {
   HookClassification classification;
   bool fairCycle = false;
   std::size_t statesExplored = 0;
+
+  // Symmetry-reduction telemetry (see analysis/symmetry.h). When
+  // symmetryReduced is false, symmetryNote carries the reason reduction was
+  // not applied (empty when it was simply not requested).
+  bool symmetryReduced = false;
+  std::string symmetryNote;
+  std::uint64_t symmetryStatesRaw = 0;
+  std::uint64_t symmetryOrbitsCollapsed = 0;
 
   std::string summary() const;
 };

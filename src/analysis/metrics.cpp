@@ -26,6 +26,16 @@ void flushGraphMetrics(obs::Registry* reg, const StateGraph& g) {
   reg->add("graph.dedup_hits", gs.dedupHits);
   reg->add("graph.edges_discovered", gs.edgesDiscovered);
   reg->add("graph.expansions", gs.expansions);
+  if (g.symmetryActive()) {
+    const SymmetryPolicy& sp = *g.symmetryPolicy();
+    // Quotient telemetry: states_raw counts intern probes (pre-reduction),
+    // states_canonical the distinct orbit representatives actually interned
+    // (== graph.states_discovered), so canonical <= raw is an invariant
+    // validate_metrics.py checks.
+    reg->add("explorer.symmetry.states_raw", sp.statesRaw());
+    reg->add("explorer.symmetry.orbits_collapsed", sp.orbitsCollapsed());
+    reg->add("explorer.symmetry.states_canonical", gs.statesDiscovered);
+  }
   flushTransitionCacheMetrics(reg, g.transitionStats());
 }
 

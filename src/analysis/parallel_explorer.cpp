@@ -172,6 +172,27 @@ struct ParallelExplorer::Impl {
   // Intern into the private table. Returns (handle, inserted).
   std::pair<PHandle, bool> internTable(ioa::SystemState&& s,
                                        std::size_t hash) {
+    // Orbit reduction happens here, in the workers, so the table only ever
+    // holds canonical representatives and install() can hand them to the
+    // graph verbatim (internPrecanonicalized) -- interning order, and thus
+    // the serial-vs-parallel bit-for-bit guarantee, is unaffected because
+    // the serial engine canonicalizes at the same point (intern time).
+    // canonicalize() never mutates `s`: on a dedup hit the caller's
+    // reusable successor buffer must survive untouched.
+    const SymmetryPolicy* sym = g.symmetryPolicy();
+    if (sym && !sym->trivial()) {
+      if (auto c = sym->canonicalize(s)) {
+        ioa::SystemState canon = std::move(c->state);
+        const std::size_t h = canon.hash();
+        return internTableCanonical(std::move(canon), h);
+      }
+    }
+    return internTableCanonical(std::move(s), hash);
+  }
+
+  // Second half of internTable: `s` is already its orbit representative.
+  std::pair<PHandle, bool> internTableCanonical(ioa::SystemState&& s,
+                                                std::size_t hash) {
     // Canonicalize outside the shard lock (stripe locks are disjoint from
     // shard locks, and `s` is still private to this worker).
     slotCanon.canonicalize(s);
@@ -378,7 +399,10 @@ struct ParallelExplorer::Impl {
     PNode* pn = nodePtr(h);
     // The move consumes pn->state only when the graph actually inserts;
     // either way the node is memoized so the state is probed at most once.
-    auto r = g.internWithHash(std::move(pn->state), pn->hash);
+    // Table states are already orbit representatives (internTable), so the
+    // graph must not re-canonicalize -- it would double-count the symmetry
+    // statistics that the serial engine tallies once per probe.
+    auto r = g.internPrecanonicalized(std::move(pn->state), pn->hash);
     installedIds.emplace(h, r.id);
     if (inserted) *inserted = r.inserted;
     return r.id;

@@ -61,25 +61,22 @@ bool kSimilar(const ioa::System& sys, const ioa::SystemState& s0,
   return true;
 }
 
-HookClassification classifyHook(StateGraph& g, const Hook& hook,
-                                SimilarityOptions opts) {
-  const ioa::System& sys = g.system();
+HookClassification classifyHookStates(const ioa::System& sys,
+                                      const ioa::SystemState& s0,
+                                      const ioa::SystemState& s1,
+                                      const ioa::SystemState* s0p,
+                                      SimilarityOptions opts) {
   HookClassification out;
 
   // Claim 2's negation made concrete: if the two tasks commute, then
   // e'(e(alpha)) and e(e'(alpha)) are the same configuration.
-  if (auto viaEPrime = g.successorVia(hook.alpha0, hook.ePrime)) {
-    if (viaEPrime->to == hook.alpha1) {
-      out.kind = HookClassification::Kind::Commute;
-      out.narrative =
-          "tasks commute: e'(e(alpha)) == e(e'(alpha)); impossible for "
-          "opposite valences, so the valence certificate is inconsistent";
-      return out;
-    }
+  if (s0p != nullptr && s0p->equals(s1)) {
+    out.kind = HookClassification::Kind::Commute;
+    out.narrative =
+        "tasks commute: e'(e(alpha)) == e(e'(alpha)); impossible for "
+        "opposite valences, so the valence certificate is inconsistent";
+    return out;
   }
-
-  const ioa::SystemState& s0 = g.state(hook.alpha0);
-  const ioa::SystemState& s1 = g.state(hook.alpha1);
 
   for (int j = 0; j < sys.processCount(); ++j) {
     if (jSimilar(sys, s0, s1, j, opts)) {
@@ -102,10 +99,9 @@ HookClassification classifyHook(StateGraph& g, const Hook& hook,
 
   // Claim 5, case 1(c): a read/write pair on a register leaves e'(s0) and
   // s1 i-similar instead of s0 and s1.
-  if (auto viaEPrime = g.successorVia(hook.alpha0, hook.ePrime)) {
-    const ioa::SystemState& s0p = g.state(viaEPrime->to);
+  if (s0p != nullptr) {
     for (int j = 0; j < sys.processCount(); ++j) {
-      if (jSimilar(sys, s0p, s1, j, opts)) {
+      if (jSimilar(sys, *s0p, s1, j, opts)) {
         out.kind = HookClassification::Kind::ProcessSimilar;
         out.index = j;
         out.viaEPrime = true;
@@ -117,7 +113,7 @@ HookClassification classifyHook(StateGraph& g, const Hook& hook,
       }
     }
     for (int k : sys.serviceIds()) {
-      if (kSimilar(sys, s0p, s1, k, opts)) {
+      if (kSimilar(sys, *s0p, s1, k, opts)) {
         out.kind = HookClassification::Kind::ServiceSimilar;
         out.index = k;
         out.viaEPrime = true;
@@ -132,6 +128,18 @@ HookClassification classifyHook(StateGraph& g, const Hook& hook,
   out.narrative = "no similarity relation found (outside Lemma 8's case "
                   "analysis; check the candidate's action structure)";
   return out;
+}
+
+HookClassification classifyHook(StateGraph& g, const Hook& hook,
+                                SimilarityOptions opts) {
+  // Node ids are injective on states (no quotient within one graph), so
+  // the explicit-state analysis on the node states is exactly Lemma 8's.
+  const std::optional<Edge> viaEPrime = g.successorVia(hook.alpha0, hook.ePrime);
+  // states_ is a deque: the references survive the interning successorVia
+  // may have triggered.
+  const ioa::SystemState* s0p = viaEPrime ? &g.state(viaEPrime->to) : nullptr;
+  return classifyHookStates(g.system(), g.state(hook.alpha0),
+                            g.state(hook.alpha1), s0p, opts);
 }
 
 }  // namespace boosting::analysis

@@ -55,4 +55,18 @@ struct HookClassification {
 HookClassification classifyHook(StateGraph& g, const Hook& hook,
                                 SimilarityOptions opts = SimilarityOptions{});
 
+// The same Lemma-8 case analysis on explicit configurations: s0 = e(alpha),
+// s1 = e(e'(alpha)), and s0p = e'(e(alpha)) when that extension exists
+// (nullptr otherwise). classifyHook is this applied to the graph's node
+// states; under symmetry reduction the adversary instead applies it to
+// concrete (unquotiented) extensions, where the commute check must be deep
+// state equality rather than node-id equality -- two distinct extensions
+// can share an orbit representative.
+HookClassification classifyHookStates(const ioa::System& sys,
+                                      const ioa::SystemState& s0,
+                                      const ioa::SystemState& s1,
+                                      const ioa::SystemState* s0p,
+                                      SimilarityOptions opts =
+                                          SimilarityOptions{});
+
 }  // namespace boosting::analysis

@@ -6,8 +6,10 @@
 
 namespace boosting::analysis {
 
-StateGraph::StateGraph(const ioa::System& sys)
-    : sys_(sys), transitions_(sys, slotCanon_) {
+StateGraph::StateGraph(const ioa::System& sys,
+                       std::shared_ptr<const SymmetryPolicy> symmetry)
+    : sys_(sys), symmetry_(std::move(symmetry)),
+      transitions_(sys, slotCanon_) {
 #ifndef NDEBUG
   writer_ = std::this_thread::get_id();
 #endif
@@ -38,6 +40,20 @@ StateGraph::InternResult StateGraph::internWithHash(const ioa::SystemState& s,
 
 StateGraph::InternResult StateGraph::internWithHash(ioa::SystemState&& s,
                                                     std::size_t hash) {
+  if (symmetryActive()) {
+    // Orbit reduction: intern the canonical representative instead. The
+    // replacement is a fresh state, so `s` -- possibly a caller's reusable
+    // successor buffer (see transition_cache.h) -- is left untouched.
+    if (auto c = symmetry_->canonicalize(s)) {
+      const std::size_t h = c->state.hash();
+      return internPrecanonicalized(std::move(c->state), h);
+    }
+  }
+  return internPrecanonicalized(std::move(s), hash);
+}
+
+StateGraph::InternResult StateGraph::internPrecanonicalized(
+    ioa::SystemState&& s, std::size_t hash) {
   assertWriter();
   slotCanon_.canonicalize(s);
   auto [it, fresh] = headByHash_.try_emplace(hash, kNoNode);

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/symmetry.h"
 #include "analysis/transition_cache.h"
 #include "ioa/system.h"
 
@@ -63,9 +64,20 @@ class StateGraph {
     std::uint64_t expansions = 0;
   };
 
-  explicit StateGraph(const ioa::System& sys);
+  // With a non-trivial `symmetry`, every interned state is first replaced
+  // by its orbit representative, so the graph is the quotient of G(C) by
+  // the process-permutation group (see analysis/symmetry.h); nullptr or a
+  // trivial policy preserves the exact legacy graph.
+  explicit StateGraph(const ioa::System& sys,
+                      std::shared_ptr<const SymmetryPolicy> symmetry = nullptr);
 
   const ioa::System& system() const { return sys_; }
+
+  // The symmetry policy interning quotients by; nullptr when constructed
+  // without one (callers treat nullptr and trivial() alike).
+  const SymmetryPolicy* symmetryPolicy() const { return symmetry_.get(); }
+  // True when interning actually canonicalizes (non-trivial group).
+  bool symmetryActive() const { return symmetry_ && !symmetry_->trivial(); }
 
   const Stats& stats() const { return stats_; }
 
@@ -96,6 +108,12 @@ class StateGraph {
   };
   InternResult internWithHash(const ioa::SystemState& s, std::size_t hash);
   InternResult internWithHash(ioa::SystemState&& s, std::size_t hash);
+
+  // Interning that skips orbit canonicalization: the caller guarantees `s`
+  // already is its orbit representative (the parallel explorer's install
+  // pass, whose workers canonicalized before tabling). Equivalent to
+  // internWithHash when no symmetry policy is active.
+  InternResult internPrecanonicalized(ioa::SystemState&& s, std::size_t hash);
 
   const ioa::SystemState& state(NodeId id) const { return states_[id]; }
   std::size_t size() const { return states_.size(); }
@@ -140,6 +158,7 @@ class StateGraph {
   void assertWriter() const;
 
   const ioa::System& sys_;
+  std::shared_ptr<const SymmetryPolicy> symmetry_;
   std::deque<ioa::SystemState> states_;  // stable storage
   std::vector<std::optional<std::vector<Edge>>> succ_;
   std::vector<Parent> parent_;

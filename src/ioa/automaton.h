@@ -63,6 +63,33 @@ class Automaton {
   // participate in `a`? (Invoke/Respond/internal actions are routed
   // structurally by System; this is consulted for Fail and as a check.)
   virtual bool participates(const Action& a) const = 0;
+
+  // -- Process-permutation support (analysis/symmetry.h) ------------------
+  //
+  // `s` relabeled under the process permutation `perm` (perm[i] is the new
+  // index of process i): every process identity embedded in the state --
+  // buffer keys, message sender/recipient fields -- is mapped through
+  // `perm`. Returns nullptr when the component does not support relabeling,
+  // in which case the symmetry layer disables itself for the whole system.
+  // Components whose states never mention process identities may return
+  // clone(). Must be equivariant with apply():
+  //   relabeledState(apply(s, a), perm) == apply(relabeledState(s, perm),
+  //                                              relabel(a, perm)).
+  virtual std::unique_ptr<AutomatonState> relabeledState(
+      const AutomatonState& s, const std::vector<int>& perm) const {
+    (void)s;
+    (void)perm;
+    return nullptr;
+  }
+
+  // Companion for action payloads: the payload of an Invoke/Respond of this
+  // component under `perm` (identity for components whose payloads carry no
+  // process identities).
+  virtual util::Value relabeledPayload(const util::Value& v,
+                                       const std::vector<int>& perm) const {
+    (void)perm;
+    return v;
+  }
 };
 
 // Covariant-clone helper for concrete states.

@@ -101,6 +101,20 @@ void SystemState::adoptCanonicalSlot(std::size_t slot,
   combined_ ^= slotMix(slot, repHash);
 }
 
+void SystemState::setSlot(std::size_t slot,
+                          std::shared_ptr<const AutomatonState> rep,
+                          std::size_t repHash) {
+  Slot& sl = slots_[slot];
+  if (sl.hashValid) combined_ ^= slotMix(slot, sl.hash);
+  sl.state = std::move(rep);
+  sl.hash = repHash;
+  sl.hashValid = true;
+  // Canonicality is per (slot, content): content moved in from elsewhere
+  // must be re-interned by the slot-canon table for this position.
+  sl.canon = false;
+  combined_ ^= slotMix(slot, repHash);
+}
+
 std::size_t SystemState::hash() const {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     const Slot& sl = slots_[i];

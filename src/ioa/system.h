@@ -120,6 +120,15 @@ class SystemState final {
                           std::shared_ptr<const AutomatonState> rep,
                           std::size_t repHash);
 
+  // Replace a slot with an arbitrary immutable component state whose hash
+  // is already known (repHash == rep->hash()). Like adoptCanonicalSlot the
+  // combined hash is fixed up incrementally, but the slot is NOT marked
+  // canonical -- the content typically comes from another slot position or
+  // a fresh relabeling, so a SlotCanonTable must re-intern it for the new
+  // position. This is the orbit-relabeling path (analysis/symmetry.h).
+  void setSlot(std::size_t slot, std::shared_ptr<const AutomatonState> rep,
+               std::size_t repHash);
+
   // Engine hooks for the slot-swap fast path: the shared component object
   // at `slot`, and its cached hash (only valid after a hash() flush --
   // every state the engines expand qualifies). Together with
@@ -194,6 +203,20 @@ class SlotCanonTable {
   std::vector<Stripe> stripes_;
 };
 
+// How a system's process-permutation group acts on process component
+// states, declared by the system builder (the analysis engine trusts the
+// declaration; the symmetry fuzz suite exercises it):
+//   None        -- no symmetry declared: the group is trivial (asymmetric
+//                  protocols like bridge/rotating, or simply undeclared).
+//   IdFree      -- every permutation of the full S_n is an automorphism and
+//                  process states never embed process identities, so
+//                  relabeling a process slot is moving its (shared) content
+//                  to the permuted position (relay).
+//   IdSensitive -- full S_n, but process states embed process identities,
+//                  so relabeling goes through Automaton::relabeledState
+//                  (flooding, whose states index messages by sender).
+enum class ProcessSymmetry { None, IdFree, IdSensitive };
+
 class System {
  public:
   System() = default;
@@ -258,6 +281,10 @@ class System {
   void injectInit(SystemState& s, int endpoint, util::Value v) const;
   void injectFail(SystemState& s, int endpoint) const;
 
+  // -- Symmetry declaration (see ProcessSymmetry above) --------------------
+  void declareProcessSymmetry(ProcessSymmetry s) { processSymmetry_ = s; }
+  ProcessSymmetry processSymmetry() const { return processSymmetry_; }
+
  private:
   void rebuildTaskCache();
 
@@ -266,6 +293,7 @@ class System {
   std::vector<ServiceMeta> serviceMetas_;
   std::map<int, std::size_t> serviceSlotById_;  // id -> absolute slot
   std::vector<TaskId> taskCache_;
+  ProcessSymmetry processSymmetry_ = ProcessSymmetry::None;
 };
 
 template <typename Fn>

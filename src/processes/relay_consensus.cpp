@@ -259,6 +259,10 @@ std::unique_ptr<ioa::System> buildRelayConsensusSystem(
         std::make_shared<services::CanonicalRegister>(spec.registerId, all);
     sys->addService(reg, reg->meta());
   }
+  // Every process runs the same program, both services span all processes,
+  // and relay states never mention process identities: the full S_n acts on
+  // configurations by moving process slots and remapping service buffers.
+  sys->declareProcessSymmetry(ioa::ProcessSymmetry::IdFree);
   return sys;
 }
 

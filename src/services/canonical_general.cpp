@@ -283,6 +283,34 @@ bool CanonicalGeneralService::participates(const Action& a) const {
   }
 }
 
+std::unique_ptr<ioa::AutomatonState> CanonicalGeneralService::relabeledState(
+    const ioa::AutomatonState& state, const std::vector<int>& perm) const {
+  const ServiceState& s = stateOf(state);
+  auto out = std::make_unique<ServiceState>();
+  const auto val = [this, &perm](const Value& v) {
+    return options_.relabelValue ? options_.relabelValue(v, perm) : v;
+  };
+  out->val = val(s.val);
+  const auto remap = [&](const std::map<int, std::deque<Value>>& m) {
+    std::map<int, std::deque<Value>> r;
+    for (const auto& [i, q] : m) {
+      std::deque<Value> nq;
+      for (const Value& v : q) nq.push_back(val(v));
+      r.emplace(perm[static_cast<std::size_t>(i)], std::move(nq));
+    }
+    return r;
+  };
+  out->invBuf = remap(s.invBuf);
+  out->respBuf = remap(s.respBuf);
+  for (int i : s.failed) out->failed.insert(perm[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+util::Value CanonicalGeneralService::relabeledPayload(
+    const util::Value& v, const std::vector<int>& perm) const {
+  return options_.relabelValue ? options_.relabelValue(v, perm) : v;
+}
+
 ioa::ServiceMeta CanonicalGeneralService::meta() const {
   ioa::ServiceMeta m;
   m.id = id_;

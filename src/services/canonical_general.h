@@ -29,6 +29,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -69,6 +70,13 @@ class CanonicalGeneralService : public ioa::Automaton {
     // ignore failure-aware services, so the flag must be accurate.
     bool failureAware = true;
     bool isRegister = false;
+    // Rewrites process identities embedded in buffered values / the current
+    // value under a process permutation (analysis/symmetry.h): called for
+    // every buffered invocation/response and for val. Unset means the
+    // service type's values never mention process identities (consensus,
+    // registers) and relabeling only remaps the buffer keys.
+    std::function<util::Value(const util::Value&, const std::vector<int>&)>
+        relabelValue;
   };
 
   CanonicalGeneralService(types::GeneralServiceType type, int id,
@@ -85,6 +93,11 @@ class CanonicalGeneralService : public ioa::Automaton {
                                            const ioa::TaskId& t) const override;
   void apply(ioa::AutomatonState& s, const ioa::Action& a) const override;
   bool participates(const ioa::Action& a) const override;
+  std::unique_ptr<ioa::AutomatonState> relabeledState(
+      const ioa::AutomatonState& s,
+      const std::vector<int>& perm) const override;
+  util::Value relabeledPayload(const util::Value& v,
+                               const std::vector<int>& perm) const override;
 
   // -- Metadata ------------------------------------------------------------
   int id() const { return id_; }

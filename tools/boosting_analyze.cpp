@@ -16,6 +16,16 @@
 // work-stealing workers (0 = hardware concurrency). The verdict and all
 // proof artifacts are identical for any T; only the wall clock changes.
 //
+// --symmetry auto|on|off controls orbit canonicalization (symmetry
+// reduction, see analysis/symmetry.h): candidates whose processes are
+// interchangeable (relay, flooding) are explored up to process
+// permutation, shrinking G(C) by up to n!. `auto` (the default) enables it
+// exactly when the candidate declares a usable symmetry; `on` additionally
+// reports why reduction stayed off when it could not be applied; `off`
+// forces the exact legacy graph. The verdict is the same either way; state
+// counts and witness process names may differ (quotient witnesses are
+// lifted back to concrete executions).
+//
 // Observability:
 //   --metrics-json FILE   write phase timings, counters and derived rates
 //                         (states/sec, cache hit rate) as one JSON document
@@ -62,6 +72,7 @@ struct Options {
   int f = 0;
   int claim = -1;  // default: f + 1
   unsigned threads = 1;
+  analysis::SymmetryMode symmetry = analysis::SymmetryMode::Auto;
   bool brute = false;
   bool progress = false;
   std::string witnessPath;
@@ -74,7 +85,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --candidate relay|bridge|tob|flooding|single-fd "
-               "--n N --f F [--claim C] [--threads T] [--brute] "
+               "--n N --f F [--claim C] [--threads T] "
+               "[--symmetry auto|on|off] [--brute] "
                "[--witness FILE] [--dot FILE] [--metrics-json FILE] "
                "[--trace FILE] [--progress] [--replay FILE]\n",
                argv0);
@@ -226,6 +238,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       opt.threads = static_cast<unsigned>(
           parseIntOrDie("--threads", needArg("--threads"), 0, 256));
+    } else if (std::strcmp(argv[i], "--symmetry") == 0) {
+      const char* v = needArg("--symmetry");
+      if (std::strcmp(v, "auto") == 0) {
+        opt.symmetry = analysis::SymmetryMode::Auto;
+      } else if (std::strcmp(v, "on") == 0) {
+        opt.symmetry = analysis::SymmetryMode::On;
+      } else if (std::strcmp(v, "off") == 0) {
+        opt.symmetry = analysis::SymmetryMode::Off;
+      } else {
+        std::fprintf(stderr, "--symmetry: expected auto|on|off, got '%s'\n",
+                     v);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--brute") == 0) {
       opt.brute = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
@@ -325,6 +350,7 @@ int main(int argc, char** argv) {
   cfg.exemptFailureAware = true;
   cfg.exploration.threads = opt.threads;
   cfg.exploration.metrics = reg;
+  cfg.symmetry = opt.symmetry;
   auto report = analysis::analyzeConsensusCandidate(*sys, cfg);
 
   if (reg) {
@@ -355,13 +381,25 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", report.summary().c_str());
   std::printf("states explored: %zu; witness: %zu actions\n",
               report.statesExplored, report.witness.size());
+  if (report.symmetryReduced) {
+    std::printf("symmetry: quotient active -- %llu raw states probed, "
+                "%llu orbit collapses, %zu canonical states\n",
+                static_cast<unsigned long long>(report.symmetryStatesRaw),
+                static_cast<unsigned long long>(
+                    report.symmetryOrbitsCollapsed),
+                report.statesExplored);
+  } else if (opt.symmetry == analysis::SymmetryMode::On) {
+    std::printf("symmetry: not applied (%s)\n",
+                report.symmetryNote.c_str());
+  }
 
   if (!opt.witnessPath.empty() && !report.witness.empty()) {
     std::ofstream(opt.witnessPath) << sim::renderExecution(report.witness);
     std::printf("witness written to %s\n", opt.witnessPath.c_str());
   }
   if (!opt.dotPath.empty() && report.bivalentInit) {
-    analysis::StateGraph g(*sys);
+    analysis::StateGraph g(
+        *sys, analysis::SymmetryPolicy::forSystem(*sys, opt.symmetry));
     analysis::ValenceAnalyzer va(g);
     analysis::NodeId init = g.intern(analysis::canonicalInitialization(
         *sys, report.bivalentInit->onesPrefix));

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a boosting-metrics-v1 JSON file against docs/metrics_schema.json.
+"""Validate a boosting-metrics-v2 JSON file against docs/metrics_schema.json.
 
 Hand-rolled validator for the draft-07 subset the schema actually uses
 (type, required, properties, additionalProperties, items, enum, minimum,
@@ -9,6 +9,9 @@ Beyond the schema, this also checks the semantic invariants the metrics
 promise:
   * counter/timer/derived names are unique and sorted;
   * every memo-cache family satisfies hits + misses == lookups;
+  * when symmetry reduction ran (explorer.symmetry.* counters present),
+    states_canonical <= states_raw and orbits_collapsed <= states_raw,
+    i.e. the quotient never invents states;
   * with --expect-workers N, per-worker expansion counters exist for
     workers 0..N-1 and sum to explorer.states_discovered.
 
@@ -96,6 +99,25 @@ def check_invariants(doc, expect_workers, errors):
                     f"$.counters: {prefix}{family}: hits {hits} + misses "
                     f"{misses} != lookups {lookups}")
 
+    symmetry = [n for n in counters if n.startswith("explorer.symmetry.")]
+    if symmetry:
+        raw = cval("explorer.symmetry.states_raw")
+        canonical = cval("explorer.symmetry.states_canonical")
+        collapsed = cval("explorer.symmetry.orbits_collapsed")
+        if "explorer.symmetry.states_raw" not in counters or \
+                "explorer.symmetry.states_canonical" not in counters:
+            errors.append(
+                "$.counters: explorer.symmetry.* present but incomplete "
+                f"({sorted(symmetry)})")
+        if canonical > raw:
+            errors.append(
+                f"$.counters: explorer.symmetry.states_canonical {canonical} "
+                f"> states_raw {raw} (quotient invented states)")
+        if collapsed > raw:
+            errors.append(
+                f"$.counters: explorer.symmetry.orbits_collapsed {collapsed} "
+                f"> states_raw {raw}")
+
     if expect_workers is not None:
         total = 0
         for w in range(expect_workers):
@@ -156,7 +178,7 @@ def main():
 
     counters = len(doc.get("counters", []))
     timers = len(doc.get("timers", []))
-    print(f"{args.metrics}: valid boosting-metrics-v1 "
+    print(f"{args.metrics}: valid boosting-metrics-v2 "
           f"({counters} counters, {timers} timers)")
     return 0
 
