@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/bivalence.h"
+#include "analysis/hook.h"
 #include "analysis/parallel_explorer.h"
 #include "analysis/symmetry.h"
 #include "analysis/valence.h"
@@ -184,6 +185,54 @@ void BM_RegionScanRelaySymmetry(benchmark::State& state) {
   regionScanSymmetry(*sys, state);
 }
 
+// Memory headline for the flat graph layout: run the region scan, then
+// report the graph's own accounting (StateGraph::memoryStats) normalized
+// per interned state. bytes_per_state is what compare_bench.py gates, so
+// a layout regression (fatter edges, sparser index, lost interning) fails
+// CI even when wall-clock throughput hides it.
+void BM_BytesPerState(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  const int n = sys->processCount();
+  std::size_t states = 0;
+  double bytesPerState = 0.0;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    for (int j = 0; j <= n; ++j) {
+      NodeId root = g.intern(analysis::canonicalInitialization(*sys, j));
+      analysis::exploreReachable(g, root, ExplorationPolicy{1, 0});
+    }
+    states = g.size();
+    const auto ms = g.memoryStats();
+    bytesPerState = states > 0
+                        ? static_cast<double>(ms.total()) /
+                              static_cast<double>(states)
+                        : 0.0;
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["bytes_per_state"] = bytesPerState;
+}
+
+// The Fig. 3 walk end to end (bivalent init + hook search), the consumer
+// of the dense scratch sets: every walk iteration runs two BFS scans and
+// a fair-cycle membership probe over the explored region.
+void BM_HookSearchDense(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    ValenceAnalyzer va(g);
+    auto biv = analysis::findBivalentInitialization(g, va);
+    if (!biv.bivalent) {
+      state.SkipWithError("no bivalent initialization");
+      return;
+    }
+    auto outcome = analysis::findHook(g, va, biv.bivalent->node);
+    benchmark::DoNotOptimize(outcome.hook.has_value());
+    states = g.size();
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+
 void BM_ValenceFullRegion(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto sys = relay(n, 0);
@@ -206,8 +255,11 @@ BENCHMARK(BM_StateHashColdCache)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_StateClone)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_ReachableExpansion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReachableExpansionTob)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RegionScanRelay)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegionScanRelay)
+    ->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RegionScanTob)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BytesPerState)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HookSearchDense)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RegionScanRelaySymmetry)
     ->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ValenceFullRegion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);

@@ -2,7 +2,8 @@
 
 #include <deque>
 #include <set>
-#include <unordered_map>
+
+#include "analysis/dense.h"
 
 namespace boosting::analysis {
 
@@ -48,14 +49,15 @@ std::string exportDot(StateGraph& g, ValenceAnalyzer& va, NodeId root,
 
   std::string out = "digraph GC {\n  rankdir=TB;\n  node [style=filled];\n";
   std::deque<NodeId> frontier{root};
-  std::unordered_map<NodeId, bool> seen{{root, true}};
+  DenseNodeSet seen(g.size());
+  seen.insert(root);
   std::vector<NodeId> nodes;
   while (!frontier.empty() && nodes.size() < options.maxNodes) {
     const NodeId x = frontier.front();
     frontier.pop_front();
     nodes.push_back(x);
-    for (const Edge& e : g.successors(x)) {
-      if (seen.emplace(e.to, true).second) frontier.push_back(e.to);
+    for (const EdgeView e : g.successors(x)) {
+      if (seen.insert(e.to)) frontier.push_back(e.to);
     }
   }
   std::set<NodeId> included(nodes.begin(), nodes.end());
@@ -70,7 +72,7 @@ std::string exportDot(StateGraph& g, ValenceAnalyzer& va, NodeId root,
            "\", fillcolor=" + fillFor(va.valence(x)) + "];\n";
   }
   for (NodeId x : nodes) {
-    for (const Edge& e : g.successors(x)) {
+    for (const EdgeView e : g.successors(x)) {
       if (included.count(e.to) == 0) continue;
       const bool inHook = hookEdges.count({x, e.to}) != 0;
       out += "  n" + std::to_string(x) + " -> n" + std::to_string(e.to) +

@@ -1,10 +1,9 @@
 #include "analysis/hook.h"
 
 #include <deque>
-#include <map>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "analysis/dense.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -12,21 +11,25 @@ namespace boosting::analysis {
 
 namespace {
 
+// BFS discovery tree over dense node ids: parent[x] = (previous node, task
+// index into allTasks()); roots absent. Epoch-reset per BFS round so the
+// stamp arrays are reused across the many Fig. 3 inner scans.
 struct BfsTree {
-  // parent[x] = (previous node, task taken); roots absent.
-  std::unordered_map<NodeId, std::pair<NodeId, ioa::TaskId>> parent;
+  DenseNodeMap<std::pair<NodeId, std::uint16_t>> parent;
 
-  std::vector<std::pair<NodeId, ioa::TaskId>> pathFrom(NodeId root,
-                                                       NodeId target) const {
+  void reset() { parent.reset(); }
+
+  std::vector<std::pair<NodeId, ioa::TaskId>> pathFrom(
+      const StateGraph& g, NodeId root, NodeId target) const {
     std::vector<std::pair<NodeId, ioa::TaskId>> rev;
     NodeId cur = target;
     while (cur != root) {
-      auto it = parent.find(cur);
-      if (it == parent.end()) {
+      const auto* p = parent.find(cur);
+      if (!p) {
         throw std::logic_error("hook BFS: broken parent chain");
       }
-      rev.emplace_back(it->second.first, it->second.second);
-      cur = it->second.first;
+      rev.emplace_back(p->first, g.taskAt(p->second));
+      cur = p->first;
     }
     std::vector<std::pair<NodeId, ioa::TaskId>> out(rev.rbegin(), rev.rend());
     return out;  // (node, task applied at node), ending just before target
@@ -60,9 +63,16 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
   NodeId alpha = bivalentInit;
   std::size_t cursor = 0;
 
-  // (node, cursor) -> iteration index, for fair-cycle certification.
-  std::map<std::pair<NodeId, std::size_t>, std::size_t> seen;
+  // (node, cursor) -> iteration index, for fair-cycle certification. Keyed
+  // densely as node * |tasks| + cursor so the walk history lives in one
+  // flat stamp array instead of a red-black tree.
+  const std::size_t nTasks = tasks.size();
+  DenseIndexMap<std::size_t> seen(g.size() * nTasks);
   std::vector<std::vector<ioa::TaskId>> appliedPerIteration;
+
+  // Scratch for the two inner BFS scans, epoch-reset per scan.
+  DenseNodeSet visited(g.size());
+  BfsTree tree;
 
   for (std::size_t iter = 0; iter < maxIterations; ++iter) {
     outcome.iterations = iter;
@@ -77,14 +87,14 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
       }
     }
 
-    auto key = std::make_pair(alpha, cursor);
-    if (auto it = seen.find(key); it != seen.end()) {
+    const std::size_t key = static_cast<std::size_t>(alpha) * nTasks + cursor;
+    if (const std::size_t* it = seen.find(key)) {
       // Deterministic revisit: one period of an infinite fair failure-free
       // execution through bivalent configurations (the paper's infinite-pi
       // case, Lemma 5).
       outcome.fairCycle = true;
       outcome.cycleStart = alpha;
-      for (std::size_t k = it->second; k < appliedPerIteration.size(); ++k) {
+      for (std::size_t k = *it; k < appliedPerIteration.size(); ++k) {
         for (const ioa::TaskId& t : appliedPerIteration[k]) {
           outcome.cycleTasks.push_back(t);
         }
@@ -101,11 +111,12 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
       }
       return outcome;
     }
-    seen.emplace(key, appliedPerIteration.size());
+    seen.at(key) = appliedPerIteration.size();
 
     // Next applicable task in round-robin order (process tasks are always
     // applicable, so this terminates).
     ioa::TaskId e;
+    std::uint16_t eIdx = 0;
     std::size_t newCursor = cursor;
     {
       bool found = false;
@@ -113,6 +124,7 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
         const std::size_t idx = (cursor + k) % tasks.size();
         if (g.successorVia(alpha, tasks[idx])) {
           e = tasks[idx];
+          eIdx = static_cast<std::uint16_t>(idx);
           newCursor = (idx + 1) % tasks.size();
           found = true;
           break;
@@ -127,10 +139,11 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
     // Search the e-free-reachable descendants of alpha for alpha' with
     // e(alpha') bivalent (Fig. 3's inner search).
     std::optional<NodeId> alphaPrimeNode;
-    BfsTree tree;
+    visited.reset();
+    tree.reset();
     {
       std::deque<NodeId> frontier{alpha};
-      std::unordered_map<NodeId, bool> visited{{alpha, true}};
+      visited.insert(alpha);
       while (!frontier.empty() && !alphaPrimeNode) {
         const NodeId x = frontier.front();
         frontier.pop_front();
@@ -141,10 +154,12 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
             break;
           }
         }
-        for (const Edge& edge : g.successors(x)) {
-          if (edge.task == e) continue;
-          if (visited.emplace(edge.to, true).second) {
-            tree.parent.emplace(edge.to, std::make_pair(x, edge.task));
+        const EdgeList edges = g.successors(x);
+        for (std::size_t k = 0; k < edges.size(); ++k) {
+          const CompactEdge& edge = edges.data()[k];
+          if (edge.task == eIdx) continue;
+          if (visited.insert(edge.to)) {
+            tree.parent.at(edge.to) = {x, edge.task};
             frontier.push_back(edge.to);
           }
         }
@@ -154,7 +169,8 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
     if (alphaPrimeNode) {
       // Move to e(alpha') and continue with the next round-robin task.
       std::vector<ioa::TaskId> applied;
-      for (const auto& [node, task] : tree.pathFrom(alpha, *alphaPrimeNode)) {
+      for (const auto& [node, task] :
+           tree.pathFrom(g, alpha, *alphaPrimeNode)) {
         (void)node;
         applied.push_back(task);
       }
@@ -180,10 +196,11 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
     // BFS over e-free edges for the first sigma* with e(sigma*) of the
     // opposite valence; guaranteed to exist because alpha is bivalent.
     std::optional<NodeId> sigmaStar;
-    BfsTree tree2;
+    visited.reset();
+    tree.reset();
     {
       std::deque<NodeId> frontier{alpha};
-      std::unordered_map<NodeId, bool> visited{{alpha, true}};
+      visited.insert(alpha);
       while (!frontier.empty() && !sigmaStar) {
         const NodeId x = frontier.front();
         frontier.pop_front();
@@ -194,10 +211,12 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
             break;
           }
         }
-        for (const Edge& edge : g.successors(x)) {
-          if (edge.task == e) continue;
-          if (visited.emplace(edge.to, true).second) {
-            tree2.parent.emplace(edge.to, std::make_pair(x, edge.task));
+        const EdgeList edges = g.successors(x);
+        for (std::size_t k = 0; k < edges.size(); ++k) {
+          const CompactEdge& edge = edges.data()[k];
+          if (edge.task == eIdx) continue;
+          if (visited.insert(edge.to)) {
+            tree.parent.at(edge.to) = {x, edge.task};
             frontier.push_back(edge.to);
           }
         }
@@ -211,7 +230,7 @@ HookSearchOutcome findHook(StateGraph& g, ValenceAnalyzer& va,
 
     // Walk sigma_0 .. sigma_m and find the flip.
     std::vector<std::pair<NodeId, ioa::TaskId>> path =
-        tree2.pathFrom(alpha, *sigmaStar);
+        tree.pathFrom(g, alpha, *sigmaStar);
     std::vector<NodeId> sigmas{alpha};
     std::vector<ioa::TaskId> stepTasks;
     for (const auto& [node, task] : path) {
@@ -281,23 +300,26 @@ HookEnumeration enumerateHooks(StateGraph& g, ValenceAnalyzer& va, NodeId root,
   va.explore(root);
   HookEnumeration out;
   std::deque<NodeId> frontier{root};
-  std::unordered_map<NodeId, bool> seen{{root, true}};
+  DenseNodeSet seen(g.size());
+  seen.insert(root);
   while (!frontier.empty()) {
     const NodeId alpha = frontier.front();
     frontier.pop_front();
     ++out.nodesScanned;
-    const auto& edges = g.successors(alpha);
-    for (const Edge& e : edges) {
-      if (seen.emplace(e.to, true).second) frontier.push_back(e.to);
+    // The span view stays valid across the successorVia expansions below
+    // (arena chunks never relocate).
+    const EdgeList edges = g.successors(alpha);
+    for (const EdgeView e : edges) {
+      if (seen.insert(e.to)) frontier.push_back(e.to);
     }
     if (va.valence(alpha) != Valence::Bivalent) continue;
     ++out.bivalentNodes;
-    for (const Edge& eEdge : edges) {
+    for (const EdgeView eEdge : edges) {
       const Valence v0 = va.valence(eEdge.to);
       if (v0 != Valence::Zero && v0 != Valence::One) continue;
       const Valence target =
           v0 == Valence::Zero ? Valence::One : Valence::Zero;
-      for (const Edge& epEdge : edges) {
+      for (const EdgeView epEdge : edges) {
         if (epEdge.task == eEdge.task) continue;
         auto e1 = g.successorVia(epEdge.to, eEdge.task);
         if (!e1) continue;

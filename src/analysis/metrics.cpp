@@ -1,10 +1,34 @@
 #include "analysis/metrics.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "obs/registry.h"
 
 namespace boosting::analysis {
+
+std::uint64_t peakRssBytes() {
+#if defined(__linux__)
+  // VmHWM ("high water mark") from /proc/self/status, in kB. Zero when the
+  // file is unavailable (non-procfs environments).
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
 
 void flushTransitionCacheMetrics(obs::Registry* reg,
                                  const TransitionCache::Stats& stats,
@@ -26,6 +50,14 @@ void flushGraphMetrics(obs::Registry* reg, const StateGraph& g) {
   reg->add("graph.dedup_hits", gs.dedupHits);
   reg->add("graph.edges_discovered", gs.edgesDiscovered);
   reg->add("graph.expansions", gs.expansions);
+  // Shallow footprint of the flat graph structures (see
+  // StateGraph::MemoryStats) plus the process peak RSS, so bytes-per-state
+  // is derivable from one metrics file.
+  const StateGraph::MemoryStats ms = g.memoryStats();
+  reg->add("graph.bytes_states", ms.bytesStates);
+  reg->add("graph.bytes_edges", ms.bytesEdges);
+  reg->add("graph.bytes_index", ms.bytesIndex);
+  reg->maxOf("process.peak_rss_bytes", peakRssBytes());
   if (g.symmetryActive()) {
     const SymmetryPolicy& sp = *g.symmetryPolicy();
     // Quotient telemetry: states_raw counts intern probes (pre-reduction),

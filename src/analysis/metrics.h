@@ -17,8 +17,14 @@ class Registry;
 namespace boosting::analysis {
 
 // graph.states_discovered / graph.dedup_hits / graph.edges_discovered /
-// graph.expansions, plus the graph-owned TransitionCache under cache.*.
+// graph.expansions, the memory footprint gauges graph.bytes_states /
+// graph.bytes_edges / graph.bytes_index + process.peak_rss_bytes, plus the
+// graph-owned TransitionCache under cache.*.
 void flushGraphMetrics(obs::Registry* reg, const StateGraph& g);
+
+// Process peak resident set size in bytes (Linux VmHWM; 0 where
+// unavailable). Exposed for tests and benches.
+std::uint64_t peakRssBytes();
 
 // cache.<prefix>enabled_lookups|hits|misses and apply_* for an arbitrary
 // cache (the graph flush uses an empty prefix; workers report through

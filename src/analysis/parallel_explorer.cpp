@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/dense.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -67,7 +68,8 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
   ExploreStats stats;
   stats.threadsUsed = 1;
   std::deque<NodeId> frontier{root};
-  std::unordered_set<NodeId> seen{root};
+  DenseNodeSet seen(g.size());
+  seen.insert(root);
   std::uint64_t expansions = 0;
   try {
     while (!frontier.empty()) {
@@ -80,9 +82,9 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
       const NodeId x = frontier.front();
       frontier.pop_front();
       if (policy.expansionHook) policy.expansionHook(++expansions);
-      for (const Edge& e : g.successors(x)) {
+      for (const EdgeView e : g.successors(x)) {
         ++stats.edgesComputed;
-        if (seen.insert(e.to).second) frontier.push_back(e.to);
+        if (seen.insert(e.to)) frontier.push_back(e.to);
       }
     }
   } catch (...) {
@@ -434,12 +436,17 @@ struct ParallelExplorer::Impl {
       const NodeId gid = internGraph(h, nullptr);
       PNode* pn = nodePtr(h);
       if (!pn->expanded) continue;  // truncated leaf (maxStates cap)
-      const bool cached = g.cachedSuccessors(gid) != nullptr;
+      const bool cached = g.cachedSuccessors(gid).has_value();
       std::vector<Edge> edgesOut;
       if (!cached) edgesOut.reserve(pn->succ.size());
       for (PEdge& pe : pn->succ) {
         bool inserted = false;
         const NodeId cid = internGraph(pe.to, &inserted);
+        // Pin the action's pool index now, in edge order: setParent would
+        // otherwise intern inserted children's actions ahead of earlier
+        // edges whose targets were already known, skewing the pool order
+        // away from the serial expansion's.
+        if (!cached) g.internActionId(pe.action);
         if (inserted) {
           // First discovery happens here, from `gid` via `pe.task` --
           // the same parent the serial expansion would have recorded.
@@ -492,7 +499,7 @@ void expandRegionParallel(StateGraph& g, NodeId root,
                           const ExplorationPolicy& policy,
                           const std::function<bool(NodeId)>& finalized) {
   if (policy.threads == 1) return;  // serial path expands lazily
-  if (g.cachedSuccessors(root) != nullptr) return;  // already expanded
+  if (g.cachedSuccessors(root)) return;  // already expanded
   ParallelExplorer ex(g, policy);
   std::vector<ioa::SystemState> roots;
   roots.push_back(g.state(root));

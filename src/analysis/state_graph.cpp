@@ -6,10 +6,28 @@
 
 namespace boosting::analysis {
 
+namespace {
+
+// Open-addressing growth policy shared by both tables: grow at 70% load so
+// linear probes stay short.
+constexpr bool overloaded(std::size_t used, std::size_t cap) {
+  return used * 10 >= cap * 7;
+}
+
+}  // namespace
+
 StateGraph::StateGraph(const ioa::System& sys,
                        std::shared_ptr<const SymmetryPolicy> symmetry)
     : sys_(sys), symmetry_(std::move(symmetry)),
       transitions_(sys, slotCanon_) {
+  const auto& tasks = sys_.allTasks();
+  assert(tasks.size() < kEdgeChunkCapacity &&
+         "edge chunk must fit one full successor list");
+  assert(tasks.size() < (1u << 16) && "task index must fit u16");
+  taskIndex_.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    taskIndex_.emplace(tasks[i], static_cast<std::uint16_t>(i));
+  }
 #ifndef NDEBUG
   writer_ = std::this_thread::get_id();
 #endif
@@ -52,71 +70,182 @@ StateGraph::InternResult StateGraph::internWithHash(ioa::SystemState&& s,
   return internPrecanonicalized(std::move(s), hash);
 }
 
+std::size_t StateGraph::findIndexSlot(std::size_t hash) const {
+  // Linear probe to the first empty slot or the (unique) slot already
+  // holding this hash. No deletions, so probes never cross tombstones.
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = hash & mask;
+  while (index_[i].head != kNoNode && index_[i].hash != hash) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void StateGraph::growIndex(std::size_t newCap) {
+  std::vector<IndexSlot> old = std::move(index_);
+  index_.assign(newCap, IndexSlot{});
+  const std::size_t mask = newCap - 1;
+  for (const IndexSlot& slot : old) {
+    if (slot.head == kNoNode) continue;
+    // Each hash occupies exactly one slot, so reinsertion only needs the
+    // first empty position of its probe sequence.
+    std::size_t i = slot.hash & mask;
+    while (index_[i].head != kNoNode) i = (i + 1) & mask;
+    index_[i] = slot;
+  }
+}
+
 StateGraph::InternResult StateGraph::internPrecanonicalized(
     ioa::SystemState&& s, std::size_t hash) {
   assertWriter();
   slotCanon_.canonicalize(s);
-  auto [it, fresh] = headByHash_.try_emplace(hash, kNoNode);
-  for (NodeId id = it->second; id != kNoNode; id = nextSameHash_[id]) {
-    if (states_[id].equals(s)) {
-      ++stats_.dedupHits;
-      return {id, false};
+  if (index_.empty()) growIndex(1024);
+  std::size_t slot = findIndexSlot(hash);
+  const bool occupied = index_[slot].head != kNoNode;
+  if (occupied) {
+    for (NodeId id = index_[slot].head; id != kNoNode;
+         id = nextSameHash_[id]) {
+      if (states_[id].equals(s)) {
+        ++stats_.dedupHits;
+        return {id, false};
+      }
     }
   }
-  (void)fresh;
   const NodeId id = static_cast<NodeId>(states_.size());
   states_.push_back(std::move(s));
   succ_.emplace_back();
   parent_.emplace_back();
-  nextSameHash_.push_back(it->second);
-  it->second = id;
+  if (occupied) {
+    // Same-hash sibling: push onto the intrusive chain; the table slot
+    // stays put.
+    nextSameHash_.push_back(index_[slot].head);
+    index_[slot].head = id;
+  } else {
+    nextSameHash_.push_back(kNoNode);
+    index_[slot] = IndexSlot{hash, id};
+    if (overloaded(++indexUsed_, index_.size())) {
+      growIndex(index_.size() * 2);
+    }
+  }
   ++stats_.statesDiscovered;
   return {id, true};
 }
 
-const std::vector<Edge>& StateGraph::successors(NodeId id) {
-  if (succ_[id]) return *succ_[id];
+CompactEdge* StateGraph::reserveEdgeRun(std::uint32_t need,
+                                        std::uint32_t* base) {
+  if (edgeChunks_.empty() || kEdgeChunkCapacity - edgeUsed_ < need) {
+    if (!edgeChunks_.empty()) {
+      edgeSlackSlots_ += kEdgeChunkCapacity - edgeUsed_;
+    }
+    edgeChunks_.push_back(std::make_unique<CompactEdge[]>(kEdgeChunkCapacity));
+    edgeUsed_ = 0;
+  }
+  *base = static_cast<std::uint32_t>(
+      ((edgeChunks_.size() - 1) << kEdgeChunkShift) | edgeUsed_);
+  return edgeChunks_.back().get() + edgeUsed_;
+}
+
+std::uint32_t StateGraph::internAction(const ioa::Action& a) {
+  if (actionTable_.empty()) growActionTable(256);
+  const std::size_t h = a.hash();
+  const std::size_t mask = actionTable_.size() - 1;
+  std::size_t i = h & mask;
+  while (true) {
+    ActionSlot& slot = actionTable_[i];
+    if (slot.idx == kNoAction) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(actionPool_.size());
+      actionPool_.push_back(a);
+      slot = ActionSlot{h, idx};
+      if (overloaded(++actionCount_, actionTable_.size())) {
+        growActionTable(actionTable_.size() * 2);
+      }
+      return idx;
+    }
+    if (slot.hash == h && actionPool_[slot.idx] == a) return slot.idx;
+    i = (i + 1) & mask;
+  }
+}
+
+void StateGraph::growActionTable(std::size_t newCap) {
+  std::vector<ActionSlot> old = std::move(actionTable_);
+  actionTable_.assign(newCap, ActionSlot{});
+  const std::size_t mask = newCap - 1;
+  for (const ActionSlot& slot : old) {
+    if (slot.idx == kNoAction) continue;
+    std::size_t i = slot.hash & mask;
+    while (actionTable_[i].idx != kNoAction) i = (i + 1) & mask;
+    actionTable_[i] = slot;
+  }
+}
+
+std::uint16_t StateGraph::taskIndexOf(const ioa::TaskId& t) const {
+  auto it = taskIndex_.find(t);
+  if (it == taskIndex_.end()) {
+    throw std::logic_error("StateGraph: task not in System::allTasks()");
+  }
+  return it->second;
+}
+
+EdgeList StateGraph::successors(NodeId id) {
+  if (succ_[id].begin != kUnexpanded) return listAt(succ_[id]);
   assertWriter();
-  std::vector<Edge> edges;
+  const std::vector<ioa::TaskId>& tasks = sys_.allTasks();
+  // Reserve the worst case (every task applicable) up front: interning
+  // below never touches the arena, so the run stays contiguous and the
+  // unused tail is handed to the next expansion.
+  std::uint32_t base = 0;
+  CompactEdge* run = reserveEdgeRun(static_cast<std::uint32_t>(tasks.size()),
+                                    &base);
+  std::uint32_t count = 0;
   // states_ is a deque: references remain valid across intern() insertions.
   const ioa::SystemState& s = states_[id];
-  const std::vector<ioa::TaskId>& tasks = sys_.allTasks();
-  edges.reserve(tasks.size());
   ioa::SystemState next;  // reusable successor buffer (see step())
   for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
     const ioa::Action* action = transitions_.step(s, ti, &next);
     if (!action) continue;
+    const std::uint32_t ai = internAction(*action);
     const std::size_t h = next.hash();
     const InternResult r = internWithHash(std::move(next), h);
     if (r.inserted) {
       // Newly discovered node: record its first-discovery parent so that
       // witness paths can be reconstructed. Externally interned roots keep
       // kNoNode and terminate pathTo().
-      parent_[r.id] = Parent{id, tasks[ti], *action};
+      parent_[r.id] = Parent{id, ai, static_cast<std::uint16_t>(ti)};
     }
-    edges.push_back(Edge{tasks[ti], *action, r.id});
+    run[count++] = CompactEdge{ai, r.id, static_cast<std::uint16_t>(ti)};
   }
-  stats_.edgesDiscovered += edges.size();
+  edgeUsed_ += count;
+  succ_[id] = SuccIndex{base, count};
+  stats_.edgesDiscovered += count;
   ++stats_.expansions;
-  succ_[id] = std::move(edges);
-  return *succ_[id];
+  return EdgeList(this, count ? run : nullptr, count);
 }
 
-const std::vector<Edge>* StateGraph::cachedSuccessors(NodeId id) const {
-  if (static_cast<std::size_t>(id) >= succ_.size() || !succ_[id]) {
-    return nullptr;
+std::optional<EdgeList> StateGraph::cachedSuccessors(NodeId id) const {
+  if (static_cast<std::size_t>(id) >= succ_.size() ||
+      succ_[id].begin == kUnexpanded) {
+    return std::nullopt;
   }
-  return &*succ_[id];
+  return listAt(succ_[id]);
 }
 
 void StateGraph::setSuccessors(NodeId id, std::vector<Edge> edges) {
   assertWriter();
-  if (succ_[id]) {
+  if (succ_[id].begin != kUnexpanded) {
     throw std::logic_error("StateGraph::setSuccessors: already cached");
   }
-  stats_.edgesDiscovered += edges.size();
+  std::uint32_t base = 0;
+  CompactEdge* run = reserveEdgeRun(static_cast<std::uint32_t>(edges.size()),
+                                    &base);
+  std::uint32_t count = 0;
+  for (const Edge& e : edges) {
+    run[count++] =
+        CompactEdge{internAction(e.action), e.to, taskIndexOf(e.task)};
+  }
+  edgeUsed_ += count;
+  succ_[id] = SuccIndex{base, count};
+  stats_.edgesDiscovered += count;
   ++stats_.expansions;
-  succ_[id] = std::move(edges);
 }
 
 void StateGraph::setParent(NodeId id, NodeId from, const ioa::TaskId& task,
@@ -125,12 +254,16 @@ void StateGraph::setParent(NodeId id, NodeId from, const ioa::TaskId& task,
   if (parent_[id].from != kNoNode) {
     throw std::logic_error("StateGraph::setParent: parent already set");
   }
-  parent_[id] = Parent{from, task, action};
+  parent_[id] = Parent{from, internAction(action), taskIndexOf(task)};
 }
 
 std::optional<Edge> StateGraph::successorVia(NodeId id, const ioa::TaskId& e) {
-  for (const Edge& edge : successors(id)) {
-    if (edge.task == e) return edge;
+  const EdgeList edges = successors(id);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const CompactEdge& ce = edges.data()[k];
+    if (taskAt(ce.task) == e) {
+      return Edge{taskAt(ce.task), actionAt(ce.action), ce.to};
+    }
   }
   return std::nullopt;
 }
@@ -147,13 +280,16 @@ bool StateGraph::checkConsistent(std::string* why) const {
   if (stats_.statesDiscovered != n) {
     return fail("statesDiscovered != size()");
   }
-  // The hash chains must partition the node set: every node reachable from
-  // exactly one bucket head, no cycles, total length == size().
+  // The hash chains hanging off the occupied index slots must partition
+  // the node set: every node reachable from exactly one slot, no cycles,
+  // total length == size().
   std::vector<char> seen(n, 0);
   std::size_t chained = 0;
-  for (const auto& [hash, head] : headByHash_) {
-    (void)hash;
-    for (NodeId id = head; id != kNoNode; id = nextSameHash_[id]) {
+  std::size_t occupied = 0;
+  for (const IndexSlot& slot : index_) {
+    if (slot.head == kNoNode) continue;
+    ++occupied;
+    for (NodeId id = slot.head; id != kNoNode; id = nextSameHash_[id]) {
       if (static_cast<std::size_t>(id) >= n) {
         return fail("hash chain references out-of-range node");
       }
@@ -163,14 +299,23 @@ bool StateGraph::checkConsistent(std::string* why) const {
     }
   }
   if (chained != n) return fail("hash chains do not cover all nodes");
+  if (occupied != indexUsed_) return fail("indexUsed_ != occupied slots");
+  const std::size_t poolSize = actionPool_.size();
   std::uint64_t edges = 0;
   std::uint64_t expanded = 0;
   for (std::size_t id = 0; id < n; ++id) {
-    if (!succ_[id]) continue;
+    if (succ_[id].begin == kUnexpanded) continue;
     ++expanded;
-    for (const Edge& e : *succ_[id]) {
+    for (std::uint32_t k = 0; k < succ_[id].count; ++k) {
+      const CompactEdge& e = *edgeAt(succ_[id].begin + k);
       if (static_cast<std::size_t>(e.to) >= n) {
         return fail("edge targets out-of-range node");
+      }
+      if (e.action >= poolSize) {
+        return fail("edge references out-of-range pooled action");
+      }
+      if (e.task >= sys_.allTasks().size()) {
+        return fail("edge references out-of-range task index");
       }
       ++edges;
     }
@@ -182,9 +327,12 @@ bool StateGraph::checkConsistent(std::string* why) const {
     return fail("expansions != number of cached successor lists");
   }
   for (std::size_t id = 0; id < n; ++id) {
-    if (parent_[id].from != kNoNode &&
-        static_cast<std::size_t>(parent_[id].from) >= n) {
+    if (parent_[id].from == kNoNode) continue;
+    if (static_cast<std::size_t>(parent_[id].from) >= n) {
       return fail("parent references out-of-range node");
+    }
+    if (parent_[id].action >= poolSize) {
+      return fail("parent references out-of-range pooled action");
     }
   }
   return true;
@@ -203,18 +351,39 @@ NodeId StateGraph::rootOf(NodeId id) const {
 }
 
 std::vector<Edge> StateGraph::pathTo(NodeId id) const {
-  std::vector<Edge> rev;
+  // Collect the parent chain first (node ids only), then materialize
+  // owning Edge values front to back from the pools.
+  std::vector<NodeId> chain;
   NodeId cur = id;
   while (parent_[cur].from != kNoNode) {
-    const Parent& p = parent_[cur];
-    rev.push_back(Edge{p.task, p.action, cur});
-    cur = p.from;
-    if (rev.size() > states_.size()) {
+    chain.push_back(cur);
+    cur = parent_[cur].from;
+    if (chain.size() > states_.size()) {
       throw std::logic_error("StateGraph::pathTo: parent cycle detected");
     }
   }
-  std::reverse(rev.begin(), rev.end());
-  return rev;
+  std::vector<Edge> out;
+  out.reserve(chain.size());
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const Parent& p = parent_[*it];
+    out.push_back(Edge{taskAt(p.task), actionAt(p.action), *it});
+  }
+  return out;
+}
+
+StateGraph::MemoryStats StateGraph::memoryStats() const {
+  MemoryStats ms;
+  for (const ioa::SystemState& s : states_) ms.bytesStates += s.shallowBytes();
+  ms.bytesEdges =
+      static_cast<std::uint64_t>(edgeChunks_.size()) * kEdgeChunkCapacity *
+          sizeof(CompactEdge) +
+      actionPool_.size() * sizeof(ioa::Action) +
+      actionTable_.capacity() * sizeof(ActionSlot);
+  ms.bytesIndex = index_.capacity() * sizeof(IndexSlot) +
+                  nextSameHash_.capacity() * sizeof(NodeId) +
+                  parent_.capacity() * sizeof(Parent) +
+                  succ_.capacity() * sizeof(SuccIndex);
+  return ms;
 }
 
 }  // namespace boosting::analysis

@@ -14,6 +14,17 @@
 // of each node is kept so that witness executions (paths from an
 // initialization to an interesting configuration) can be reconstructed.
 //
+// MEMORY LAYOUT (flat, pooled -- see DESIGN.md "Graph memory layout"): the
+// same action payload repeats across thousands of edges, so actions are
+// deduplicated once into an intern pool and a stored edge is a 12-byte
+// CompactEdge{action idx, target, task idx}. Successor lists append into
+// large fixed-capacity arena chunks (CSR-style; a list never spans chunks,
+// so a raw pointer+count names it) instead of one heap vector per node,
+// and the interning index is a linear-probe open-addressing table of
+// (hash, chain head) replacing the node-allocating unordered_map. Chunks
+// and the action deque never relocate, so EdgeList views stay valid across
+// graph growth exactly like the old per-node vectors did.
+//
 // CONCURRENCY CONTRACT (single writer): StateGraph is NOT thread-safe.
 // intern(), successors(), successorVia(), setSuccessors() and setParent()
 // mutate the lazy caches and must only be called from one thread at a time
@@ -27,6 +38,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -42,10 +54,71 @@ namespace boosting::analysis {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
+// Materialized edge with owning task/action copies. Returned by the path
+// and lookup APIs (successorVia, pathTo) and accepted by setSuccessors;
+// iteration over successor lists uses the non-owning EdgeView instead.
 struct Edge {
   ioa::TaskId task;
   ioa::Action action;
   NodeId to = kNoNode;
+};
+
+// Stored form of an edge: indices into the graph's task table and action
+// intern pool plus the target node. 12 bytes, trivially copyable.
+struct CompactEdge {
+  std::uint32_t action = 0;  // index into the action intern pool
+  NodeId to = kNoNode;
+  std::uint16_t task = 0;  // index into System::allTasks()
+};
+static_assert(sizeof(CompactEdge) <= 12, "CompactEdge grew past 12 bytes");
+
+// Non-owning view of one stored edge; task/action reference the graph's
+// pools (stable for the graph's lifetime).
+struct EdgeView {
+  const ioa::TaskId& task;
+  const ioa::Action& action;
+  NodeId to;
+};
+
+class StateGraph;
+
+// Lightweight span view of a node's successor list. Valid for the graph's
+// lifetime: the arena chunks and pools it points into never relocate.
+class EdgeList {
+ public:
+  class iterator {
+   public:
+    EdgeView operator*() const;
+    iterator& operator++() {
+      ++cur_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+    bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+
+   private:
+    friend class EdgeList;
+    iterator(const StateGraph* g, const CompactEdge* cur) : g_(g), cur_(cur) {}
+    const StateGraph* g_;
+    const CompactEdge* cur_;
+  };
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  EdgeView operator[](std::size_t k) const;
+  // The underlying storage; identity of the cached list (tests) and index
+  // access without view materialization.
+  const CompactEdge* data() const { return data_; }
+  iterator begin() const { return iterator(g_, data_); }
+  iterator end() const { return iterator(g_, data_ + count_); }
+
+ private:
+  friend class StateGraph;
+  EdgeList(const StateGraph* g, const CompactEdge* data, std::uint32_t count)
+      : g_(g), data_(data), count_(count) {}
+  const StateGraph* g_;
+  const CompactEdge* data_;
+  std::uint32_t count_;
 };
 
 class StateGraph {
@@ -64,6 +137,20 @@ class StateGraph {
     std::uint64_t expansions = 0;
   };
 
+  // Shallow heap footprint of the graph's own structures, in bytes
+  // (flushed to the obs registry as graph.bytes_*). bytesStates covers the
+  // state deque and per-state slot arrays (component states behind the COW
+  // pointers are shared and hash-consed, so they are not attributed here);
+  // bytesEdges the edge arena chunks plus the action pool and its intern
+  // table; bytesIndex the open-addressing node index, hash chains, parent
+  // records and per-node successor spans.
+  struct MemoryStats {
+    std::uint64_t bytesStates = 0;
+    std::uint64_t bytesEdges = 0;
+    std::uint64_t bytesIndex = 0;
+    std::uint64_t total() const { return bytesStates + bytesEdges + bytesIndex; }
+  };
+
   // With a non-trivial `symmetry`, every interned state is first replaced
   // by its orbit representative, so the graph is the quotient of G(C) by
   // the process-permutation group (see analysis/symmetry.h); nullptr or a
@@ -80,6 +167,7 @@ class StateGraph {
   bool symmetryActive() const { return symmetry_ && !symmetry_->trivial(); }
 
   const Stats& stats() const { return stats_; }
+  MemoryStats memoryStats() const;
 
   // Tallies of the graph-owned TransitionCache that successors() expands
   // edges through (workers of the parallel explorer use private caches,
@@ -91,8 +179,9 @@ class StateGraph {
   // Structural self-check, used to assert that abort paths (a worker throw
   // inside the parallel explorer, a truncated exploration) never leave the
   // graph half-mutated. Verifies parallel-array sizes, stats/size
-  // agreement, the hash-chain partition, and edge-target bounds. Returns
-  // false and (when `why` is non-null) a diagnostic on the first violation.
+  // agreement, the hash-chain partition, and edge-target/pool-index
+  // bounds. Returns false and (when `why` is non-null) a diagnostic on the
+  // first violation.
   bool checkConsistent(std::string* why = nullptr) const;
 
   // Canonical node id for `s` (inserted if new).
@@ -119,13 +208,14 @@ class StateGraph {
   std::size_t size() const { return states_.size(); }
 
   // All failure-free locally controlled transitions out of `id` (lazily
-  // computed, cached). One edge per applicable task (determinism).
-  const std::vector<Edge>& successors(NodeId id);
+  // computed, cached). One edge per applicable task (determinism). The
+  // returned view stays valid across further graph growth.
+  EdgeList successors(NodeId id);
 
-  // The cached successor list, or nullptr if `id` has not been expanded
+  // The cached successor list, or nullopt if `id` has not been expanded
   // yet. Never triggers expansion, so it is const (and safe to call while
   // no writer is active).
-  const std::vector<Edge>* cachedSuccessors(NodeId id) const;
+  std::optional<EdgeList> cachedSuccessors(NodeId id) const;
 
   // Install an externally computed successor list (the parallel explorer's
   // install pass). Precondition: `id` has no cached successors yet, and the
@@ -138,6 +228,14 @@ class StateGraph {
   void setParent(NodeId id, NodeId from, const ioa::TaskId& task,
                  const ioa::Action& action);
 
+  // Intern `a` into the action pool (idempotent) and return its index.
+  // The parallel installer calls this per edge, in edge order, so the
+  // pool's first-occurrence order -- and with it every compact edge's
+  // action index -- is bit-identical to a serial expansion's.
+  std::uint32_t internActionId(const ioa::Action& a) {
+    return internAction(a);
+  }
+
   // The unique e-successor of `id`, if task e is applicable.
   std::optional<Edge> successorVia(NodeId id, const ioa::TaskId& e);
 
@@ -148,24 +246,109 @@ class StateGraph {
   // The parentless ancestor reached by following first-discovery parents.
   NodeId rootOf(NodeId id) const;
 
+  // Pool accessors backing EdgeView (also handy for tests/export).
+  const ioa::TaskId& taskAt(std::uint16_t idx) const {
+    return sys_.allTasks()[idx];
+  }
+  const ioa::Action& actionAt(std::uint32_t idx) const {
+    return actionPool_[idx];
+  }
+  // Distinct actions interned so far (every stored edge and parent record
+  // references one of these).
+  std::size_t actionPoolSize() const { return actionPool_.size(); }
+
  private:
+  // Compact first-discovery parent: the action is interned in the same
+  // pool as the edges, so a parent record is 12 bytes instead of carrying
+  // a full Action payload.
   struct Parent {
     NodeId from = kNoNode;
-    ioa::TaskId task;
-    ioa::Action action;
+    std::uint32_t action = 0;
+    std::uint16_t task = 0;
   };
 
+  // One slot of the open-addressing node index: the head of the intrusive
+  // same-hash chain through nextSameHash_. head == kNoNode marks an empty
+  // slot (no deletions, so no tombstones).
+  struct IndexSlot {
+    std::size_t hash = 0;
+    NodeId head = kNoNode;
+  };
+
+  // One slot of the action intern table (open addressing over the pool).
+  struct ActionSlot {
+    std::size_t hash = 0;
+    std::uint32_t idx = kNoAction;
+  };
+  static constexpr std::uint32_t kNoAction = static_cast<std::uint32_t>(-1);
+
+  // Per-node successor span: global arena position of the first edge (or
+  // kUnexpanded) and edge count. Expanded-but-empty lists keep a valid
+  // begin with count 0.
+  struct SuccIndex {
+    std::uint32_t begin = kUnexpanded;
+    std::uint32_t count = 0;
+  };
+  static constexpr std::uint32_t kUnexpanded = static_cast<std::uint32_t>(-1);
+  // Edges per arena chunk. Power of two: a global edge position is
+  // (chunk << kEdgeChunkShift) | offset. Must exceed allTasks().size()
+  // (asserted in the constructor) so one node's list always fits.
+  static constexpr std::uint32_t kEdgeChunkShift = 15;
+  static constexpr std::uint32_t kEdgeChunkCapacity = 1u << kEdgeChunkShift;
+
   void assertWriter() const;
+
+  // Reserve a contiguous run of up to `need` edge slots in the arena
+  // (starting a fresh chunk when the current tail cannot fit the run) and
+  // return its base; commit happens by bumping edgeUsed_ with the actual
+  // count. Non-reentrant: one run is open at a time (expansion never
+  // recurses into expansion).
+  CompactEdge* reserveEdgeRun(std::uint32_t need, std::uint32_t* base);
+  const CompactEdge* edgeAt(std::uint32_t pos) const {
+    return edgeChunks_[pos >> kEdgeChunkShift].get() +
+           (pos & (kEdgeChunkCapacity - 1));
+  }
+  EdgeList listAt(const SuccIndex& si) const {
+    return EdgeList(this, si.count ? edgeAt(si.begin) : nullptr, si.count);
+  }
+
+  std::uint32_t internAction(const ioa::Action& a);
+  void growActionTable(std::size_t newCap);
+  std::uint16_t taskIndexOf(const ioa::TaskId& t) const;
+
+  std::size_t findIndexSlot(std::size_t hash) const;
+  void growIndex(std::size_t newCap);
 
   const ioa::System& sys_;
   std::shared_ptr<const SymmetryPolicy> symmetry_;
   std::deque<ioa::SystemState> states_;  // stable storage
-  std::vector<std::optional<std::vector<Edge>>> succ_;
+  std::vector<SuccIndex> succ_;
   std::vector<Parent> parent_;
-  // Interning index: hash -> head of an intrusive chain through
-  // nextSameHash_ (no per-bucket vector allocations on the hot path).
-  std::unordered_map<std::size_t, NodeId> headByHash_;
+
+  // Edge arena: fixed-capacity chunks that never relocate; successor lists
+  // are contiguous runs inside one chunk. edgeUsed_ is the tail of the
+  // last chunk; edgeSlackSlots_ counts the slots wasted at chunk tails
+  // when a run would not fit.
+  std::vector<std::unique_ptr<CompactEdge[]>> edgeChunks_;
+  std::uint32_t edgeUsed_ = kEdgeChunkCapacity;  // forces the first chunk
+  std::uint64_t edgeSlackSlots_ = 0;
+
+  // Action intern pool (deque: stable references for EdgeView) plus its
+  // linear-probe index.
+  std::deque<ioa::Action> actionPool_;
+  std::vector<ActionSlot> actionTable_;
+  std::size_t actionCount_ = 0;
+
+  // Task id -> allTasks() position, for the value-based APIs
+  // (setSuccessors/setParent). Built once in the constructor.
+  std::unordered_map<ioa::TaskId, std::uint16_t> taskIndex_;
+
+  // Interning index: linear-probe open addressing of (hash, chain head);
+  // states with equal hashes chain intrusively through nextSameHash_.
+  std::vector<IndexSlot> index_;
+  std::size_t indexUsed_ = 0;
   std::vector<NodeId> nextSameHash_;
+
   // Slot hash-consing: states are canonicalized before probing/storing so
   // bucket equality resolves by per-slot pointer identity (single-writer,
   // like every other mutating member).
@@ -178,5 +361,15 @@ class StateGraph {
   std::thread::id writer_;  // single-writer expectation, asserted in debug
 #endif
 };
+
+inline EdgeView EdgeList::iterator::operator*() const {
+  return EdgeView{g_->taskAt(cur_->task), g_->actionAt(cur_->action),
+                  cur_->to};
+}
+
+inline EdgeView EdgeList::operator[](std::size_t k) const {
+  const CompactEdge& ce = data_[k];
+  return EdgeView{g_->taskAt(ce.task), g_->actionAt(ce.action), ce.to};
+}
 
 }  // namespace boosting::analysis

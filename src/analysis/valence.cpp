@@ -6,7 +6,6 @@
 #include <algorithm>
 #include <deque>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace boosting::analysis {
 
@@ -52,12 +51,12 @@ void ValenceAnalyzer::explore(NodeId root) {
   // Phase 1: BFS the unexplored region; collect predecessor lists and seed
   // direct-decision bits.
   std::vector<NodeId> region;
-  std::unordered_map<NodeId, std::vector<NodeId>> preds;
+  preds_.reset();
+  preds_.reserve(g_.size());
   std::deque<NodeId> frontier;
   std::vector<NodeId> worklist;
 
   auto enqueue = [&](NodeId id) {
-    ensureSize();
     if ((bits_[id] & kExplored) != 0) return;  // old region: bits final
     // Use a transient mark distinct from kExplored to avoid re-enqueueing.
     bits_[id] |= 0x40;
@@ -76,8 +75,11 @@ void ValenceAnalyzer::explore(NodeId root) {
     frontier.pop_front();
     region.push_back(id);
     if (reg) reg->progress("valence.region_nodes", region.size());
-    for (const Edge& e : g_.successors(id)) {
-      ensureSize();
+    // Expanding `id` is the only step that grows the graph, so one resize
+    // after it covers every node the edge loop can touch.
+    const EdgeList edges = g_.successors(id);
+    ensureSize();
+    for (const EdgeView e : edges) {
       // Direct decision edges seed the source node's bits.
       if (e.action.kind == ioa::ActionKind::EnvDecide) {
         if (auto v = ioa::decisionValue(e.action)) {
@@ -89,7 +91,7 @@ void ValenceAnalyzer::explore(NodeId root) {
           }
         }
       }
-      preds[e.to].push_back(id);
+      preds_.at(e.to).push_back(id);
       if (!marked(e.to)) {
         enqueue(e.to);
         frontier.push_back(e.to);
@@ -103,20 +105,19 @@ void ValenceAnalyzer::explore(NodeId root) {
   for (NodeId id : region) {
     if ((bits_[id] & (kReach0 | kReach1)) != 0) worklist.push_back(id);
   }
-  for (const auto& [to, fromList] : preds) {
-    (void)fromList;
+  for (std::size_t to : preds_.keys()) {
     if ((bits_[to] & kExplored) != 0 &&
         (bits_[to] & (kReach0 | kReach1)) != 0) {
-      worklist.push_back(to);
+      worklist.push_back(static_cast<NodeId>(to));
     }
   }
   while (!worklist.empty()) {
     const NodeId id = worklist.back();
     worklist.pop_back();
     const std::uint8_t reach = bits_[id] & (kReach0 | kReach1);
-    auto it = preds.find(id);
-    if (it == preds.end()) continue;
-    for (NodeId p : it->second) {
+    auto* fromList = preds_.find(id);
+    if (!fromList) continue;
+    for (NodeId p : *fromList) {
       if ((bits_[p] & kExplored) != 0) continue;  // final already
       if ((bits_[p] & reach) != reach) {
         bits_[p] |= reach;

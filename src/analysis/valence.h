@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "analysis/dense.h"
 #include "analysis/parallel_explorer.h"
 #include "analysis/state_graph.h"
 #include "util/value.h"
@@ -62,6 +63,10 @@ class ValenceAnalyzer {
   // Per node: bit0 = decide(0) reachable, bit1 = decide(1) reachable,
   // bit7 = explored.
   std::vector<std::uint8_t> bits_;
+  // Scratch predecessor lists for the reverse-propagation phase, epoch-
+  // reset per explore() call; a member so the inner vectors keep their
+  // heap capacity across overlapping regions.
+  DenseNodeMap<std::vector<NodeId>> preds_;
   std::size_t exploredCount_ = 0;
 
   void ensureSize();

@@ -143,6 +143,14 @@ class SystemState final {
                                   : slots_[slot].state->hash();
   }
 
+  // Shallow footprint of this state object: the slot array plus the object
+  // itself, NOT the component states behind the shared_ptrs (those are
+  // hash-consed and shared across many states, so attributing them per
+  // state would double-count). Used by StateGraph::memoryStats().
+  std::size_t shallowBytes() const {
+    return sizeof(SystemState) + slots_.capacity() * sizeof(Slot);
+  }
+
  private:
   friend class System;
   friend class SlotCanonTable;

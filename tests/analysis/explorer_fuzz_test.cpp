@@ -106,10 +106,10 @@ TEST_P(ExplorerFuzz, ParallelReachableSetMatchesSerial) {
   for (NodeId id = 0; id < gs.size(); ++id) {
     ASSERT_TRUE(gs.state(id).equals(gp.state(id)))
         << "seed=" << c.seed << " node " << id;
-    const auto* se = gs.cachedSuccessors(id);
-    const auto* pe = gp.cachedSuccessors(id);
-    ASSERT_EQ(se == nullptr, pe == nullptr);
-    if (se == nullptr) continue;
+    const auto se = gs.cachedSuccessors(id);
+    const auto pe = gp.cachedSuccessors(id);
+    ASSERT_EQ(se.has_value(), pe.has_value());
+    if (!se) continue;
     ASSERT_EQ(se->size(), pe->size());
     for (std::size_t k = 0; k < se->size(); ++k) {
       EXPECT_EQ((*se)[k].task, (*pe)[k].task);

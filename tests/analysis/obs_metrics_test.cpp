@@ -185,12 +185,17 @@ TEST(ObsMetrics, MetricsJsonIsWellFormed) {
             std::count(doc.begin(), doc.end(), '}'));
   EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
             std::count(doc.begin(), doc.end(), ']'));
-  EXPECT_NE(doc.find("\"schema\": \"boosting-metrics-v2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"boosting-metrics-v3\""), std::string::npos);
   EXPECT_NE(doc.find("\"tool\": \"obs_metrics_test\""), std::string::npos);
   EXPECT_NE(doc.find("\"counters\""), std::string::npos);
   EXPECT_NE(doc.find("\"timers\""), std::string::npos);
   EXPECT_NE(doc.find("\"derived\""), std::string::npos);
   EXPECT_NE(doc.find("graph.states_discovered"), std::string::npos);
+  // v3 memory gauges: the flat-layout accounting plus peak RSS.
+  EXPECT_NE(doc.find("graph.bytes_states"), std::string::npos);
+  EXPECT_NE(doc.find("graph.bytes_edges"), std::string::npos);
+  EXPECT_NE(doc.find("graph.bytes_index"), std::string::npos);
+  EXPECT_NE(doc.find("process.peak_rss_bytes"), std::string::npos);
   EXPECT_NE(doc.find("explorer.worker0.expanded"), std::string::npos);
 }
 

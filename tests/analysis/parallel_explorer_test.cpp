@@ -59,10 +59,10 @@ void expectSameGraph(StateGraph& serial, StateGraph& parallel) {
   for (NodeId id = 0; id < serial.size(); ++id) {
     ASSERT_TRUE(serial.state(id).equals(parallel.state(id)))
         << "state mismatch at node " << id;
-    const auto* se = serial.cachedSuccessors(id);
-    const auto* pe = parallel.cachedSuccessors(id);
-    ASSERT_EQ(se == nullptr, pe == nullptr) << "cache mismatch at " << id;
-    if (se == nullptr) continue;
+    const auto se = serial.cachedSuccessors(id);
+    const auto pe = parallel.cachedSuccessors(id);
+    ASSERT_EQ(se.has_value(), pe.has_value()) << "cache mismatch at " << id;
+    if (!se) continue;
     ASSERT_EQ(se->size(), pe->size()) << "fan-out mismatch at " << id;
     for (std::size_t k = 0; k < se->size(); ++k) {
       EXPECT_EQ((*se)[k].task, (*pe)[k].task) << "edge task at " << id;
@@ -241,7 +241,7 @@ TEST(ParallelExplorer, MaxStatesTruncates) {
   EXPECT_EQ(g.size(), stats.statesDiscovered);
   bool someLeaf = false;
   for (NodeId id = 0; id < g.size(); ++id) {
-    if (g.cachedSuccessors(id) == nullptr) someLeaf = true;
+    if (!g.cachedSuccessors(id)) someLeaf = true;
   }
   EXPECT_TRUE(someLeaf);
 }

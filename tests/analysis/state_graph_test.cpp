@@ -44,11 +44,11 @@ TEST(StateGraph, SuccessorsOnePerApplicableTask) {
   auto sys = relay(2, 0);
   StateGraph g(*sys);
   NodeId root = g.intern(canonicalInitialization(*sys, 1));
-  const auto& edges = g.successors(root);
+  const EdgeList edges = g.successors(root);
   // Only the two process tasks are applicable initially (service buffers
   // are empty, failure-free so no dummies).
   EXPECT_EQ(edges.size(), 2u);
-  for (const Edge& e : edges) {
+  for (const EdgeView e : edges) {
     EXPECT_EQ(e.task.owner, ioa::TaskOwner::Process);
     EXPECT_EQ(e.action.kind, ioa::ActionKind::Invoke);
   }
@@ -58,9 +58,13 @@ TEST(StateGraph, SuccessorsAreCached) {
   auto sys = relay(2, 0);
   StateGraph g(*sys);
   NodeId root = g.intern(canonicalInitialization(*sys, 1));
-  const auto& e1 = g.successors(root);
-  const auto& e2 = g.successors(root);
-  EXPECT_EQ(&e1, &e2);
+  const EdgeList e1 = g.successors(root);
+  const EdgeList e2 = g.successors(root);
+  // Second call returns a view over the same arena storage: no recompute.
+  EXPECT_EQ(e1.data(), e2.data());
+  EXPECT_EQ(e1.size(), e2.size());
+  ASSERT_TRUE(g.cachedSuccessors(root));
+  EXPECT_EQ(g.cachedSuccessors(root)->data(), e1.data());
 }
 
 TEST(StateGraph, SuccessorViaFindsTaskEdge) {
@@ -79,7 +83,7 @@ TEST(StateGraph, SelfLoopsForNoOpSteps) {
   StateGraph g(*sys);
   // Without inits, process tasks are dummies: self-loop edges.
   NodeId root = g.intern(sys->initialState());
-  for (const Edge& e : g.successors(root)) {
+  for (const EdgeView e : g.successors(root)) {
     EXPECT_EQ(e.to, root);
     EXPECT_EQ(e.action.kind, ioa::ActionKind::ProcDummy);
   }
@@ -92,7 +96,7 @@ TEST(StateGraph, PathToReconstructsDiscoveryPath) {
   // Expand two levels.
   NodeId mid = g.successors(root)[0].to;
   NodeId leaf = kNoNode;
-  for (const Edge& e : g.successors(mid)) {
+  for (const EdgeView e : g.successors(mid)) {
     if (e.to != mid) {
       leaf = e.to;
       break;
@@ -128,7 +132,7 @@ TEST(StateGraph, FullReachableSetIsFinite) {
   while (!frontier.empty()) {
     NodeId x = frontier.back();
     frontier.pop_back();
-    for (const Edge& e : g.successors(x)) {
+    for (const EdgeView e : g.successors(x)) {
       if (seen.insert(e.to).second) frontier.push_back(e.to);
     }
     ASSERT_LT(g.size(), 100000u);

@@ -100,7 +100,7 @@ TEST(Valence, MonotoneAlongEdges) {
     NodeId x = stack.back();
     stack.pop_back();
     const bool x0 = va.canDecide(x, 0), x1 = va.canDecide(x, 1);
-    for (const Edge& e : g.successors(x)) {
+    for (const EdgeView e : g.successors(x)) {
       EXPECT_TRUE(x0 || !va.canDecide(e.to, 0));
       EXPECT_TRUE(x1 || !va.canDecide(e.to, 1));
       if (seen.insert(e.to).second) stack.push_back(e.to);
@@ -114,7 +114,7 @@ TEST(Valence, BivalentNodeHasAllSuccessorsExplored) {
   ValenceAnalyzer va(g);
   NodeId root = g.intern(canonicalInitialization(*sys, 1));
   va.explore(root);
-  for (const Edge& e : g.successors(root)) {
+  for (const EdgeView e : g.successors(root)) {
     EXPECT_TRUE(va.explored(e.to));
   }
 }

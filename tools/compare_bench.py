@@ -10,7 +10,11 @@ when the fresh run regresses beyond the tolerance:
     workloads, which are what this gate protects) regress when the fresh
     rate drops below baseline * (1 - tolerance);
   * all other benchmarks fall back to real_ns_per_iter and regress when
-    the fresh time exceeds baseline * (1 + tolerance).
+    the fresh time exceeds baseline * (1 + tolerance);
+  * benchmarks that report a bytes_per_state counter (BM_BytesPerState,
+    the flat-layout memory headline) are additionally gated on it: fresh
+    bytes above baseline * (1 + tolerance) fail, so edge/index bloat is
+    caught even when wall-clock stays flat.
 
 --tolerance is the fractional headroom (default 0.25, i.e. a >25% drop in
 states/sec fails). CI machines are noisy; raise it via the flag rather
@@ -108,6 +112,16 @@ def compare(baseline, fresh, tolerance):
                 problems.append(
                     f"{name}: real_ns_per_iter regressed {bv:.0f} -> {fv:.0f} "
                     f"({(ratio - 1.0) * 100.0:.1f}% slower > "
+                    f"{tolerance * 100.0:.0f}% tolerance)")
+        # Memory gate, orthogonal to the throughput/time gate above.
+        if "bytes_per_state" in b and "bytes_per_state" in f:
+            bv, fv = b["bytes_per_state"], f["bytes_per_state"]
+            ratio = fv / bv if bv else float("inf")
+            rows.append((name, "B/state", bv, fv, ratio))
+            if bv and fv > bv * (1.0 + tolerance):
+                problems.append(
+                    f"{name}: bytes_per_state regressed {bv:.0f} -> {fv:.0f} "
+                    f"({(ratio - 1.0) * 100.0:.1f}% fatter > "
                     f"{tolerance * 100.0:.0f}% tolerance)")
     for name, unit, bv, fv, ratio in rows:
         print(f"  {name:<44} {unit:>10}  baseline {bv:>14.1f}  "

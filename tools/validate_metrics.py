@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a boosting-metrics-v2 JSON file against docs/metrics_schema.json.
+"""Validate a boosting-metrics-v3 JSON file against docs/metrics_schema.json.
 
 Hand-rolled validator for the draft-07 subset the schema actually uses
 (type, required, properties, additionalProperties, items, enum, minimum,
@@ -12,6 +12,11 @@ promise:
   * when symmetry reduction ran (explorer.symmetry.* counters present),
     states_canonical <= states_raw and orbits_collapsed <= states_raw,
     i.e. the quotient never invents states;
+  * when the graph memory gauges are present (v3), graph.bytes_states is
+    monotone in the state count (>= states_discovered: a state costs at
+    least a byte, in practice dozens) and a nonzero process.peak_rss_bytes
+    is >= the sum of the graph.bytes_* gauges (the process cannot hold the
+    graph in less memory than the graph's own accounting);
   * with --expect-workers N, per-worker expansion counters exist for
     workers 0..N-1 and sum to explorer.states_discovered.
 
@@ -118,6 +123,30 @@ def check_invariants(doc, expect_workers, errors):
                 f"$.counters: explorer.symmetry.orbits_collapsed {collapsed} "
                 f"> states_raw {raw}")
 
+    graph_bytes = [n for n in counters if n.startswith("graph.bytes_")]
+    if graph_bytes:
+        for required in ("graph.bytes_states", "graph.bytes_edges",
+                         "graph.bytes_index"):
+            if required not in counters:
+                errors.append(
+                    "$.counters: graph.bytes_* present but incomplete "
+                    f"({sorted(graph_bytes)})")
+                break
+        states = cval("graph.states_discovered")
+        bytes_states = cval("graph.bytes_states")
+        if states > 0 and bytes_states < states:
+            errors.append(
+                f"$.counters: graph.bytes_states {bytes_states} < "
+                f"states_discovered {states} (bytes must be monotone in "
+                "states)")
+        rss = cval("process.peak_rss_bytes")
+        graph_total = (bytes_states + cval("graph.bytes_edges") +
+                       cval("graph.bytes_index"))
+        if rss > 0 and rss < graph_total:
+            errors.append(
+                f"$.counters: process.peak_rss_bytes {rss} < sum of "
+                f"graph.bytes_* {graph_total}")
+
     if expect_workers is not None:
         total = 0
         for w in range(expect_workers):
@@ -178,7 +207,7 @@ def main():
 
     counters = len(doc.get("counters", []))
     timers = len(doc.get("timers", []))
-    print(f"{args.metrics}: valid boosting-metrics-v2 "
+    print(f"{args.metrics}: valid boosting-metrics-v3 "
           f"({counters} counters, {timers} timers)")
     return 0
 
