@@ -15,6 +15,7 @@
 #include "analysis/bivalence.h"
 #include "analysis/hook.h"
 #include "analysis/parallel_explorer.h"
+#include "analysis/por.h"
 #include "analysis/symmetry.h"
 #include "analysis/valence.h"
 #include "bench_json.h"
@@ -185,6 +186,50 @@ void BM_RegionScanRelaySymmetry(benchmark::State& state) {
   regionScanSymmetry(*sys, state);
 }
 
+// The stacked reduction (--symmetry on --por on): ample-set POR over the
+// orbit quotient. The headline counter is full_per_reduced -- canonical
+// quotient states divided by the states the reduced BFS actually visits,
+// i.e. the multiplicative factor POR adds on top of symmetry.
+void regionScanSymmetryPor(const ioa::System& sys, benchmark::State& state) {
+  const int n = sys.processCount();
+  std::size_t states = 0;
+  std::size_t symStates = 0;
+  std::int64_t expanded = 0;
+  for (auto _ : state) {
+    {
+      auto symPol = analysis::SymmetryPolicy::forSystem(
+          sys, analysis::SymmetryMode::On);
+      StateGraph gq(sys, symPol);
+      for (int j = 0; j <= n; ++j) {
+        NodeId root = gq.intern(analysis::canonicalInitialization(sys, j));
+        analysis::exploreReachable(gq, root, ExplorationPolicy{1, 0});
+      }
+      symStates = gq.size();
+    }
+    auto symPol = analysis::SymmetryPolicy::forSystem(
+        sys, analysis::SymmetryMode::On);
+    auto porPol = analysis::PorPolicy::forSystem(sys, analysis::PorMode::On);
+    StateGraph g(sys, symPol, porPol);
+    for (int j = 0; j <= n; ++j) {
+      NodeId root = g.intern(analysis::canonicalInitialization(sys, j));
+      auto stats = analysis::exploreReachable(g, root, ExplorationPolicy{1, 0});
+      expanded += static_cast<std::int64_t>(stats.statesDiscovered);
+    }
+    states = g.size();
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(expanded), benchmark::Counter::kIsRate);
+  state.counters["full_per_reduced"] =
+      states > 0 ? static_cast<double>(symStates) / static_cast<double>(states)
+                 : 0.0;
+}
+
+void BM_RegionScanRelayPOR(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  regionScanSymmetryPor(*sys, state);
+}
+
 // Memory headline for the flat graph layout: run the region scan, then
 // report the graph's own accounting (StateGraph::memoryStats) normalized
 // per interned state. bytes_per_state is what compare_bench.py gates, so
@@ -261,6 +306,8 @@ BENCHMARK(BM_RegionScanTob)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BytesPerState)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HookSearchDense)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RegionScanRelaySymmetry)
+    ->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegionScanRelayPOR)
     ->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ValenceFullRegion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 

@@ -225,9 +225,12 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
 
   const std::shared_ptr<const SymmetryPolicy> symmetry =
       SymmetryPolicy::forSystem(sys, cfg.symmetry);
-  StateGraph g(sys, symmetry);
+  const std::shared_ptr<const PorPolicy> por = PorPolicy::forSystem(sys, cfg.por);
+  StateGraph g(sys, symmetry, por);
   report.symmetryReduced = g.symmetryActive();
   if (!report.symmetryReduced) report.symmetryNote = symmetry->disabledReason();
+  report.porReduced = g.porActive();
+  if (!report.porReduced) report.porNote = por->disabledReason();
 
   // The case analysis runs in an immediately-invoked closure so the
   // quotient statistics after it are collected on every return path.
@@ -479,6 +482,11 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
   if (report.symmetryReduced) {
     report.symmetryStatesRaw = symmetry->statesRaw();
     report.symmetryOrbitsCollapsed = symmetry->orbitsCollapsed();
+  }
+  if (report.porReduced) {
+    report.porNodesReduced = por->nodesReduced();
+    report.porTasksSkipped = por->tasksSkipped();
+    report.porProvisoHits = por->provisoHits();
   }
   return report;
 }

@@ -45,6 +45,7 @@
 
 #include "analysis/bivalence.h"
 #include "analysis/hook.h"
+#include "analysis/por.h"
 #include "analysis/similarity.h"
 #include "analysis/symmetry.h"
 #include "ioa/execution.h"
@@ -67,6 +68,12 @@ struct AdversaryConfig {
   // candidate declares a symmetry the policy can exploit; On requests it
   // and surfaces the reason when it cannot be honored.
   SymmetryMode symmetry = SymmetryMode::Off;
+  // Ample-set partial-order reduction of every explored graph, stacked on
+  // top of the symmetry quotient (analysis/por.h). Off preserves the
+  // legacy engine bit-for-bit; Auto enables reduction exactly when every
+  // component declares a canonical task structure; On requests it and
+  // surfaces the reason when it cannot be honored.
+  PorMode por = PorMode::Off;
 };
 
 struct AdversaryReport {
@@ -99,6 +106,15 @@ struct AdversaryReport {
   std::string symmetryNote;
   std::uint64_t symmetryStatesRaw = 0;
   std::uint64_t symmetryOrbitsCollapsed = 0;
+
+  // Partial-order-reduction telemetry (see analysis/por.h). When
+  // porReduced is false, porNote carries the reason reduction was not
+  // applied (empty when it was simply not requested).
+  bool porReduced = false;
+  std::string porNote;
+  std::uint64_t porNodesReduced = 0;    // proper ample sets committed
+  std::uint64_t porTasksSkipped = 0;    // successor expansions saved
+  std::uint64_t porProvisoHits = 0;     // ample sets rejected by C3
 
   std::string summary() const;
 };

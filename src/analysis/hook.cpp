@@ -285,6 +285,11 @@ bool isGenuineHook(StateGraph& g, ValenceAnalyzer& va, const Hook& hook) {
   }
   auto e1 = g.successorVia(hook.alphaPrime, hook.e);
   if (!e1 || e1->to != hook.alpha1) return false;
+  // The hook corners come from full-tier edges, which under an active POR
+  // policy may leave the reduced region explore() walked; explore from
+  // them explicitly before asking for a valence.
+  va.explore(hook.alpha0);
+  va.explore(hook.alpha1);
   const Valence v0 = va.valence(hook.alpha0);
   const Valence v1 = va.valence(hook.alpha1);
   const bool univalent0 = v0 == Valence::Zero || v0 == Valence::One;
@@ -312,9 +317,14 @@ HookEnumeration enumerateHooks(StateGraph& g, ValenceAnalyzer& va, NodeId root,
     for (const EdgeView e : edges) {
       if (seen.insert(e.to)) frontier.push_back(e.to);
     }
+    // This walk follows FULL successor lists (a hook needs every commuting
+    // square, not just the ample subset), so under an active POR policy the
+    // scanned nodes may lie outside any reduced region explored so far.
+    va.explore(alpha);
     if (va.valence(alpha) != Valence::Bivalent) continue;
     ++out.bivalentNodes;
     for (const EdgeView eEdge : edges) {
+      va.explore(eEdge.to);
       const Valence v0 = va.valence(eEdge.to);
       if (v0 != Valence::Zero && v0 != Valence::One) continue;
       const Valence target =

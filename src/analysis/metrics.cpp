@@ -68,6 +68,26 @@ void flushGraphMetrics(obs::Registry* reg, const StateGraph& g) {
     reg->add("explorer.symmetry.orbits_collapsed", sp.orbitsCollapsed());
     reg->add("explorer.symmetry.states_canonical", gs.statesDiscovered);
   }
+  if (g.porActive()) {
+    const PorPolicy& pp = *g.porPolicy();
+    // Ample-set telemetry: nodes_evaluated counts expansions that consulted
+    // the policy, states_reduced (<= nodes_evaluated) those that committed a
+    // proper ample subset, tasks_skipped (>= states_reduced) the enabled
+    // tasks not expanded there. ample_avg is the mean ample/enabled fraction
+    // in per-mille (<= 1000); all four invariants are checked by
+    // validate_metrics.py.
+    reg->add("explorer.por.nodes_evaluated", pp.nodesEvaluated());
+    reg->add("explorer.por.states_reduced", pp.nodesReduced());
+    reg->add("explorer.por.tasks_skipped", pp.tasksSkipped());
+    reg->add("explorer.por.cycle_proviso_hits", pp.provisoHits());
+    reg->add("explorer.por.declaration_violations",
+             pp.declarationViolations());
+    const std::uint64_t enabledSum = pp.enabledSum();
+    // maxOf, not add: a second flush of the same policy must not push the
+    // per-mille fraction past 1000.
+    reg->maxOf("explorer.por.ample_avg",
+               enabledSum == 0 ? 0 : pp.ampleSum() * 1000 / enabledSum);
+  }
   flushTransitionCacheMetrics(reg, g.transitionStats());
 }
 

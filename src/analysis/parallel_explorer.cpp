@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -82,7 +84,9 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
       const NodeId x = frontier.front();
       frontier.pop_front();
       if (policy.expansionHook) policy.expansionHook(++expansions);
-      for (const EdgeView e : g.successors(x)) {
+      // Reduced tier when a POR policy is active, full tier otherwise --
+      // the same switch the valence BFS takes.
+      for (const EdgeView e : g.exploreSuccessors(x)) {
         ++stats.edgesComputed;
         if (seen.insert(e.to)) frontier.push_back(e.to);
       }
@@ -150,6 +154,9 @@ struct ParallelExplorer::Impl {
 
   // Phase-2 memo: which table nodes have already been interned into `g`.
   std::unordered_map<PHandle, NodeId> installedIds;
+  // Reverse map for the POR install pass (graph node -> table handle);
+  // maintained at every internGraph call site of installPor.
+  std::unordered_map<NodeId, PHandle> handleOf;
 
   ExploreStats statsOut;
 
@@ -263,10 +270,27 @@ struct ParallelExplorer::Impl {
     std::vector<PEdge> succ;
     const std::vector<ioa::TaskId>& tasks = sys.allTasks();
     succ.reserve(tasks.size());
+    // With an active POR policy the full successor record is still built
+    // (the install pass replays the ample decision from it), but only
+    // AMPLE children seed further frontier work -- that is where the
+    // parallel phase earns the reduction. A node the install-order proviso
+    // later falls back on gets its missing children expanded by the
+    // install pass's slow path, so no reachable reduced node is lost.
+    const PorPolicy* por = g.porActive() ? g.porPolicy() : nullptr;
+    std::vector<const ioa::Action*> porActs;
+    if (por) porActs.assign(tasks.size(), nullptr);
+    struct Deferred {
+      std::size_t ti;
+      PHandle child;
+    };
+    std::vector<Deferred> deferred;
     ioa::SystemState next;  // reusable successor buffer (see step())
     for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
       const ioa::Action* action = transitions.step(n->state, ti, &next);
       if (!action) continue;
+      // Pointers into the worker's transition memo: node-stable across the
+      // later insertions this loop performs.
+      if (por) porActs[ti] = action;
       edges.fetch_add(1, std::memory_order_relaxed);
       const std::size_t hash = next.hash();
       auto [child, inserted] = internTable(std::move(next), hash);
@@ -276,12 +300,23 @@ struct ParallelExplorer::Impl {
         if (policy.maxStates != 0 && count > policy.maxStates) {
           // Leave the child unexpanded: the exploration is truncated.
           truncated.store(true, std::memory_order_relaxed);
+        } else if (por) {
+          deferred.push_back(Deferred{ti, child});
         } else {
           inflight.fetch_add(1, std::memory_order_relaxed);
           pushWork(self, child);
         }
       }
       succ.push_back(PEdge{tasks[ti], *action, child});
+    }
+    if (por) {
+      std::uint64_t enabledMask = 0;
+      const std::uint64_t ample = por->ampleMask(porActs, &enabledMask);
+      for (const Deferred& d : deferred) {
+        if (((ample >> d.ti) & 1) == 0) continue;
+        inflight.fetch_add(1, std::memory_order_relaxed);
+        pushWork(self, d.child);
+      }
     }
     n->succ = std::move(succ);
     n->expanded = true;
@@ -410,6 +445,28 @@ struct ParallelExplorer::Impl {
     return r.id;
   }
 
+  // Probe the private table for a node equal to `s` WITHOUT inserting.
+  // Used by the POR install pass to recover the handle of a graph node it
+  // reached through the slow path. May miss (returns nullopt) for states
+  // whose table copy was moved into the graph already -- those are exactly
+  // the ones handleOf knows.
+  std::optional<PHandle> findTable(const ioa::SystemState& s,
+                                   std::size_t hash) {
+    const std::size_t shardIdx = hash & (kShards - 1);
+    Shard& sh = shards[shardIdx];
+    std::lock_guard<std::mutex> lock(sh.m);
+    const auto it = sh.headByHash.find(hash);
+    if (it == sh.headByHash.end()) return std::nullopt;
+    for (std::uint32_t idx = it->second; idx != UINT32_MAX;
+         idx = sh.nodes[idx].nextSameHash) {
+      if (sh.nodes[idx].state.partCount() != 0 &&
+          sh.nodes[idx].state.equals(s)) {
+        return makeHandle(shardIdx, idx);
+      }
+    }
+    return std::nullopt;
+  }
+
   NodeId install(std::size_t rootIndex,
                  const std::function<bool(NodeId)>& finalized) {
     if (!expanded) {
@@ -421,6 +478,7 @@ struct ParallelExplorer::Impl {
       throw std::logic_error(
           "ParallelExplorer::install after a failed expand");
     }
+    if (g.porActive()) return installPor(rootIndex, finalized);
     const PHandle rootH = rootHandles.at(rootIndex);
     const NodeId rootId = internGraph(rootH, nullptr);
     if (finalized && finalized(rootId)) return rootId;
@@ -463,6 +521,142 @@ struct ParallelExplorer::Impl {
       }
       if (!cached) g.setSuccessors(gid, std::move(edgesOut));
     }
+    return rootId;
+  }
+
+  // POR install pass: a canonical BFS over GRAPH node ids that replays, at
+  // every node, exactly the decision sequence the serial
+  // StateGraph::reducedSuccessors() would take -- ample mask from the
+  // memoized policy, ample targets interned in task order, the open-target
+  // proviso against the graph's reduced tier as it exists at that moment,
+  // full fallback interning the remaining targets in task order. Because
+  // the proviso depends on global BFS order (not on what phase 1's
+  // work-stealing happened to expand), a node phase 1 skipped or left
+  // unexpanded is expanded on the spot through the graph's own serial path
+  // (slow path); both paths produce bit-identical node numbering.
+  NodeId installPor(std::size_t rootIndex,
+                    const std::function<bool(NodeId)>& finalized) {
+    const PorPolicy* por = g.porPolicy();
+    const std::vector<ioa::TaskId>& tasks = sys.allTasks();
+    const PHandle rootH = rootHandles.at(rootIndex);
+    const NodeId rootId = internGraph(rootH, nullptr);
+    handleOf.emplace(rootId, rootH);
+    if (finalized && finalized(rootId)) return rootId;
+
+    std::deque<NodeId> fifo{rootId};
+    DenseNodeSet enqueuedIds(g.size());
+    enqueuedIds.insert(rootId);
+    std::vector<const ioa::Action*> acts(tasks.size(), nullptr);
+    std::vector<NodeId> targets;
+    const auto enqueueTargets = [&]() {
+      for (const NodeId cid : targets) {
+        if (finalized && finalized(cid)) continue;
+        if (enqueuedIds.insert(cid)) fifo.push_back(cid);
+      }
+      targets.clear();
+    };
+    while (!fifo.empty()) {
+      const NodeId gid = fifo.front();
+      fifo.pop_front();
+      if (const auto cached = g.cachedReducedSuccessors(gid)) {
+        // Already reduced-expanded (an earlier install over an overlapping
+        // region): walk the cached list like the serial BFS would.
+        for (const EdgeView e : *cached) targets.push_back(e.to);
+        enqueueTargets();
+        continue;
+      }
+      // Recover the private-table record, if phase 1 expanded this node.
+      PNode* pn = nullptr;
+      if (const auto it = handleOf.find(gid); it != handleOf.end()) {
+        pn = nodePtr(it->second);
+      } else if (const auto fh =
+                     findTable(g.state(gid), g.state(gid).hash())) {
+        handleOf.emplace(gid, *fh);
+        installedIds.emplace(*fh, gid);
+        pn = nodePtr(*fh);
+      }
+      if (pn && !pn->expanded) pn = nullptr;
+      if (!pn) {
+        if (policy.maxStates != 0 && truncated.load()) continue;  // leaf
+        // Slow path: phase 1 never reached this node (it was a non-ample
+        // child, reachable here only through an install-order proviso
+        // fallback). Expand through the graph's serial reduced path.
+        const EdgeList el = g.reducedSuccessors(gid);
+        for (const EdgeView e : el) targets.push_back(e.to);
+        enqueueTargets();
+        continue;
+      }
+      // Fast path: replicate the serial decision from the phase-1 record.
+      std::fill(acts.begin(), acts.end(), nullptr);
+      {
+        std::size_t ti = 0;  // pn->succ is in task order
+        for (const PEdge& pe : pn->succ) {
+          while (tasks[ti] != pe.task) ++ti;
+          acts[ti] = &pe.action;
+        }
+      }
+      std::uint64_t enabledMask = 0;
+      const std::uint64_t ample = por->ampleMask(acts, &enabledMask);
+      bool committedReduced = false;
+      if (ample != enabledMask) {
+        // Intern the ample targets in task order (the serial pass-2
+        // prefix), evaluating the proviso as we go.
+        bool open = false;
+        std::vector<Edge> reducedOut;
+        std::size_t ti = 0;
+        for (PEdge& pe : pn->succ) {
+          while (tasks[ti] != pe.task) ++ti;
+          if (((ample >> ti) & 1) == 0) continue;
+          bool inserted = false;
+          const NodeId cid = internGraph(pe.to, &inserted);
+          handleOf.emplace(cid, pe.to);
+          g.internActionId(pe.action);
+          if (inserted) g.setParent(cid, gid, pe.task, pe.action);
+          if (cid != gid && !g.cachedReducedSuccessors(cid)) open = true;
+          reducedOut.push_back(Edge{pe.task, pe.action, cid});
+        }
+        if (open) {
+          for (const Edge& e : reducedOut) targets.push_back(e.to);
+          g.setReducedSuccessors(gid, std::move(reducedOut));
+          por->noteReduced(
+              static_cast<std::uint64_t>(std::popcount(enabledMask)),
+              static_cast<std::uint64_t>(std::popcount(ample)));
+          committedReduced = true;
+        } else {
+          g.notePorProvisoFallback();
+          por->noteProvisoHit();
+        }
+      }
+      if (!committedReduced) {
+        // Full expansion (no proper ample set, or proviso fallback): the
+        // remaining targets intern in task order, exactly like
+        // successors() running after the serial pass-2 prefix.
+        const bool cached = g.cachedSuccessors(gid).has_value();
+        std::vector<Edge> fullOut;
+        if (!cached) fullOut.reserve(pn->succ.size());
+        std::size_t ti = 0;
+        for (PEdge& pe : pn->succ) {
+          while (tasks[ti] != pe.task) ++ti;
+          bool inserted = false;
+          const NodeId cid = internGraph(pe.to, &inserted);
+          handleOf.emplace(cid, pe.to);
+          if (!cached) g.internActionId(pe.action);
+          if (inserted) g.setParent(cid, gid, pe.task, pe.action);
+          if (!cached) {
+            fullOut.push_back(Edge{pe.task, std::move(pe.action), cid});
+          }
+          targets.push_back(cid);
+        }
+        if (!cached) g.setSuccessors(gid, std::move(fullOut));
+        g.markReducedAliasFull(gid);
+      }
+      enqueueTargets();
+    }
+    // Phase 1's `discovered` tally counts private-table states, which
+    // under POR include non-ample children the reduced graph never
+    // installs. Report the serial semantics instead: the node count of
+    // the installed region (what serialExplore's `seen` would hold).
+    statsOut.statesDiscovered = enqueuedIds.size();
     return rootId;
   }
 };

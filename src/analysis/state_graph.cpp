@@ -1,6 +1,7 @@
 #include "analysis/state_graph.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -17,8 +18,9 @@ constexpr bool overloaded(std::size_t used, std::size_t cap) {
 }  // namespace
 
 StateGraph::StateGraph(const ioa::System& sys,
-                       std::shared_ptr<const SymmetryPolicy> symmetry)
-    : sys_(sys), symmetry_(std::move(symmetry)),
+                       std::shared_ptr<const SymmetryPolicy> symmetry,
+                       std::shared_ptr<const PorPolicy> por)
+    : sys_(sys), symmetry_(std::move(symmetry)), por_(std::move(por)),
       transitions_(sys, slotCanon_) {
   const auto& tasks = sys_.allTasks();
   assert(tasks.size() < kEdgeChunkCapacity &&
@@ -114,6 +116,7 @@ StateGraph::InternResult StateGraph::internPrecanonicalized(
   const NodeId id = static_cast<NodeId>(states_.size());
   states_.push_back(std::move(s));
   succ_.emplace_back();
+  reducedSucc_.emplace_back();
   parent_.emplace_back();
   if (occupied) {
     // Same-hash sibling: push onto the intrusive chain; the table slot
@@ -248,6 +251,120 @@ void StateGraph::setSuccessors(NodeId id, std::vector<Edge> edges) {
   ++stats_.expansions;
 }
 
+EdgeList StateGraph::reducedSuccessors(NodeId id) {
+  if (auto cached = cachedReducedSuccessors(id)) return *cached;
+  assertWriter();
+  if (!porActive()) {
+    // No policy: the reduced tier degenerates to an alias of the full one.
+    const EdgeList full = successors(id);
+    reducedSucc_[id].begin = kAliasFull;
+    return full;
+  }
+  const std::vector<ioa::TaskId>& tasks = sys_.allTasks();
+  // Pass 1: the per-task enabled actions (pointers into the transition
+  // memo, stable for the cache's lifetime). No successor is retained yet.
+  const ioa::SystemState& s = states_[id];
+  ioa::SystemState next;  // reusable successor buffer (see step())
+  std::vector<const ioa::Action*> actions(tasks.size(), nullptr);
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    actions[ti] = transitions_.step(s, ti, &next);
+  }
+  std::uint64_t enabledMask = 0;
+  const std::uint64_t ampleMask = por_->ampleMask(actions, &enabledMask);
+  if (ampleMask == enabledMask) {
+    // No proper ample set: the full list IS the reduced list.
+    const EdgeList full = successors(id);
+    reducedSucc_[id].begin = kAliasFull;
+    return full;
+  }
+  // Pass 2: intern the ample targets, in task order -- exactly the prefix
+  // of work successors() would do, so the parallel installer can replicate
+  // the intern sequence bit for bit.
+  std::uint32_t base = 0;
+  CompactEdge* run = reserveEdgeRun(
+      static_cast<std::uint32_t>(std::popcount(ampleMask)), &base);
+  std::uint32_t count = 0;
+  bool open = false;  // C3: some ample target not yet reduced-expanded
+  for (std::uint64_t m = ampleMask; m != 0; m &= m - 1) {
+    const std::size_t ti = static_cast<std::size_t>(std::countr_zero(m));
+    const ioa::Action* action = transitions_.step(s, ti, &next);
+    const std::uint32_t ai = internAction(*action);
+    const std::size_t h = next.hash();
+    const InternResult r = internWithHash(std::move(next), h);
+    if (r.inserted) {
+      parent_[r.id] = Parent{id, ai, static_cast<std::uint16_t>(ti)};
+    }
+    if (r.id != id && reducedSucc_[r.id].begin == kUnexpanded) open = true;
+    run[count++] = CompactEdge{ai, r.id, static_cast<std::uint16_t>(ti)};
+  }
+  if (!open) {
+    // Cycle proviso: every ample move stays inside already reduced-expanded
+    // territory (or loops on the node itself), so taking only the ample
+    // subset could postpone the skipped tasks forever. Expand fully; the
+    // reserved run is uncommitted and successors() reuses the space. The
+    // ample targets were interned above in both the serial and the install
+    // path, so the global intern order still matches.
+    por_->noteProvisoHit();
+    ++stats_.provisoFallbacks;
+    const EdgeList full = successors(id);
+    reducedSucc_[id].begin = kAliasFull;
+    return full;
+  }
+  edgeUsed_ += count;
+  reducedSucc_[id] = SuccIndex{base, count};
+  stats_.reducedEdges += count;
+  ++stats_.reducedExpansions;
+  por_->noteReduced(static_cast<std::uint64_t>(std::popcount(enabledMask)),
+                    count);
+  return EdgeList(this, count ? run : nullptr, count);
+}
+
+std::optional<EdgeList> StateGraph::cachedReducedSuccessors(NodeId id) const {
+  if (static_cast<std::size_t>(id) >= reducedSucc_.size() ||
+      reducedSucc_[id].begin == kUnexpanded) {
+    return std::nullopt;
+  }
+  if (reducedSucc_[id].begin == kAliasFull) {
+    // The alias is only set once the full list is cached.
+    return listAt(succ_[id]);
+  }
+  return listAt(reducedSucc_[id]);
+}
+
+void StateGraph::setReducedSuccessors(NodeId id, std::vector<Edge> edges) {
+  assertWriter();
+  if (reducedSucc_[id].begin != kUnexpanded) {
+    throw std::logic_error("StateGraph::setReducedSuccessors: already cached");
+  }
+  std::uint32_t base = 0;
+  CompactEdge* run = reserveEdgeRun(static_cast<std::uint32_t>(edges.size()),
+                                    &base);
+  std::uint32_t count = 0;
+  for (const Edge& e : edges) {
+    run[count++] =
+        CompactEdge{internAction(e.action), e.to, taskIndexOf(e.task)};
+  }
+  edgeUsed_ += count;
+  reducedSucc_[id] = SuccIndex{base, count};
+  stats_.reducedEdges += count;
+  ++stats_.reducedExpansions;
+}
+
+void StateGraph::markReducedAliasFull(NodeId id) {
+  assertWriter();
+  if (succ_[id].begin == kUnexpanded) {
+    throw std::logic_error(
+        "StateGraph::markReducedAliasFull: full list not cached");
+  }
+  if (reducedSucc_[id].begin != kUnexpanded &&
+      reducedSucc_[id].begin != kAliasFull) {
+    throw std::logic_error(
+        "StateGraph::markReducedAliasFull: proper reduced list cached");
+  }
+  reducedSucc_[id].begin = kAliasFull;
+  reducedSucc_[id].count = 0;
+}
+
 void StateGraph::setParent(NodeId id, NodeId from, const ioa::TaskId& task,
                            const ioa::Action& action) {
   assertWriter();
@@ -275,6 +392,7 @@ bool StateGraph::checkConsistent(std::string* why) const {
   };
   const std::size_t n = states_.size();
   if (succ_.size() != n) return fail("succ_ size != states_ size");
+  if (reducedSucc_.size() != n) return fail("reducedSucc_ size != states_ size");
   if (parent_.size() != n) return fail("parent_ size != states_ size");
   if (nextSameHash_.size() != n) return fail("nextSameHash_ size mismatch");
   if (stats_.statesDiscovered != n) {
@@ -325,6 +443,37 @@ bool StateGraph::checkConsistent(std::string* why) const {
   }
   if (expanded != stats_.expansions) {
     return fail("expansions != number of cached successor lists");
+  }
+  std::uint64_t redEdges = 0;
+  std::uint64_t redExpanded = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (reducedSucc_[id].begin == kUnexpanded) continue;
+    if (reducedSucc_[id].begin == kAliasFull) {
+      if (succ_[id].begin == kUnexpanded) {
+        return fail("reduced alias-full without cached full list");
+      }
+      continue;
+    }
+    ++redExpanded;
+    for (std::uint32_t k = 0; k < reducedSucc_[id].count; ++k) {
+      const CompactEdge& e = *edgeAt(reducedSucc_[id].begin + k);
+      if (static_cast<std::size_t>(e.to) >= n) {
+        return fail("reduced edge targets out-of-range node");
+      }
+      if (e.action >= poolSize) {
+        return fail("reduced edge references out-of-range pooled action");
+      }
+      if (e.task >= sys_.allTasks().size()) {
+        return fail("reduced edge references out-of-range task index");
+      }
+      ++redEdges;
+    }
+  }
+  if (redEdges != stats_.reducedEdges) {
+    return fail("reducedEdges != sum of proper reduced lists");
+  }
+  if (redExpanded != stats_.reducedExpansions) {
+    return fail("reducedExpansions != number of proper reduced lists");
   }
   for (std::size_t id = 0; id < n; ++id) {
     if (parent_[id].from == kNoNode) continue;
@@ -382,7 +531,8 @@ StateGraph::MemoryStats StateGraph::memoryStats() const {
   ms.bytesIndex = index_.capacity() * sizeof(IndexSlot) +
                   nextSameHash_.capacity() * sizeof(NodeId) +
                   parent_.capacity() * sizeof(Parent) +
-                  succ_.capacity() * sizeof(SuccIndex);
+                  succ_.capacity() * sizeof(SuccIndex) +
+                  reducedSucc_.capacity() * sizeof(SuccIndex);
   return ms;
 }
 

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/por.h"
 #include "analysis/symmetry.h"
 #include "analysis/transition_cache.h"
 #include "ioa/system.h"
@@ -135,6 +136,12 @@ class StateGraph {
     std::uint64_t dedupHits = 0;
     std::uint64_t edgesDiscovered = 0;
     std::uint64_t expansions = 0;
+    // Reduced (POR) tier: nodes whose reduced successor list is a proper
+    // ample subset / their stored edges; provisoFallbacks counts reduced
+    // expansions the cycle proviso forced back to a full list.
+    std::uint64_t reducedExpansions = 0;
+    std::uint64_t reducedEdges = 0;
+    std::uint64_t provisoFallbacks = 0;
   };
 
   // Shallow heap footprint of the graph's own structures, in bytes
@@ -155,8 +162,12 @@ class StateGraph {
   // by its orbit representative, so the graph is the quotient of G(C) by
   // the process-permutation group (see analysis/symmetry.h); nullptr or a
   // trivial policy preserves the exact legacy graph.
+  // With a non-trivial `por`, the graph additionally maintains a REDUCED
+  // successor tier (see exploreSuccessors below); the full tier and every
+  // legacy accessor are unaffected.
   explicit StateGraph(const ioa::System& sys,
-                      std::shared_ptr<const SymmetryPolicy> symmetry = nullptr);
+                      std::shared_ptr<const SymmetryPolicy> symmetry = nullptr,
+                      std::shared_ptr<const PorPolicy> por = nullptr);
 
   const ioa::System& system() const { return sys_; }
 
@@ -165,6 +176,11 @@ class StateGraph {
   const SymmetryPolicy* symmetryPolicy() const { return symmetry_.get(); }
   // True when interning actually canonicalizes (non-trivial group).
   bool symmetryActive() const { return symmetry_ && !symmetry_->trivial(); }
+
+  // The partial-order-reduction policy, if any (see analysis/por.h).
+  const PorPolicy* porPolicy() const { return por_.get(); }
+  // True when exploreSuccessors() actually reduces.
+  bool porActive() const { return por_ && !por_->trivial(); }
 
   const Stats& stats() const { return stats_; }
   MemoryStats memoryStats() const;
@@ -216,6 +232,43 @@ class StateGraph {
   // yet. Never triggers expansion, so it is const (and safe to call while
   // no writer is active).
   std::optional<EdgeList> cachedSuccessors(NodeId id) const;
+
+  // -- Reduced (ample-set) successor tier ---------------------------------
+  // The exploration engines' expansion entry point: reducedSuccessors()
+  // when porActive(), the full successors() otherwise. The full tier --
+  // and with it hook search, successorVia, dot export -- never depends on
+  // the reduced one.
+  EdgeList exploreSuccessors(NodeId id) {
+    return porActive() ? reducedSuccessors(id) : successors(id);
+  }
+
+  // The ample subset of `id`'s transitions (lazily computed, cached). Only
+  // ample successor STATES are interned -- skipping the rest is the whole
+  // reduction -- so the full tier of a reduced node stays unexpanded until
+  // someone (the hook walk) asks for it. When the policy yields no proper
+  // ample set, or the cycle proviso rejects it (no ample target is fresh:
+  // every one is the node itself or already reduced-expanded -- the BFS
+  // ignoring-check, see DESIGN.md), the node is expanded fully and the
+  // reduced tier aliases the full list.
+  EdgeList reducedSuccessors(NodeId id);
+
+  // The cached reduced list (resolving a full-tier alias), or nullopt if
+  // `id` has not been reduced-expanded. Const, like cachedSuccessors().
+  std::optional<EdgeList> cachedReducedSuccessors(NodeId id) const;
+
+  // Install an externally computed reduced list (the parallel explorer's
+  // install pass). Precondition: no cached reduced list yet; the edges are
+  // exactly what reducedSuccessors(id) would commit after its proviso
+  // check, in allTasks() order.
+  void setReducedSuccessors(NodeId id, std::vector<Edge> edges);
+
+  // Mark `id`'s reduced tier as an alias of its full list (which must be
+  // cached by the time the reduced list is read).
+  void markReducedAliasFull(NodeId id);
+
+  // Parallel-install callback mirroring the serial proviso accounting
+  // (reducedSuccessors bumps the stat itself).
+  void notePorProvisoFallback() { ++stats_.provisoFallbacks; }
 
   // Install an externally computed successor list (the parallel explorer's
   // install pass). Precondition: `id` has no cached successors yet, and the
@@ -290,6 +343,10 @@ class StateGraph {
     std::uint32_t count = 0;
   };
   static constexpr std::uint32_t kUnexpanded = static_cast<std::uint32_t>(-1);
+  // Reduced-tier sentinel: the list is the node's full successor list
+  // (proviso fallback / no proper ample set). Never a valid arena
+  // position: runs are bounded by the chunk count.
+  static constexpr std::uint32_t kAliasFull = static_cast<std::uint32_t>(-2);
   // Edges per arena chunk. Power of two: a global edge position is
   // (chunk << kEdgeChunkShift) | offset. Must exceed allTasks().size()
   // (asserted in the constructor) so one node's list always fits.
@@ -321,8 +378,12 @@ class StateGraph {
 
   const ioa::System& sys_;
   std::shared_ptr<const SymmetryPolicy> symmetry_;
+  std::shared_ptr<const PorPolicy> por_;
   std::deque<ioa::SystemState> states_;  // stable storage
   std::vector<SuccIndex> succ_;
+  // Reduced tier (parallel to succ_; only populated when porActive()):
+  // begin is an arena position, kAliasFull, or kUnexpanded.
+  std::vector<SuccIndex> reducedSucc_;
   std::vector<Parent> parent_;
 
   // Edge arena: fixed-capacity chunks that never relocate; successor lists

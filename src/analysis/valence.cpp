@@ -76,8 +76,12 @@ void ValenceAnalyzer::explore(NodeId root) {
     region.push_back(id);
     if (reg) reg->progress("valence.region_nodes", region.size());
     // Expanding `id` is the only step that grows the graph, so one resize
-    // after it covers every node the edge loop can touch.
-    const EdgeList edges = g_.successors(id);
+    // after it covers every node the edge loop can touch. Under an active
+    // POR policy this walks (and seeds bits from) the ample subset only;
+    // the cycle proviso inside reducedSuccessors() guarantees no decide
+    // edge is postponed forever, so the backward fixpoint still computes
+    // the true valence of every region node (see DESIGN.md).
+    const EdgeList edges = g_.exploreSuccessors(id);
     ensureSize();
     for (const EdgeView e : edges) {
       // Direct decision edges seed the source node's bits.

@@ -90,6 +90,39 @@ class Automaton {
     (void)perm;
     return v;
   }
+
+  // -- Task-structure declaration (analysis/por.h) -------------------------
+  //
+  // Partial-order reduction needs to know which shared resources a task
+  // reads/writes. For components following the canonical shapes of the
+  // paper -- processes in the Section 2.2.1 mold (one task; invoke/decide/
+  // local steps driven by chooseAction) and canonical services in the
+  // Fig. 1/4/8 mold (per-endpoint FIFO inv/resp buffers around a central
+  // value) -- that footprint is derivable mechanically, and declaring
+  // conformance here opts the component into the reduction.
+  //
+  // Like declareProcessSymmetry, this is a TRUSTED declaration validated
+  // empirically by the por fuzz suites: a wrong `mayInvoke` (a process that
+  // invokes a service it did not declare) breaks soundness of the dead-task
+  // analysis. The default declines, which keeps the reduction off for the
+  // whole system (PorPolicy::forSystem reports why).
+  struct TaskStructure {
+    // True when the component follows the canonical task shape described
+    // above and the remaining fields are accurate.
+    bool conformant = false;
+    // Services only: responses may be coalesced with the buffer tail
+    // (Options::coalesceResponses), which makes perform/compute steps
+    // non-commutative with the response-consuming output steps.
+    bool coalescedResponses = false;
+    // Services only: every perform response is addressed to the invoking
+    // endpoint and compute tasks are absent (the Section-5.1 sequential
+    // embedding); narrows a perform's write footprint to one buffer.
+    bool respondsToInvokerOnly = false;
+    // Processes only: ids of every service this process may EVER invoke,
+    // in any reachable state (an over-approximation is sound).
+    std::vector<int> mayInvoke;
+  };
+  virtual TaskStructure taskStructure() const { return {}; }
 };
 
 // Covariant-clone helper for concrete states.

@@ -32,6 +32,12 @@ class FloodingConsensusProcess : public ProcessBase {
   std::unique_ptr<ioa::AutomatonState> relabeledState(
       const ioa::AutomatonState& s,
       const std::vector<int>& perm) const override;
+  ioa::Automaton::TaskStructure taskStructure() const override {
+    ioa::Automaton::TaskStructure ts;
+    ts.conformant = true;
+    ts.mayInvoke = {channelId_};
+    return ts;
+  }
 
  protected:
   ioa::Action chooseAction(const ProcessStateBase& s) const override;

@@ -39,6 +39,12 @@ class RelayConsensusProcess : public ProcessBase {
 
   std::string name() const override;
   std::unique_ptr<ioa::AutomatonState> initialState() const override;
+  ioa::Automaton::TaskStructure taskStructure() const override {
+    ioa::Automaton::TaskStructure ts;
+    ts.conformant = true;
+    ts.mayInvoke = {serviceId_};
+    return ts;
+  }
 
  protected:
   ioa::Action chooseAction(const ProcessStateBase& s) const override;
@@ -59,6 +65,12 @@ class BridgeWriterProcess : public ProcessBase {
 
   std::string name() const override;
   std::unique_ptr<ioa::AutomatonState> initialState() const override;
+  ioa::Automaton::TaskStructure taskStructure() const override {
+    ioa::Automaton::TaskStructure ts;
+    ts.conformant = true;
+    ts.mayInvoke = {serviceId_, registerId_};
+    return ts;
+  }
 
  protected:
   ioa::Action chooseAction(const ProcessStateBase& s) const override;
@@ -81,6 +93,12 @@ class SpinReaderProcess : public ProcessBase {
 
   std::string name() const override;
   std::unique_ptr<ioa::AutomatonState> initialState() const override;
+  ioa::Automaton::TaskStructure taskStructure() const override {
+    ioa::Automaton::TaskStructure ts;
+    ts.conformant = true;
+    ts.mayInvoke = {registerId_};
+    return ts;
+  }
 
  protected:
   ioa::Action chooseAction(const ProcessStateBase& s) const override;

@@ -12,6 +12,9 @@ CanonicalGeneralService::Options lowerOptions(
   out.coalesceResponses = false;
   out.failureAware = false;
   out.isRegister = o.isRegister;
+  // The Section-5.1 embedding: glob is empty and d1 responds to the
+  // invoking endpoint only (types::liftSequential).
+  out.respondsToInvokerOnly = true;
   return out;
 }
 }  // namespace

@@ -311,6 +311,16 @@ util::Value CanonicalGeneralService::relabeledPayload(
   return options_.relabelValue ? options_.relabelValue(v, perm) : v;
 }
 
+ioa::Automaton::TaskStructure CanonicalGeneralService::taskStructure() const {
+  ioa::Automaton::TaskStructure ts;
+  // The engine IS the canonical Fig. 1/4/8 shape: per-endpoint FIFO inv/resp
+  // buffers around a central value, perform/output/compute tasks.
+  ts.conformant = true;
+  ts.coalescedResponses = options_.coalesceResponses;
+  ts.respondsToInvokerOnly = options_.respondsToInvokerOnly && globalTasks_ == 0;
+  return ts;
+}
+
 ioa::ServiceMeta CanonicalGeneralService::meta() const {
   ioa::ServiceMeta m;
   m.id = id_;

@@ -70,6 +70,11 @@ class CanonicalGeneralService : public ioa::Automaton {
     // ignore failure-aware services, so the flag must be accurate.
     bool failureAware = true;
     bool isRegister = false;
+    // Declared to the partial-order reduction (ioa::Automaton::TaskStructure):
+    // every delta1 response goes to the invoking endpoint and glob is empty
+    // (true for the Section-5.1 sequential embedding, set by
+    // CanonicalAtomicObject). Must be accurate when set.
+    bool respondsToInvokerOnly = false;
     // Rewrites process identities embedded in buffered values / the current
     // value under a process permutation (analysis/symmetry.h): called for
     // every buffered invocation/response and for val. Unset means the
@@ -98,6 +103,7 @@ class CanonicalGeneralService : public ioa::Automaton {
       const std::vector<int>& perm) const override;
   util::Value relabeledPayload(const util::Value& v,
                                const std::vector<int>& perm) const override;
+  ioa::Automaton::TaskStructure taskStructure() const override;
 
   // -- Metadata ------------------------------------------------------------
   int id() const { return id_; }

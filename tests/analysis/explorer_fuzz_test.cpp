@@ -4,14 +4,19 @@
 // the reachable state SET is a property of the root alone; these tests
 // check it on systems with no hand-written structure, comparing the full
 // canonical graphs and, independently, the sorted multiset of state
-// hashes -- a numbering-free fingerprint of the reachable set.
+// hashes -- a numbering-free fingerprint of the reachable set. Each case
+// additionally draws a (symmetry x por) reduction config from its seed:
+// determinism must hold cell by cell of that matrix, including the cells
+// where a policy inspects the random system and declines.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <vector>
 
 #include "analysis/parallel_explorer.h"
+#include "analysis/por.h"
 #include "analysis/state_graph.h"
+#include "analysis/symmetry.h"
 #include "processes/script_client.h"
 #include "services/canonical_atomic.h"
 #include "types/builtin_types.h"
@@ -31,6 +36,8 @@ struct FuzzCase {
   int clients;
   int opsPerClient;
   unsigned threads;
+  bool symmetry = false;
+  bool por = false;
 };
 
 types::SequentialType randomType(util::Rng& rng) {
@@ -85,16 +92,26 @@ class ExplorerFuzz : public ::testing::TestWithParam<FuzzCase> {};
 
 TEST_P(ExplorerFuzz, ParallelReachableSetMatchesSerial) {
   const FuzzCase& c = GetParam();
+  const SymmetryMode symMode =
+      c.symmetry ? SymmetryMode::On : SymmetryMode::Off;
+  const PorMode porMode = c.por ? PorMode::On : PorMode::Off;
 
   auto sysSerial = randomSystem(c.seed, c.clients, c.opsPerClient);
-  StateGraph gs(*sysSerial);
+  StateGraph gs(*sysSerial, SymmetryPolicy::forSystem(*sysSerial, symMode),
+                PorPolicy::forSystem(*sysSerial, porMode));
   NodeId rootS = gs.intern(sysSerial->initialState());
   auto statsS = exploreReachable(gs, rootS, ExplorationPolicy{1});
 
   auto sysPar = randomSystem(c.seed, c.clients, c.opsPerClient);
-  StateGraph gp(*sysPar);
+  StateGraph gp(*sysPar, SymmetryPolicy::forSystem(*sysPar, symMode),
+                PorPolicy::forSystem(*sysPar, porMode));
   NodeId rootP = gp.intern(sysPar->initialState());
   auto statsP = exploreReachable(gp, rootP, ExplorationPolicy{c.threads});
+
+  // The same policy decision must be reached over identically-built
+  // systems (it depends only on the declared structure).
+  ASSERT_EQ(gs.porActive(), gp.porActive());
+  ASSERT_EQ(gs.symmetryActive(), gp.symmetryActive());
 
   // Set-level fingerprint (numbering-free).
   EXPECT_EQ(statsP.statesDiscovered, statsS.statesDiscovered)
@@ -109,11 +126,24 @@ TEST_P(ExplorerFuzz, ParallelReachableSetMatchesSerial) {
     const auto se = gs.cachedSuccessors(id);
     const auto pe = gp.cachedSuccessors(id);
     ASSERT_EQ(se.has_value(), pe.has_value());
-    if (!se) continue;
-    ASSERT_EQ(se->size(), pe->size());
-    for (std::size_t k = 0; k < se->size(); ++k) {
-      EXPECT_EQ((*se)[k].task, (*pe)[k].task);
-      EXPECT_EQ((*se)[k].to, (*pe)[k].to);
+    if (se) {
+      ASSERT_EQ(se->size(), pe->size());
+      for (std::size_t k = 0; k < se->size(); ++k) {
+        EXPECT_EQ((*se)[k].task, (*pe)[k].task);
+        EXPECT_EQ((*se)[k].to, (*pe)[k].to);
+      }
+    }
+    if (!gs.porActive()) continue;
+    // Under POR the reduced tier must replicate too: same ample subset,
+    // same edge order, or the same full-expansion alias at every node.
+    const auto sr = gs.cachedReducedSuccessors(id);
+    const auto pr = gp.cachedReducedSuccessors(id);
+    ASSERT_EQ(sr.has_value(), pr.has_value()) << "node " << id;
+    if (!sr) continue;
+    ASSERT_EQ(sr->size(), pr->size()) << "node " << id;
+    for (std::size_t k = 0; k < sr->size(); ++k) {
+      EXPECT_EQ((*sr)[k].task, (*pr)[k].task) << "node " << id;
+      EXPECT_EQ((*sr)[k].to, (*pr)[k].to) << "node " << id;
     }
   }
 }
@@ -125,6 +155,11 @@ std::vector<FuzzCase> fuzzCases() {
     const int ops = 2 + static_cast<int>(seed % 3);
     cases.push_back({seed, clients, ops, 2 + 2 * (seed % 4 == 0 ? 1u : 0u)});
     cases.push_back({seed + 1000, clients, ops, 8});
+    // Reduction matrix drawn from the seed: the same random system under
+    // symmetry and/or POR, serial vs parallel.
+    cases.push_back({seed, clients, ops, 4, (seed % 3) == 1, true});
+    cases.push_back({seed + 2000, clients, ops, 8, (seed % 2) == 0,
+                     (seed % 2) == 1});
   }
   return cases;
 }

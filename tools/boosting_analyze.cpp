@@ -26,6 +26,15 @@
 // counts and witness process names may differ (quotient witnesses are
 // lifted back to concrete executions).
 //
+// --por auto|on|off controls ample-set partial-order reduction (see
+// analysis/por.h), stacked on top of the symmetry quotient: at each
+// expanded configuration only an ample subset of the enabled tasks is
+// followed, collapsing commuting diamonds of independent steps. `auto`
+// (the default) enables it exactly when every component declares a
+// canonical task structure; `on` additionally reports why reduction stayed
+// off; `off` forces full expansion. Verdicts and witness replayability are
+// unchanged; state counts shrink further.
+//
 // Observability:
 //   --metrics-json FILE   write phase timings, counters and derived rates
 //                         (states/sec, cache hit rate) as one JSON document
@@ -73,6 +82,7 @@ struct Options {
   int claim = -1;  // default: f + 1
   unsigned threads = 1;
   analysis::SymmetryMode symmetry = analysis::SymmetryMode::Auto;
+  analysis::PorMode por = analysis::PorMode::Auto;
   bool brute = false;
   bool progress = false;
   std::string witnessPath;
@@ -86,7 +96,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s --candidate relay|bridge|tob|flooding|single-fd "
                "--n N --f F [--claim C] [--threads T] "
-               "[--symmetry auto|on|off] [--brute] "
+               "[--symmetry auto|on|off] [--por auto|on|off] [--brute] "
                "[--witness FILE] [--dot FILE] [--metrics-json FILE] "
                "[--trace FILE] [--progress] [--replay FILE]\n",
                argv0);
@@ -251,6 +261,18 @@ int main(int argc, char** argv) {
                      v);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--por") == 0) {
+      const char* v = needArg("--por");
+      if (std::strcmp(v, "auto") == 0) {
+        opt.por = analysis::PorMode::Auto;
+      } else if (std::strcmp(v, "on") == 0) {
+        opt.por = analysis::PorMode::On;
+      } else if (std::strcmp(v, "off") == 0) {
+        opt.por = analysis::PorMode::Off;
+      } else {
+        std::fprintf(stderr, "--por: expected auto|on|off, got '%s'\n", v);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--brute") == 0) {
       opt.brute = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
@@ -351,6 +373,7 @@ int main(int argc, char** argv) {
   cfg.exploration.threads = opt.threads;
   cfg.exploration.metrics = reg;
   cfg.symmetry = opt.symmetry;
+  cfg.por = opt.por;
   auto report = analysis::analyzeConsensusCandidate(*sys, cfg);
 
   if (reg) {
@@ -391,6 +414,15 @@ int main(int argc, char** argv) {
   } else if (opt.symmetry == analysis::SymmetryMode::On) {
     std::printf("symmetry: not applied (%s)\n",
                 report.symmetryNote.c_str());
+  }
+  if (report.porReduced) {
+    std::printf("por: ample sets active -- %llu nodes reduced, %llu task "
+                "expansions skipped, %llu proviso fallbacks\n",
+                static_cast<unsigned long long>(report.porNodesReduced),
+                static_cast<unsigned long long>(report.porTasksSkipped),
+                static_cast<unsigned long long>(report.porProvisoHits));
+  } else if (opt.por == analysis::PorMode::On) {
+    std::printf("por: not applied (%s)\n", report.porNote.c_str());
   }
 
   if (!opt.witnessPath.empty() && !report.witness.empty()) {
