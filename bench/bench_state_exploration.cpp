@@ -12,8 +12,11 @@
 // (override with BENCH_JSON=path) for CI artifacts and EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "analysis/bivalence.h"
 #include "analysis/hook.h"
+#include "analysis/metrics.h"
 #include "analysis/parallel_explorer.h"
 #include "analysis/por.h"
 #include "analysis/symmetry.h"
@@ -257,6 +260,86 @@ void BM_BytesPerState(benchmark::State& state) {
   state.counters["bytes_per_state"] = bytesPerState;
 }
 
+// The threads x shards scaling matrix over the relay n=4 single-root
+// region (PR 7's multi-core truth harness). Each cell reports:
+//   states_per_sec       raw discovery throughput of the two-phase engine;
+//   scaling_efficiency   rate / (threads * serial reference rate), i.e.
+//                        the fraction of perfect linear speedup realized.
+//                        The serial reference is measured once per process
+//                        so every cell is normalized identically; on a
+//                        single-core box efficiency at t threads tops out
+//                        near 1/t, which is why compare_bench.py gates it
+//                        one-sided (drops fail, gains pass);
+//   install_queue_depth  largest batch any flush handed a shard;
+//   routed / batch_flushes / cross_shard_edges  contention tallies from
+//                        explorer.shard.* (zero on the serial 1x1 cell);
+//   peak_rss_bytes       process peak RSS after the cell ran, gating
+//                        shard-table and batch-buffer memory bloat.
+// The axes default to {1,2,4} x {1,2,4} and can be overridden with
+// --bench-threads=LIST / --bench-shards=LIST (or BENCH_THREADS /
+// BENCH_SHARDS), so the CI multi-core job can widen the matrix without a
+// code change.
+void BM_ShardMatrixRelay(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const unsigned shards = static_cast<unsigned>(state.range(1));
+  auto sys = relay(4, 0);
+  static const double serialRate = [] {
+    auto ref = relay(4, 0);
+    {
+      StateGraph warm(*ref);  // warm caches so the reference is not cold
+      analysis::exploreReachable(
+          warm,
+          warm.intern(
+              analysis::canonicalInitialization(*ref, ref->processCount() / 2)),
+          ExplorationPolicy{1, 0});
+    }
+    StateGraph g(*ref);
+    NodeId root = g.intern(
+        analysis::canonicalInitialization(*ref, ref->processCount() / 2));
+    const auto t0 = std::chrono::steady_clock::now();
+    auto stats = analysis::exploreReachable(g, root, ExplorationPolicy{1, 0});
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return secs > 0.0 ? static_cast<double>(stats.statesDiscovered) / secs
+                      : 0.0;
+  }();
+  std::int64_t discovered = 0;
+  double exploreSecs = 0.0;
+  analysis::ExploreStats last;
+  for (auto _ : state) {
+    StateGraph g(*sys);
+    NodeId root = g.intern(
+        analysis::canonicalInitialization(*sys, sys->processCount() / 2));
+    ExplorationPolicy pol;
+    pol.threads = threads;
+    pol.shards = shards;
+    const auto t0 = std::chrono::steady_clock::now();
+    last = analysis::exploreReachable(g, root, pol);
+    exploreSecs +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    discovered += static_cast<std::int64_t>(last.statesDiscovered);
+  }
+  const double rate =
+      exploreSecs > 0.0 ? static_cast<double>(discovered) / exploreSecs : 0.0;
+  state.counters["states"] = static_cast<double>(last.statesDiscovered);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(discovered), benchmark::Counter::kIsRate);
+  state.counters["scaling_efficiency"] =
+      serialRate > 0.0 ? rate / (static_cast<double>(threads) * serialRate)
+                       : 0.0;
+  state.counters["install_queue_depth"] =
+      static_cast<double>(last.shard.maxQueueDepth);
+  state.counters["routed"] = static_cast<double>(last.shard.routed);
+  state.counters["batch_flushes"] =
+      static_cast<double>(last.shard.batchFlushes);
+  state.counters["cross_shard_edges"] =
+      static_cast<double>(last.shard.crossShardEdges);
+  state.counters["peak_rss_bytes"] =
+      static_cast<double>(analysis::peakRssBytes());
+}
+
 // The Fig. 3 walk end to end (bivalent init + hook search), the consumer
 // of the dense scratch sets: every walk iteration runs two BFS scans and
 // a fair-cycle membership probe over the explored region.
@@ -312,6 +395,18 @@ BENCHMARK(BM_RegionScanRelayPOR)
 BENCHMARK(BM_ValenceFullRegion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  const std::vector<unsigned> threadsAxis = boosting::benchjson::extractCsvFlag(
+      argc, argv, "--bench-threads", "BENCH_THREADS", {1, 2, 4});
+  const std::vector<unsigned> shardsAxis = boosting::benchjson::extractCsvFlag(
+      argc, argv, "--bench-shards", "BENCH_SHARDS", {1, 2, 4});
+  auto* matrix =
+      benchmark::RegisterBenchmark("BM_ShardMatrixRelay", BM_ShardMatrixRelay);
+  matrix->Unit(benchmark::kMillisecond)->UseRealTime();
+  for (unsigned t : threadsAxis) {
+    for (unsigned s : shardsAxis) {
+      matrix->Args({static_cast<std::int64_t>(t), static_cast<std::int64_t>(s)});
+    }
+  }
   return boosting::benchjson::runBenchmarks(argc, argv,
                                             "BENCH_state_explore.json");
 }

@@ -5,6 +5,7 @@
 #include <bit>
 #include <cassert>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -22,11 +23,15 @@ namespace boosting::analysis {
 namespace {
 
 // Handle of a node in the private table: shard index in the high bits,
-// index within the shard's deque in the low bits.
+// index within the shard's deque in the low bits. The handle encoding is
+// fixed at the maximum shard count; the RESOLVED shard count per run is a
+// power of two <= kMaxShards chosen from the policy.
 using PHandle = std::uint64_t;
-constexpr unsigned kShardBits = 6;
-constexpr std::size_t kShards = 1u << kShardBits;  // 64
-constexpr unsigned kIndexBits = 64 - kShardBits;
+constexpr unsigned kShardBitsMax = 8;
+constexpr std::size_t kMaxShards = shard_router::kMaxShards;
+static_assert(kMaxShards == std::size_t{1} << kShardBitsMax);
+constexpr unsigned kIndexBits = 64 - kShardBitsMax;
+constexpr PHandle kNoHandle = ~PHandle{0};
 
 PHandle makeHandle(std::size_t shard, std::size_t index) {
   return (static_cast<PHandle>(shard) << kIndexBits) |
@@ -37,20 +42,40 @@ std::size_t indexOf(PHandle h) {
   return static_cast<std::size_t>(h & ((PHandle{1} << kIndexBits) - 1));
 }
 
-struct PEdge {
-  ioa::TaskId task;
-  ioa::Action action;
-  PHandle to = 0;
+// Worker-local action ref: owning worker in the high byte, index into that
+// worker's hash-consed pool below. Phase 2 resolves refs into the graph's
+// global pool in canonical first-use order (see pinGlobalAction), so the
+// global intern indices stay bit-identical to serial exploration.
+constexpr unsigned kActionWorkerShift = 24;
+constexpr std::uint32_t kActionLocalMask = (1u << kActionWorkerShift) - 1;
+constexpr unsigned kMaxWorkers = 256;  // action ref + PNode::edgeWorker width
+
+// Compact successor record living in the expanding worker's edge arena.
+// `to` is patched in at batch-flush time (kNoHandle until then); nobody
+// reads it earlier -- the arena is worker-private during phase 1 and the
+// install pass only runs after the join.
+struct CompactPEdge {
+  PHandle to = kNoHandle;
+  std::uint32_t action = 0;  // worker-local action ref
+  std::uint16_t task = 0;    // index into System::allTasks()
 };
 
 struct PNode {
   ioa::SystemState state;
   std::size_t hash = 0;
-  std::vector<PEdge> succ;
   std::uint32_t nextSameHash = UINT32_MAX;  // intrusive shard hash chain
-  bool expanded = false;  // written by the sole expanding worker, read
-                          // only after the workers have been joined
+  // Successor run in the expanding worker's arena. Written by the sole
+  // expanding worker without the shard lock (distinct members are distinct
+  // memory locations), read only after the workers have been joined.
+  std::uint32_t edgeBegin = 0;
+  std::uint16_t edgeCount = 0;
+  std::uint8_t edgeWorker = 0;
+  bool expanded = false;
 };
+
+// How many successors a worker buffers per shard before handing the batch
+// to the owning shard under one lock acquisition.
+constexpr std::size_t kBatchCapacity = 64;
 
 // Flush the tallies of one exploration into the registry under the serial
 // BFS naming (explore.*). The parallel engine uses explorer.* names so the
@@ -108,11 +133,18 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
 }  // namespace
 
 struct ParallelExplorer::Impl {
+  struct IndexSlot {
+    std::size_t hash = 0;
+    std::uint32_t head = UINT32_MAX;  // UINT32_MAX == empty slot
+  };
+
   struct Shard {
     std::mutex m;
     std::deque<PNode> nodes;  // deque: references stable across push_back
-    // hash -> head of an intrusive chain through PNode::nextSameHash.
-    std::unordered_map<std::size_t, std::uint32_t> headByHash;
+    // Open-addressing {hash, head} table over intrusive chains through
+    // PNode::nextSameHash -- the same layout as StateGraph's interner.
+    std::vector<IndexSlot> index;
+    std::size_t indexUsed = 0;
   };
 
   struct WorkQueue {
@@ -120,16 +152,97 @@ struct ParallelExplorer::Impl {
     std::deque<PHandle> q;
   };
 
+  // A successor routed to a shard but not yet interned. The state is
+  // already its orbit representative with canonical slots; `hash` is the
+  // canonical hash the owning shard was selected from.
+  struct BatchEntry {
+    ioa::SystemState state;
+    std::size_t hash = 0;
+    PHandle parent = kNoHandle;
+    std::uint32_t edgePos = 0;  // arena position of the edge to patch
+    // POR freshness out-param (points into the expanding worker's
+    // per-node scratch; flushes happen on the same thread): 0 = known
+    // state, 1 = fresh, 2 = fresh but over the maxStates cap.
+    std::uint8_t* freshOut = nullptr;
+    bool spawn = true;  // enqueue frontier work on fresh insert
+  };
+
+  struct ActionSlot {
+    std::size_t hash = 0;
+    std::uint32_t idx = UINT32_MAX;
+  };
+
+  // Per-worker chunked edge arena: runs never span a chunk, so a packed
+  // (chunk << kChunkShift | offset) position addresses edges stably while
+  // chunks keep getting appended.
+  struct EdgeArena {
+    static constexpr unsigned kChunkShift = 15;
+    static constexpr std::size_t kChunkCapacity = std::size_t{1}
+                                                  << kChunkShift;
+    std::vector<std::unique_ptr<CompactPEdge[]>> chunks;
+    std::size_t used = kChunkCapacity;
+
+    std::uint32_t reserveRun(std::size_t need) {
+      assert(need <= kChunkCapacity);
+      if (kChunkCapacity - used < need) {
+        chunks.push_back(std::make_unique<CompactPEdge[]>(kChunkCapacity));
+        used = 0;
+      }
+      const std::uint32_t base = static_cast<std::uint32_t>(
+          ((chunks.size() - 1) << kChunkShift) | used);
+      used += need;
+      return base;
+    }
+
+    CompactPEdge& at(std::uint32_t pos) {
+      return chunks[pos >> kChunkShift][pos & (kChunkCapacity - 1)];
+    }
+    const CompactPEdge& at(std::uint32_t pos) const {
+      return chunks[pos >> kChunkShift][pos & (kChunkCapacity - 1)];
+    }
+  };
+
+  // Everything a worker owns privately during phase 1. Read by the install
+  // pass only after the join.
+  struct WorkerState {
+    EdgeArena arena;
+    // Worker-local hash-consed action pool (deque: stable references).
+    std::deque<ioa::Action> actionPool;
+    std::vector<ActionSlot> actionTable;
+    std::size_t actionCount = 0;
+    // One batch buffer per shard plus a dirty list so idle flushes skip
+    // clean shards without scanning all of them.
+    std::vector<std::vector<BatchEntry>> batch;
+    std::vector<std::uint16_t> dirtyShards;
+    std::vector<std::uint8_t> dirtyFlag;
+    std::vector<std::uint8_t> everTouched;
+    // Per-node scratch, reused across expansions.
+    std::vector<const ioa::Action*> porActs;
+    std::vector<std::uint8_t> porFresh;
+    struct Deferred {
+      std::size_t ti;
+      std::uint32_t edgePos;
+    };
+    std::vector<Deferred> deferred;
+    // Phase-2 memo: worker-local action index -> global pool index
+    // (UINT32_MAX = not yet pinned). Only touched by the install thread.
+    std::vector<std::uint32_t> globalActionId;
+  };
+
   StateGraph& g;
   const ioa::System& sys;
   ExplorationPolicy policy;
   unsigned workers = 1;
+  unsigned shardCount = 1;
+  unsigned shardBits = 0;  // log2(shardCount); in-shard probes use the
+                           // hash bits ABOVE the shard-select bits
 
-  std::vector<Shard> shards{kShards};
+  std::vector<Shard> shards;
   // Striped slot hash-consing shared by all workers: probe states are
   // thread-private while being canonicalized; only the table is shared.
   ioa::SlotCanonTable slotCanon{/*concurrent=*/true};
   std::vector<WorkQueue> queues;
+  std::vector<WorkerState> wstates;
 
   std::atomic<std::int64_t> inflight{0};
   std::atomic<std::size_t> discovered{0};
@@ -142,6 +255,9 @@ struct ParallelExplorer::Impl {
   // One slot per worker, written only by that worker during phase 1 and
   // read after the join (the jthread join is the publication fence).
   std::vector<ExploreStats::WorkerStats> workerStats;
+  // Fresh root interns by the driver thread (counted into shard.routed so
+  // routed == statesDiscovered holds exactly).
+  std::uint64_t rootRouted = 0;
   // Running expansion count shared by all workers, fed to the (optional)
   // expansion hook. Only maintained when a hook is installed.
   std::atomic<std::uint64_t> expansionsSeen{0};
@@ -165,8 +281,23 @@ struct ParallelExplorer::Impl {
     workers = policy.threads == 0 ? std::thread::hardware_concurrency()
                                   : policy.threads;
     if (workers == 0) workers = 1;
+    // The worker byte in action refs / PNode::edgeWorker caps parallelism.
+    if (workers > kMaxWorkers) workers = kMaxWorkers;
+    shardCount = shard_router::resolveShardCount(policy.shards, workers);
+    shardBits = static_cast<unsigned>(std::countr_zero(shardCount));
+    shards = std::vector<Shard>(shardCount);
     queues = std::vector<WorkQueue>(workers);
     workerStats.resize(workers);
+    wstates = std::vector<WorkerState>(workers);
+    for (WorkerState& w : wstates) {
+      w.batch.resize(shardCount);
+      w.dirtyFlag.assign(shardCount, 0);
+      w.everTouched.assign(shardCount, 0);
+    }
+  }
+
+  std::size_t shardIndexOf(std::size_t hash) const {
+    return shard_router::shardIndexOf(hash, shardCount);
   }
 
   PNode* nodePtr(PHandle h) {
@@ -178,14 +309,76 @@ struct ParallelExplorer::Impl {
     return &sh.nodes[indexOf(h)];
   }
 
-  // Intern into the private table. Returns (handle, inserted).
-  std::pair<PHandle, bool> internTable(ioa::SystemState&& s,
-                                       std::size_t hash) {
-    // Orbit reduction happens here, in the workers, so the table only ever
-    // holds canonical representatives and install() can hand them to the
-    // graph verbatim (internPrecanonicalized) -- interning order, and thus
-    // the serial-vs-parallel bit-for-bit guarantee, is unaffected because
-    // the serial engine canonicalizes at the same point (intern time).
+  // Linear probe of a shard's open-addressing index. Shard selection eats
+  // the low hash bits, so slot positions come from the bits above them.
+  // No deletions, so probes never cross tombstones. Caller holds sh.m.
+  IndexSlot* findIndexSlot(Shard& sh, std::size_t hash) {
+    const std::size_t mask = sh.index.size() - 1;
+    std::size_t i = shard_router::probeStart(hash, shardBits, mask);
+    for (;;) {
+      IndexSlot& slot = sh.index[i];
+      if (slot.head == UINT32_MAX || slot.hash == hash) return &slot;
+      i = (i + 1) & mask;
+#if defined(BOOSTING_PREFETCH)
+      __builtin_prefetch(&sh.index[(i + 1) & mask]);
+#endif
+    }
+  }
+
+  void growShardIndex(Shard& sh, std::size_t newCap) {
+    std::vector<IndexSlot> old = std::move(sh.index);
+    sh.index.assign(newCap, IndexSlot{});
+    const std::size_t mask = newCap - 1;
+    for (const IndexSlot& slot : old) {
+      if (slot.head == UINT32_MAX) continue;
+      std::size_t i = shard_router::probeStart(slot.hash, shardBits, mask);
+      while (sh.index[i].head != UINT32_MAX) i = (i + 1) & mask;
+      sh.index[i] = slot;
+    }
+  }
+
+  // Intern a canonical, slot-canonicalized state into its owning shard.
+  // Caller holds sh.m of exactly shards[shardIdx].
+  std::pair<PHandle, bool> internShardLocked(Shard& sh, std::size_t shardIdx,
+                                             ioa::SystemState&& s,
+                                             std::size_t hash) {
+    if (sh.index.empty()) growShardIndex(sh, 256);
+    IndexSlot* slot = findIndexSlot(sh, hash);
+    const bool occupied = slot->head != UINT32_MAX;
+    if (occupied) {
+      for (std::uint32_t idx = slot->head; idx != UINT32_MAX;
+           idx = sh.nodes[idx].nextSameHash) {
+        if (sh.nodes[idx].state.equals(s)) {
+          return {makeHandle(shardIdx, idx), false};
+        }
+      }
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(sh.nodes.size());
+    PNode node;
+    node.state = std::move(s);
+    node.hash = hash;
+    node.nextSameHash = occupied ? slot->head : UINT32_MAX;
+    sh.nodes.push_back(std::move(node));
+    if (occupied) {
+      slot->head = idx;
+    } else {
+      *slot = IndexSlot{hash, idx};
+      if ((++sh.indexUsed) * 10 >= sh.index.size() * 7) {
+        growShardIndex(sh, sh.index.size() * 2);
+      }
+    }
+    return {makeHandle(shardIdx, idx), true};
+  }
+
+  // Direct (unbatched) intern, used for roots by the driver thread before
+  // the workers start. Returns (handle, inserted).
+  std::pair<PHandle, bool> internDirect(ioa::SystemState&& s,
+                                        std::size_t hash) {
+    // Orbit reduction happens before routing, so shards only ever see
+    // canonical representatives and install() can hand them to the graph
+    // verbatim (internPrecanonicalized) -- interning order, and thus the
+    // serial-vs-parallel bit-for-bit guarantee, is unaffected because the
+    // serial engine canonicalizes at the same point (intern time).
     // canonicalize() never mutates `s`: on a dedup hit the caller's
     // reusable successor buffer must survive untouched.
     const SymmetryPolicy* sym = g.symmetryPolicy();
@@ -193,33 +386,81 @@ struct ParallelExplorer::Impl {
       if (auto c = sym->canonicalize(s)) {
         ioa::SystemState canon = std::move(c->state);
         const std::size_t h = canon.hash();
-        return internTableCanonical(std::move(canon), h);
+        return internDirectCanonical(std::move(canon), h);
       }
     }
-    return internTableCanonical(std::move(s), hash);
+    return internDirectCanonical(std::move(s), hash);
   }
 
-  // Second half of internTable: `s` is already its orbit representative.
-  std::pair<PHandle, bool> internTableCanonical(ioa::SystemState&& s,
-                                                std::size_t hash) {
+  std::pair<PHandle, bool> internDirectCanonical(ioa::SystemState&& s,
+                                                 std::size_t hash) {
     // Canonicalize outside the shard lock (stripe locks are disjoint from
-    // shard locks, and `s` is still private to this worker).
+    // shard locks, and `s` is still private to this thread).
     slotCanon.canonicalize(s);
-    const std::size_t shardIdx = hash & (kShards - 1);
+    const std::size_t shardIdx = shardIndexOf(hash);
     Shard& sh = shards[shardIdx];
     std::lock_guard<std::mutex> lock(sh.m);
-    auto [it, fresh] = sh.headByHash.try_emplace(hash, UINT32_MAX);
-    (void)fresh;
-    for (std::uint32_t idx = it->second; idx != UINT32_MAX;
-         idx = sh.nodes[idx].nextSameHash) {
-      if (sh.nodes[idx].state.equals(s)) {
-        return {makeHandle(shardIdx, idx), false};
+    return internShardLocked(sh, shardIdx, std::move(s), hash);
+  }
+
+  // Worker-local action hash-consing: no locks, stable references, refs
+  // resolvable to the global pool in phase 2.
+  std::uint32_t internLocalAction(unsigned self, const ioa::Action& a) {
+    WorkerState& w = wstates[self];
+    if (w.actionTable.empty()) w.actionTable.assign(256, ActionSlot{});
+    const std::size_t h = a.hash();
+    std::size_t mask = w.actionTable.size() - 1;
+    std::size_t i = h & mask;
+    for (;;) {
+      ActionSlot& slot = w.actionTable[i];
+      if (slot.idx == UINT32_MAX) {
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(w.actionPool.size());
+        assert(idx <= kActionLocalMask && "worker action pool overflow");
+        w.actionPool.push_back(a);
+        slot = ActionSlot{h, idx};
+        if ((++w.actionCount) * 10 >= w.actionTable.size() * 7) {
+          growActionTable(w);
+        }
+        return (static_cast<std::uint32_t>(self) << kActionWorkerShift) | idx;
       }
+      if (slot.hash == h && w.actionPool[slot.idx] == a) {
+        return (static_cast<std::uint32_t>(self) << kActionWorkerShift) |
+               slot.idx;
+      }
+      i = (i + 1) & mask;
     }
-    const std::uint32_t idx = static_cast<std::uint32_t>(sh.nodes.size());
-    sh.nodes.push_back(PNode{std::move(s), hash, {}, it->second, false});
-    it->second = idx;
-    return {makeHandle(shardIdx, idx), true};
+  }
+
+  void growActionTable(WorkerState& w) {
+    std::vector<ActionSlot> old = std::move(w.actionTable);
+    w.actionTable.assign(old.size() * 2, ActionSlot{});
+    const std::size_t mask = w.actionTable.size() - 1;
+    for (const ActionSlot& slot : old) {
+      if (slot.idx == UINT32_MAX) continue;
+      std::size_t i = slot.hash & mask;
+      while (w.actionTable[i].idx != UINT32_MAX) i = (i + 1) & mask;
+      w.actionTable[i] = slot;
+    }
+  }
+
+  const ioa::Action& localAction(std::uint32_t ref) const {
+    return wstates[ref >> kActionWorkerShift]
+        .actionPool[ref & kActionLocalMask];
+  }
+
+  // Resolve a worker-local action ref into the graph's global pool,
+  // interning on first use. Call sites sit exactly where the serial
+  // expansion would intern the action, so the global pool order -- and
+  // with it every CompactEdge::action index -- stays bit-identical.
+  void pinGlobalAction(std::uint32_t ref) {
+    WorkerState& w = wstates[ref >> kActionWorkerShift];
+    const std::uint32_t local = ref & kActionLocalMask;
+    if (w.globalActionId.size() <= local) {
+      w.globalActionId.resize(w.actionPool.size(), UINT32_MAX);
+    }
+    if (w.globalActionId[local] != UINT32_MAX) return;
+    w.globalActionId[local] = g.internActionId(w.actionPool[local]);
   }
 
   void pushWork(unsigned self, PHandle h) {
@@ -230,10 +471,153 @@ struct ParallelExplorer::Impl {
         std::max<std::uint64_t>(workerStats[self].frontierPeak, wq.q.size());
   }
 
+  // Route one discovered successor to its owning shard via the worker's
+  // batch buffer. Takes the in-flight token for the entry; flushShard
+  // releases it unless the entry spawns frontier work.
+  void routeSuccessor(unsigned self, ioa::SystemState&& s, std::size_t hash,
+                      PHandle parent, std::uint32_t edgePos,
+                      std::uint8_t* freshOut, bool spawn) {
+    // Symmetry canonicalization must run BEFORE routing: the owning shard
+    // is a function of the canonical hash, so shards only ever see orbit
+    // representatives.
+    const SymmetryPolicy* sym = g.symmetryPolicy();
+    if (sym && !sym->trivial()) {
+      if (auto c = sym->canonicalize(s)) {
+        ioa::SystemState canon = std::move(c->state);
+        const std::size_t h = canon.hash();
+        routeCanonical(self, std::move(canon), h, parent, edgePos, freshOut,
+                       spawn);
+        return;
+      }
+    }
+    routeCanonical(self, std::move(s), hash, parent, edgePos, freshOut,
+                   spawn);
+  }
+
+  void routeCanonical(unsigned self, ioa::SystemState&& s, std::size_t hash,
+                      PHandle parent, std::uint32_t edgePos,
+                      std::uint8_t* freshOut, bool spawn) {
+    slotCanon.canonicalize(s);
+    const std::size_t shardIdx = shardIndexOf(hash);
+    WorkerState& w = wstates[self];
+    std::vector<BatchEntry>& batch = w.batch[shardIdx];
+    if (!w.dirtyFlag[shardIdx]) {
+      w.dirtyFlag[shardIdx] = 1;
+      w.dirtyShards.push_back(static_cast<std::uint16_t>(shardIdx));
+      if (!w.everTouched[shardIdx]) {
+        w.everTouched[shardIdx] = 1;
+        ++workerStats[self].activePairs;
+      }
+    }
+    // The batched successor counts as in-flight until its flush decides it
+    // is a duplicate / capped -- otherwise a worker could observe
+    // inflight == 0 and terminate while fresh states sit in a buffer.
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    BatchEntry e;
+    e.state = std::move(s);
+    e.hash = hash;
+    e.parent = parent;
+    e.edgePos = edgePos;
+    e.freshOut = freshOut;
+    e.spawn = spawn;
+    batch.push_back(std::move(e));
+    if (batch.size() >= kBatchCapacity) flushShard(self, shardIdx);
+  }
+
+  // Hand the worker's pending batch for one shard to the owning shard:
+  // intern every entry under a single lock acquisition, then patch parent
+  // edges, report freshness, and spawn frontier work outside the lock.
+  void flushShard(unsigned self, std::size_t shardIdx) {
+    WorkerState& w = wstates[self];
+    std::vector<BatchEntry>& batch = w.batch[shardIdx];
+    w.dirtyFlag[shardIdx] = 0;
+    if (batch.empty()) return;
+    ExploreStats::WorkerStats& ws = workerStats[self];
+    ++ws.batchFlushes;
+    ws.maxBatchDepth =
+        std::max<std::uint64_t>(ws.maxBatchDepth, batch.size());
+    std::vector<std::pair<PHandle, bool>> results;
+    results.reserve(batch.size());
+    {
+      Shard& sh = shards[shardIdx];
+      std::lock_guard<std::mutex> lock(sh.m);
+      for (BatchEntry& e : batch) {
+        results.push_back(
+            internShardLocked(sh, shardIdx, std::move(e.state), e.hash));
+      }
+    }
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      BatchEntry& e = batch[k];
+      const auto [h, inserted] = results[k];
+      if (e.parent != kNoHandle) {
+        w.arena.at(e.edgePos).to = h;
+        if (shardOf(e.parent) != shardIdx) ++ws.crossShardEdges;
+      }
+      bool overCap = false;
+      bool keep = false;
+      if (inserted) {
+        ++ws.routed;
+        const std::size_t count =
+            discovered.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (policy.maxStates != 0 && count > policy.maxStates) {
+          // Leave the child unexpanded: the exploration is truncated.
+          truncated.store(true, std::memory_order_relaxed);
+          overCap = true;
+        } else if (e.spawn) {
+          pushWork(self, h);
+          keep = true;  // the in-flight token rides on the queued node
+        }
+      }
+      if (e.freshOut) *e.freshOut = inserted ? (overCap ? 2 : 1) : 0;
+      if (!keep) inflight.fetch_sub(1, std::memory_order_release);
+    }
+    batch.clear();
+  }
+
+  // Flush every dirty batch this worker holds. Called on POR node
+  // boundaries and before a worker declares itself idle: a pending batch
+  // both hides in-flight work and may refill the own queue.
+  void flushWorker(unsigned self) {
+    WorkerState& w = wstates[self];
+    while (!w.dirtyShards.empty()) {
+      const std::uint16_t shardIdx = w.dirtyShards.back();
+      w.dirtyShards.pop_back();
+      flushShard(self, shardIdx);
+    }
+  }
+
+  // Abort path: drop every pending batch entry and release its in-flight
+  // token so the counter drains and all workers exit. The discarded states
+  // never reach a shard, so the table keeps only fully interned nodes --
+  // and the StateGraph, untouched by phase 1, stays consistent.
+  void drainBatches(unsigned self) {
+    WorkerState& w = wstates[self];
+    for (std::vector<BatchEntry>& batch : w.batch) {
+      if (batch.empty()) continue;
+      inflight.fetch_sub(static_cast<std::int64_t>(batch.size()),
+                         std::memory_order_release);
+      batch.clear();
+    }
+    w.dirtyShards.clear();
+    std::fill(w.dirtyFlag.begin(), w.dirtyFlag.end(), 0);
+  }
+
   bool popWork(unsigned self, PHandle* out) {
     ExploreStats::WorkerStats& ws = workerStats[self];
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return false;
+      {
+        WorkQueue& own = queues[self];
+        std::lock_guard<std::mutex> lock(own.m);
+        if (!own.q.empty()) {
+          *out = own.q.back();
+          own.q.pop_back();
+          return true;
+        }
+      }
+      // Own queue empty: route anything still batched before looking for
+      // other work -- the flush may refill the own queue.
+      flushWorker(self);
       {
         WorkQueue& own = queues[self];
         std::lock_guard<std::mutex> lock(own.m);
@@ -267,9 +651,8 @@ struct ParallelExplorer::Impl {
           expansionsSeen.fetch_add(1, std::memory_order_relaxed) + 1);
     }
     PNode* n = nodePtr(h);
-    std::vector<PEdge> succ;
+    WorkerState& w = wstates[self];
     const std::vector<ioa::TaskId>& tasks = sys.allTasks();
-    succ.reserve(tasks.size());
     // With an active POR policy the full successor record is still built
     // (the install pass replays the ample decision from it), but only
     // AMPLE children seed further frontier work -- that is where the
@@ -277,48 +660,49 @@ struct ParallelExplorer::Impl {
     // later falls back on gets its missing children expanded by the
     // install pass's slow path, so no reachable reduced node is lost.
     const PorPolicy* por = g.porActive() ? g.porPolicy() : nullptr;
-    std::vector<const ioa::Action*> porActs;
-    if (por) porActs.assign(tasks.size(), nullptr);
-    struct Deferred {
-      std::size_t ti;
-      PHandle child;
-    };
-    std::vector<Deferred> deferred;
+    if (por) {
+      w.porActs.assign(tasks.size(), nullptr);
+      w.porFresh.assign(tasks.size(), 0);
+      w.deferred.clear();
+    }
+    const std::uint32_t base = w.arena.reserveRun(tasks.size());
+    std::uint16_t count = 0;
+    std::uint64_t edgeTally = 0;
     ioa::SystemState next;  // reusable successor buffer (see step())
     for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
       const ioa::Action* action = transitions.step(n->state, ti, &next);
       if (!action) continue;
       // Pointers into the worker's transition memo: node-stable across the
       // later insertions this loop performs.
-      if (por) porActs[ti] = action;
-      edges.fetch_add(1, std::memory_order_relaxed);
+      if (por) w.porActs[ti] = action;
+      ++edgeTally;
+      const std::uint32_t pos = base + count;
+      w.arena.at(pos) = CompactPEdge{
+          kNoHandle, internLocalAction(self, *action),
+          static_cast<std::uint16_t>(ti)};
       const std::size_t hash = next.hash();
-      auto [child, inserted] = internTable(std::move(next), hash);
-      if (inserted) {
-        const std::size_t count =
-            discovered.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (policy.maxStates != 0 && count > policy.maxStates) {
-          // Leave the child unexpanded: the exploration is truncated.
-          truncated.store(true, std::memory_order_relaxed);
-        } else if (por) {
-          deferred.push_back(Deferred{ti, child});
-        } else {
-          inflight.fetch_add(1, std::memory_order_relaxed);
-          pushWork(self, child);
-        }
-      }
-      succ.push_back(PEdge{tasks[ti], *action, child});
+      routeSuccessor(self, std::move(next), hash, h, pos,
+                     por ? &w.porFresh[ti] : nullptr, /*spawn=*/por == nullptr);
+      if (por) w.deferred.push_back(WorkerState::Deferred{ti, pos});
+      ++count;
     }
     if (por) {
+      // Node boundary: freshness flags and child handles are needed for
+      // the ample decision below, so all pending batches go out now.
+      flushWorker(self);
       std::uint64_t enabledMask = 0;
-      const std::uint64_t ample = por->ampleMask(porActs, &enabledMask);
-      for (const Deferred& d : deferred) {
+      const std::uint64_t ample = por->ampleMask(w.porActs, &enabledMask);
+      for (const WorkerState::Deferred& d : w.deferred) {
         if (((ample >> d.ti) & 1) == 0) continue;
+        if (w.porFresh[d.ti] != 1) continue;  // known, or over the cap
         inflight.fetch_add(1, std::memory_order_relaxed);
-        pushWork(self, d.child);
+        pushWork(self, w.arena.at(d.edgePos).to);
       }
     }
-    n->succ = std::move(succ);
+    edges.fetch_add(edgeTally, std::memory_order_relaxed);
+    n->edgeBegin = base;
+    n->edgeCount = count;
+    n->edgeWorker = static_cast<std::uint8_t>(self);
     n->expanded = true;
     ++workerStats[self].expanded;
   }
@@ -340,6 +724,11 @@ struct ParallelExplorer::Impl {
       }
       inflight.fetch_sub(1, std::memory_order_release);
     }
+    // Exited because of an abort or because the exploration drained. On
+    // abort, pending batches must be drained-and-discarded so the
+    // in-flight counter releases the other workers; on a clean exit the
+    // idle path above already flushed everything.
+    drainBatches(self);
     workerStats[self].cache = transitions.stats();
   }
 
@@ -351,9 +740,10 @@ struct ParallelExplorer::Impl {
     unsigned next = 0;
     for (ioa::SystemState& s : roots) {
       const std::size_t hash = s.hash();
-      auto [h, inserted] = internTable(std::move(s), hash);
+      auto [h, inserted] = internDirect(std::move(s), hash);
       rootHandles.push_back(h);
       if (inserted) {
+        ++rootRouted;
         discovered.fetch_add(1, std::memory_order_relaxed);
         inflight.fetch_add(1, std::memory_order_relaxed);
         pushWork(next % workers, h);
@@ -384,11 +774,28 @@ struct ParallelExplorer::Impl {
       }
       std::rethrow_exception(firstError);
     }
+    // Clean termination: every in-flight token (queued nodes AND batched
+    // successors) must have been released, or popWork could not have
+    // returned false on all workers.
+    assert(inflight.load() == 0 &&
+           "ParallelExplorer: in-flight tokens leaked past the join");
     statsOut.statesDiscovered = discovered.load();
     statsOut.edgesComputed = edges.load();
     statsOut.threadsUsed = workers;
     statsOut.truncated = truncated.load();
     statsOut.perWorker = workerStats;
+    statsOut.shard.shards = shardCount;
+    statsOut.shard.routed = rootRouted;
+    for (const ExploreStats::WorkerStats& ws : workerStats) {
+      statsOut.shard.routed += ws.routed;
+      statsOut.shard.batchFlushes += ws.batchFlushes;
+      statsOut.shard.maxQueueDepth =
+          std::max(statsOut.shard.maxQueueDepth, ws.maxBatchDepth);
+      statsOut.shard.crossShardEdges += ws.crossShardEdges;
+      statsOut.shard.activePairs += ws.activePairs;
+    }
+    assert(statsOut.shard.routed == statsOut.statesDiscovered &&
+           "ParallelExplorer: routed interns out of sync with discoveries");
     flushMetrics();
   }
 
@@ -400,6 +807,14 @@ struct ParallelExplorer::Impl {
     reg->add("explorer.edges_computed", statsOut.edgesComputed);
     reg->maxOf("explorer.threads", statsOut.threadsUsed);
     if (statsOut.truncated) reg->add("explorer.truncations", 1);
+    reg->maxOf("explorer.shard.count", statsOut.shard.shards);
+    reg->add("explorer.shard.routed", statsOut.shard.routed);
+    reg->add("explorer.shard.batch_flushes", statsOut.shard.batchFlushes);
+    reg->maxOf("explorer.shard.max_queue_depth",
+               statsOut.shard.maxQueueDepth);
+    reg->add("explorer.shard.cross_shard_edges",
+             statsOut.shard.crossShardEdges);
+    reg->add("explorer.shard.active_pairs", statsOut.shard.activePairs);
     TransitionCache::Stats cache;
     for (unsigned w = 0; w < workers; ++w) {
       const ExploreStats::WorkerStats& ws = workerStats[w];
@@ -422,6 +837,7 @@ struct ParallelExplorer::Impl {
           {{"states", static_cast<std::uint64_t>(statsOut.statesDiscovered)},
            {"edges", static_cast<std::uint64_t>(statsOut.edgesComputed)},
            {"workers", static_cast<std::uint64_t>(statsOut.threadsUsed)},
+           {"shards", static_cast<std::uint64_t>(statsOut.shard.shards)},
            {"truncated", statsOut.truncated}});
     }
   }
@@ -436,9 +852,9 @@ struct ParallelExplorer::Impl {
     PNode* pn = nodePtr(h);
     // The move consumes pn->state only when the graph actually inserts;
     // either way the node is memoized so the state is probed at most once.
-    // Table states are already orbit representatives (internTable), so the
-    // graph must not re-canonicalize -- it would double-count the symmetry
-    // statistics that the serial engine tallies once per probe.
+    // Table states are already orbit representatives (routeSuccessor), so
+    // the graph must not re-canonicalize -- it would double-count the
+    // symmetry statistics that the serial engine tallies once per probe.
     auto r = g.internPrecanonicalized(std::move(pn->state), pn->hash);
     installedIds.emplace(h, r.id);
     if (inserted) *inserted = r.inserted;
@@ -452,12 +868,13 @@ struct ParallelExplorer::Impl {
   // the ones handleOf knows.
   std::optional<PHandle> findTable(const ioa::SystemState& s,
                                    std::size_t hash) {
-    const std::size_t shardIdx = hash & (kShards - 1);
+    const std::size_t shardIdx = shardIndexOf(hash);
     Shard& sh = shards[shardIdx];
     std::lock_guard<std::mutex> lock(sh.m);
-    const auto it = sh.headByHash.find(hash);
-    if (it == sh.headByHash.end()) return std::nullopt;
-    for (std::uint32_t idx = it->second; idx != UINT32_MAX;
+    if (sh.index.empty()) return std::nullopt;
+    IndexSlot* slot = findIndexSlot(sh, hash);
+    if (slot->head == UINT32_MAX) return std::nullopt;
+    for (std::uint32_t idx = slot->head; idx != UINT32_MAX;
          idx = sh.nodes[idx].nextSameHash) {
       if (sh.nodes[idx].state.partCount() != 0 &&
           sh.nodes[idx].state.equals(s)) {
@@ -479,6 +896,7 @@ struct ParallelExplorer::Impl {
           "ParallelExplorer::install after a failed expand");
     }
     if (g.porActive()) return installPor(rootIndex, finalized);
+    const std::vector<ioa::TaskId>& tasks = sys.allTasks();
     const PHandle rootH = rootHandles.at(rootIndex);
     const NodeId rootId = internGraph(rootH, nullptr);
     if (finalized && finalized(rootId)) return rootId;
@@ -494,26 +912,27 @@ struct ParallelExplorer::Impl {
       const NodeId gid = internGraph(h, nullptr);
       PNode* pn = nodePtr(h);
       if (!pn->expanded) continue;  // truncated leaf (maxStates cap)
+      const EdgeArena& arena = wstates[pn->edgeWorker].arena;
       const bool cached = g.cachedSuccessors(gid).has_value();
       std::vector<Edge> edgesOut;
-      if (!cached) edgesOut.reserve(pn->succ.size());
-      for (PEdge& pe : pn->succ) {
+      if (!cached) edgesOut.reserve(pn->edgeCount);
+      for (std::uint32_t k = 0; k < pn->edgeCount; ++k) {
+        const CompactPEdge& pe = arena.at(pn->edgeBegin + k);
         bool inserted = false;
         const NodeId cid = internGraph(pe.to, &inserted);
+        const ioa::Action& act = localAction(pe.action);
         // Pin the action's pool index now, in edge order: setParent would
         // otherwise intern inserted children's actions ahead of earlier
         // edges whose targets were already known, skewing the pool order
         // away from the serial expansion's.
-        if (!cached) g.internActionId(pe.action);
+        if (!cached) pinGlobalAction(pe.action);
         if (inserted) {
           // First discovery happens here, from `gid` via `pe.task` --
           // the same parent the serial expansion would have recorded.
-          g.setParent(cid, gid, pe.task, pe.action);
+          g.setParent(cid, gid, tasks[pe.task], act);
         }
         if (!cached) {
-          // This branch runs at most once per node (the successors are
-          // cached right below), so moving the action out is safe.
-          edgesOut.push_back(Edge{pe.task, std::move(pe.action), cid});
+          edgesOut.push_back(Edge{tasks[pe.task], act, cid});
         }
         if (!finalized || !finalized(cid)) {
           if (enqueued.insert(pe.to).second) fifo.push_back(pe.to);
@@ -587,13 +1006,11 @@ struct ParallelExplorer::Impl {
         continue;
       }
       // Fast path: replicate the serial decision from the phase-1 record.
+      const EdgeArena& arena = wstates[pn->edgeWorker].arena;
       std::fill(acts.begin(), acts.end(), nullptr);
-      {
-        std::size_t ti = 0;  // pn->succ is in task order
-        for (const PEdge& pe : pn->succ) {
-          while (tasks[ti] != pe.task) ++ti;
-          acts[ti] = &pe.action;
-        }
+      for (std::uint32_t k = 0; k < pn->edgeCount; ++k) {
+        const CompactPEdge& pe = arena.at(pn->edgeBegin + k);
+        acts[pe.task] = &localAction(pe.action);
       }
       std::uint64_t enabledMask = 0;
       const std::uint64_t ample = por->ampleMask(acts, &enabledMask);
@@ -603,17 +1020,17 @@ struct ParallelExplorer::Impl {
         // prefix), evaluating the proviso as we go.
         bool open = false;
         std::vector<Edge> reducedOut;
-        std::size_t ti = 0;
-        for (PEdge& pe : pn->succ) {
-          while (tasks[ti] != pe.task) ++ti;
-          if (((ample >> ti) & 1) == 0) continue;
+        for (std::uint32_t k = 0; k < pn->edgeCount; ++k) {
+          const CompactPEdge& pe = arena.at(pn->edgeBegin + k);
+          if (((ample >> pe.task) & 1) == 0) continue;
           bool inserted = false;
           const NodeId cid = internGraph(pe.to, &inserted);
           handleOf.emplace(cid, pe.to);
-          g.internActionId(pe.action);
-          if (inserted) g.setParent(cid, gid, pe.task, pe.action);
+          const ioa::Action& act = localAction(pe.action);
+          pinGlobalAction(pe.action);
+          if (inserted) g.setParent(cid, gid, tasks[pe.task], act);
           if (cid != gid && !g.cachedReducedSuccessors(cid)) open = true;
-          reducedOut.push_back(Edge{pe.task, pe.action, cid});
+          reducedOut.push_back(Edge{tasks[pe.task], act, cid});
         }
         if (open) {
           for (const Edge& e : reducedOut) targets.push_back(e.to);
@@ -633,17 +1050,17 @@ struct ParallelExplorer::Impl {
         // successors() running after the serial pass-2 prefix.
         const bool cached = g.cachedSuccessors(gid).has_value();
         std::vector<Edge> fullOut;
-        if (!cached) fullOut.reserve(pn->succ.size());
-        std::size_t ti = 0;
-        for (PEdge& pe : pn->succ) {
-          while (tasks[ti] != pe.task) ++ti;
+        if (!cached) fullOut.reserve(pn->edgeCount);
+        for (std::uint32_t k = 0; k < pn->edgeCount; ++k) {
+          const CompactPEdge& pe = arena.at(pn->edgeBegin + k);
           bool inserted = false;
           const NodeId cid = internGraph(pe.to, &inserted);
           handleOf.emplace(cid, pe.to);
-          if (!cached) g.internActionId(pe.action);
-          if (inserted) g.setParent(cid, gid, pe.task, pe.action);
+          const ioa::Action& act = localAction(pe.action);
+          if (!cached) pinGlobalAction(pe.action);
+          if (inserted) g.setParent(cid, gid, tasks[pe.task], act);
           if (!cached) {
-            fullOut.push_back(Edge{pe.task, std::move(pe.action), cid});
+            fullOut.push_back(Edge{tasks[pe.task], act, cid});
           }
           targets.push_back(cid);
         }
@@ -680,7 +1097,9 @@ const ExploreStats& ParallelExplorer::stats() const { return impl_->statsOut; }
 
 ExploreStats exploreReachable(StateGraph& g, NodeId root,
                               const ExplorationPolicy& policy) {
-  if (policy.threads == 1) return serialExplore(g, root, policy);
+  if (policy.threads == 1 && policy.shards <= 1) {
+    return serialExplore(g, root, policy);
+  }
   ParallelExplorer ex(g, policy);
   std::vector<ioa::SystemState> roots;
   roots.push_back(g.state(root));
@@ -692,7 +1111,9 @@ ExploreStats exploreReachable(StateGraph& g, NodeId root,
 void expandRegionParallel(StateGraph& g, NodeId root,
                           const ExplorationPolicy& policy,
                           const std::function<bool(NodeId)>& finalized) {
-  if (policy.threads == 1) return;  // serial path expands lazily
+  if (policy.threads == 1 && policy.shards <= 1) {
+    return;  // serial path expands lazily
+  }
   if (g.cachedSuccessors(root)) return;  // already expanded
   ParallelExplorer ex(g, policy);
   std::vector<ioa::SystemState> roots;

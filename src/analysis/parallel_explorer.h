@@ -14,24 +14,40 @@
 // The engine therefore runs in two phases:
 //
 //   Phase 1 (parallel): std::jthread workers expand the frontier into a
-//   private sharded, striped-lock interned-state table (shard selected by
-//   state hash; full equality verification within the shard bucket, just
-//   like StateGraph::intern). Work is distributed with per-worker deques
-//   plus stealing; termination is detected with an in-flight node counter.
-//   The StateGraph itself is NEVER touched from worker threads.
+//   private table partitioned into hash-owned SHARDS (power-of-two count,
+//   default = worker count). Each shard owns the states whose canonical
+//   hash lands in it: an open-addressing {hash, head} index with intrusive
+//   same-hash chains (the same layout as StateGraph's interner), guarded
+//   by one mutex per shard. Workers never pin successors through a global
+//   installer; instead each worker keeps a per-shard BATCH BUFFER of
+//   discovered successors and flushes a whole batch into the owning shard
+//   under a single lock acquisition (flush on capacity, on a POR node
+//   boundary, and before declaring itself idle). Successor records live in
+//   per-worker chunked edge arenas with worker-local hash-consed action
+//   pools, so the expansion hot path takes no lock outside shard
+//   boundaries. Work is distributed with per-worker deques plus stealing;
+//   termination is detected with an in-flight counter that also covers
+//   batched-but-unflushed successors. The StateGraph itself is NEVER
+//   touched from worker threads.
 //
-//   Phase 2 (serial, deterministic): the calling thread replays a
-//   canonical BFS over the completed private table and interns states into
-//   the StateGraph in EXACTLY the order the serial explorer would have
-//   (FIFO frontier, successors in allTasks() order), installing successor
-//   lists and first-discovery parents as it goes. Node ids, parents and
-//   witness paths are therefore bit-for-bit identical to serial
-//   exploration, regardless of thread interleaving in phase 1.
+//   Phase 2 (serial, deterministic renumbering): the calling thread
+//   replays a canonical BFS over the completed private table and interns
+//   states into the StateGraph in EXACTLY the order the serial explorer
+//   would have (FIFO frontier, successors in allTasks() order), installing
+//   successor lists and first-discovery parents as it goes. This post-pass
+//   rewrites shard-local handles into canonical node ids and resolves
+//   worker-local action refs into the graph's global pool in first-use
+//   order, so node ids, action intern indices, parents and witness paths
+//   come out bit-for-bit identical to serial exploration -- regardless of
+//   thread interleaving, shard count, or batch flush timing in phase 1.
 //
-// threads <= 1 bypasses both phases and runs the legacy serial BFS, so
-// ExplorationPolicy{1} byte-identically reproduces the old behaviour.
+// threads <= 1 with shards <= 1 bypasses both phases and runs the legacy
+// serial BFS, so ExplorationPolicy{1} byte-identically reproduces the old
+// behaviour. threads == 1 with shards > 1 runs the two-phase engine with a
+// single worker (useful to exercise the routing deterministically).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -65,6 +81,13 @@ struct ExplorationPolicy {
   // exercises the worker-abort path; the engines guarantee the StateGraph
   // stays consistent (checkConsistent) when the hook throws.
   std::function<void(std::size_t)> expansionHook;
+  // Number of hash-owned shards of the phase-1 private table. 0 = auto
+  // (smallest power of two >= the resolved worker count). Other values are
+  // rounded up to the next power of two and clamped to [1, 256]. The shard
+  // count never changes WHAT is explored or the ids the install pass
+  // produces -- only how phase-1 contention is spread. (Appended last:
+  // callers aggregate-initialize the leading members.)
+  unsigned shards = 0;
 };
 
 struct ExploreStats {
@@ -75,7 +98,25 @@ struct ExploreStats {
     std::uint64_t steals = 0;        // work items taken from other queues
     std::uint64_t idleSpins = 0;     // empty sweeps over all queues
     std::uint64_t frontierPeak = 0;  // own-deque high-water mark
+    std::uint64_t routed = 0;          // fresh states this worker's flushes
+                                       // installed into shard tables
+    std::uint64_t batchFlushes = 0;    // non-empty batch handoffs
+    std::uint64_t maxBatchDepth = 0;   // largest single flushed batch
+    std::uint64_t crossShardEdges = 0; // routed edges whose child shard
+                                       // differs from the parent's shard
+    std::uint64_t activePairs = 0;     // shards this worker ever batched to
     TransitionCache::Stats cache;    // worker-private memo tallies
+  };
+
+  // Aggregated routing tallies of the sharded phase-1 table (root interns
+  // count into `routed` so routed == statesDiscovered holds exactly).
+  struct ShardStats {
+    unsigned shards = 1;               // resolved shard count
+    std::uint64_t routed = 0;          // fresh installs into shard tables
+    std::uint64_t batchFlushes = 0;    // sum of per-worker flushes
+    std::uint64_t maxQueueDepth = 0;   // largest batch any flush handed over
+    std::uint64_t crossShardEdges = 0; // edges crossing shard ownership
+    std::uint64_t activePairs = 0;     // distinct (worker, shard) pairs used
   };
 
   std::size_t statesDiscovered = 0;  // states known to the engine afterwards
@@ -84,7 +125,47 @@ struct ExploreStats {
   bool truncated = false;  // maxStates cap was hit
   std::uint64_t frontierPeak = 0;          // serial path: BFS queue high-water
   std::vector<WorkerStats> perWorker;      // parallel path: one per worker
+  ShardStats shard;                        // parallel path: routing tallies
 };
+
+// Pure shard-routing arithmetic, shared by the engine and the router fuzz
+// battery (tests/analysis/shard_equivalence_test.cpp) so the properties the
+// sharded table relies on -- every hash routes to exactly one shard, shard
+// selection and in-shard probing consume disjoint hash bits, the resolved
+// count is always a power of two -- are tested against the production code
+// rather than a reimplementation.
+namespace shard_router {
+
+// The shard byte of a phase-1 handle caps the shard count (and with it the
+// worker count usable for auto-sharding).
+inline constexpr unsigned kMaxShards = 256;
+
+// Resolved shard count: the requested count (0 = one shard per worker)
+// rounded up to a power of two and clamped to [1, kMaxShards].
+constexpr unsigned resolveShardCount(unsigned requested, unsigned workers) {
+  std::size_t want = requested == 0 ? workers : requested;
+  if (want < 1) want = 1;
+  want = std::bit_ceil(want);
+  if (want > kMaxShards) want = kMaxShards;
+  return static_cast<unsigned>(want);
+}
+
+// Owning shard of a canonical state hash: the low log2(shardCount) bits.
+// shardCount must be a power of two.
+constexpr std::size_t shardIndexOf(std::size_t hash, unsigned shardCount) {
+  return hash & (shardCount - 1);
+}
+
+// First probe slot inside a shard's open-addressing index. Shard selection
+// eats the low `shardBits` bits, so slot positions come from the bits above
+// them -- otherwise every state in a shard would alias onto a fraction of
+// the slots. indexMask is the (power-of-two) index size minus one.
+constexpr std::size_t probeStart(std::size_t hash, unsigned shardBits,
+                                 std::size_t indexMask) {
+  return (hash >> shardBits) & indexMask;
+}
+
+}  // namespace shard_router
 
 // Two-phase engine exposed as a class so that multiple roots can share one
 // parallel expansion (the Lemma 4 scan over canonical initializations) and

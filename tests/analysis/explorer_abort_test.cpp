@@ -30,9 +30,11 @@ struct Boom : std::runtime_error {
   Boom() : std::runtime_error("expansion hook detonated") {}
 };
 
-ExplorationPolicy throwAfter(unsigned threads, std::size_t expansions) {
+ExplorationPolicy throwAfter(unsigned threads, std::size_t expansions,
+                             unsigned shards = 0) {
   ExplorationPolicy policy;
   policy.threads = threads;
+  policy.shards = shards;
   policy.expansionHook = [expansions](std::size_t count) {
     if (count > expansions) throw Boom();
   };
@@ -99,6 +101,53 @@ TEST(ExplorerAbort, SerialThrowLeavesGraphConsistent) {
   const ExploreStats done = exploreReachable(g, root, ExplorationPolicy{});
   EXPECT_GT(done.statesDiscovered, 0u);
   ASSERT_TRUE(g.checkConsistent(&why)) << why;
+}
+
+TEST(ExplorerAbort, MidBatchThrowDrainsAndPoisons) {
+  // With many shards and few expansions between throws, workers die while
+  // their per-shard batch buffers still hold un-flushed successors. The
+  // abort path must drain-and-poison those batches: the inflight token
+  // accounting may not wedge the join, the graph stays consistent, and
+  // install() is poisoned.
+  auto sys = relay(3, 1);
+  for (const std::size_t detonateAfter : {1u, 3u, 7u, 20u, 60u}) {
+    StateGraph g(*sys);
+    ParallelExplorer ex(g, throwAfter(4, detonateAfter, /*shards=*/8));
+    EXPECT_THROW(ex.expand({canonicalInitialization(*sys, 1)}), Boom)
+        << "detonateAfter=" << detonateAfter;
+    std::string why;
+    EXPECT_TRUE(g.checkConsistent(&why))
+        << "detonateAfter=" << detonateAfter << ": " << why;
+    EXPECT_THROW(ex.install(0), std::logic_error)
+        << "detonateAfter=" << detonateAfter;
+    EXPECT_EQ(g.stats().statesDiscovered, g.size());
+  }
+}
+
+TEST(ExplorerAbort, GraphReusableAfterMidBatchAbortWithShards) {
+  // After a mid-batch abort the same graph must support a fresh, complete
+  // sharded exploration that agrees with a from-scratch serial one.
+  auto sys = relay(3, 1);
+  StateGraph g(*sys);
+  const NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  {
+    ParallelExplorer ex(g, throwAfter(4, 5, /*shards=*/8));
+    EXPECT_THROW(ex.expand({g.state(root)}), Boom);
+  }
+  ExplorationPolicy sharded;
+  sharded.threads = 2;
+  sharded.shards = 4;
+  const ExploreStats after = exploreReachable(g, root, sharded);
+  std::string why;
+  ASSERT_TRUE(g.checkConsistent(&why)) << why;
+
+  auto sys2 = relay(3, 1);
+  StateGraph g2(*sys2);
+  const NodeId root2 = g2.intern(canonicalInitialization(*sys2, 1));
+  const ExploreStats fresh = exploreReachable(g2, root2, ExplorationPolicy{});
+  EXPECT_EQ(after.statesDiscovered, fresh.statesDiscovered);
+  EXPECT_EQ(after.edgesComputed, fresh.edgesComputed);
+  EXPECT_EQ(g.size(), g2.size());
 }
 
 TEST(ExplorerAbort, HookSeesMonotonicCountAcrossWorkers) {

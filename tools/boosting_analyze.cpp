@@ -52,12 +52,14 @@
 //   flooding   message-passing flooding consensus over an f-resilient fabric
 //   single-fd  rotating coordinator over ONE f-resilient all-process
 //              perfect failure detector (the Theorem-10 setting)
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "analysis/adversary.h"
 #include "analysis/dot_export.h"
@@ -81,6 +83,8 @@ struct Options {
   int f = 0;
   int claim = -1;  // default: f + 1
   unsigned threads = 1;
+  unsigned shards = 0;      // 0 = auto (match the resolved worker count)
+  bool shardsExplicit = false;
   analysis::SymmetryMode symmetry = analysis::SymmetryMode::Auto;
   analysis::PorMode por = analysis::PorMode::Auto;
   bool brute = false;
@@ -95,7 +99,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --candidate relay|bridge|tob|flooding|single-fd "
-               "--n N --f F [--claim C] [--threads T] "
+               "--n N --f F [--claim C] [--threads T] [--shards auto|N] "
                "[--symmetry auto|on|off] [--por auto|on|off] [--brute] "
                "[--witness FILE] [--dot FILE] [--metrics-json FILE] "
                "[--trace FILE] [--progress] [--replay FILE]\n",
@@ -248,6 +252,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       opt.threads = static_cast<unsigned>(
           parseIntOrDie("--threads", needArg("--threads"), 0, 256));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = needArg("--shards");
+      if (std::strcmp(v, "auto") == 0) {
+        opt.shards = 0;
+      } else {
+        opt.shards = static_cast<unsigned>(
+            parseIntOrDie("--shards", v, 1, 256));
+        if ((opt.shards & (opt.shards - 1)) != 0) {
+          std::fprintf(stderr,
+                       "--shards: %u is not a power of two (hash-owned "
+                       "routing needs a power-of-two shard count)\n",
+                       opt.shards);
+          std::exit(2);
+        }
+        opt.shardsExplicit = true;
+      }
     } else if (std::strcmp(argv[i], "--symmetry") == 0) {
       const char* v = needArg("--symmetry");
       if (std::strcmp(v, "auto") == 0) {
@@ -309,6 +329,27 @@ int main(int argc, char** argv) {
                  opt.claim, opt.n);
     return 2;
   }
+  // Shard/thread cross-validation: each worker keeps one batch buffer per
+  // shard, so a shard count far beyond the worker count only fragments
+  // batches without spreading contention any further. Allow up to
+  // 2x threads (floor of 4 so single-thread runs can still exercise the
+  // determinism matrix at --shards 4).
+  {
+    const unsigned resolvedThreads = [&] {
+      if (opt.threads != 0) return opt.threads;
+      const unsigned hw = std::thread::hardware_concurrency();
+      return hw == 0 ? 1u : hw;
+    }();
+    const unsigned shardBudget = std::max(4u, 2 * resolvedThreads);
+    if (opt.shardsExplicit && opt.shards > shardBudget) {
+      std::fprintf(stderr,
+                   "--shards: %u shards exceeds the routing budget of %u "
+                   "for %u thread(s) (at most max(4, 2x threads): more "
+                   "shards only fragment per-worker batches)\n",
+                   opt.shards, shardBudget, resolvedThreads);
+      return 2;
+    }
+  }
 
   // Observability: one registry for the whole invocation. A null registry
   // pointer downstream disables all collection, so only wire it when some
@@ -338,6 +379,14 @@ int main(int argc, char** argv) {
   std::printf("candidate '%s': n=%d, service resilience f=%d, claimed to "
               "tolerate %d failures (exploration threads: %u)\n",
               opt.candidate.c_str(), opt.n, opt.f, opt.claim, opt.threads);
+  if (opt.threads != 1 || opt.shards > 1) {
+    if (opt.shardsExplicit) {
+      std::printf("sharding: %u hash-owned shard(s) of the phase-1 table\n",
+                  opt.shards);
+    } else {
+      std::printf("sharding: auto (one hash-owned shard per worker)\n");
+    }
+  }
 
   const ioa::StatePerfCounters perfBefore = ioa::statePerfSnapshot();
 
@@ -371,6 +420,7 @@ int main(int argc, char** argv) {
   cfg.claimedFailures = opt.claim;
   cfg.exemptFailureAware = true;
   cfg.exploration.threads = opt.threads;
+  cfg.exploration.shards = opt.shards;
   cfg.exploration.metrics = reg;
   cfg.symmetry = opt.symmetry;
   cfg.por = opt.por;

@@ -14,7 +14,15 @@ when the fresh run regresses beyond the tolerance:
   * benchmarks that report a bytes_per_state counter (BM_BytesPerState,
     the flat-layout memory headline) are additionally gated on it: fresh
     bytes above baseline * (1 + tolerance) fail, so edge/index bloat is
-    caught even when wall-clock stays flat.
+    caught even when wall-clock stays flat;
+  * benchmarks that report a scaling_efficiency counter (the threads x
+    shards matrix of BM_ShardMatrixRelay) are additionally gated on it:
+    fresh efficiency below baseline * (1 - tolerance) fails. The gate is
+    one-sided, so baselines produced on boxes with fewer cores than the CI
+    runner (efficiency can only go UP with real cores) still pass;
+  * benchmarks that report a peak_rss_bytes counter are additionally gated
+    on it: fresh peak RSS above baseline * (1 + tolerance) fails, catching
+    shard-table or batch-buffer memory bloat.
 
 --tolerance is the fractional headroom (default 0.25, i.e. a >25% drop in
 states/sec fails). CI machines are noisy; raise it via the flag rather
@@ -121,6 +129,26 @@ def compare(baseline, fresh, tolerance):
             if bv and fv > bv * (1.0 + tolerance):
                 problems.append(
                     f"{name}: bytes_per_state regressed {bv:.0f} -> {fv:.0f} "
+                    f"({(ratio - 1.0) * 100.0:.1f}% fatter > "
+                    f"{tolerance * 100.0:.0f}% tolerance)")
+        # Multi-core scaling gate (one-sided: drops fail, gains pass).
+        if "scaling_efficiency" in b and "scaling_efficiency" in f:
+            bv, fv = b["scaling_efficiency"], f["scaling_efficiency"]
+            ratio = fv / bv if bv else float("inf")
+            rows.append((name, "eff", bv, fv, ratio))
+            if bv and fv < bv * (1.0 - tolerance):
+                problems.append(
+                    f"{name}: scaling_efficiency regressed {bv:.3f} -> "
+                    f"{fv:.3f} ({(1.0 - ratio) * 100.0:.1f}% drop > "
+                    f"{tolerance * 100.0:.0f}% tolerance)")
+        # Peak-RSS gate: catches shard-table / batch-buffer memory bloat.
+        if "peak_rss_bytes" in b and "peak_rss_bytes" in f:
+            bv, fv = b["peak_rss_bytes"], f["peak_rss_bytes"]
+            ratio = fv / bv if bv else float("inf")
+            rows.append((name, "peak RSS", bv, fv, ratio))
+            if bv and fv > bv * (1.0 + tolerance):
+                problems.append(
+                    f"{name}: peak_rss_bytes regressed {bv:.0f} -> {fv:.0f} "
                     f"({(ratio - 1.0) * 100.0:.1f}% fatter > "
                     f"{tolerance * 100.0:.0f}% tolerance)")
     for name, unit, bv, fv, ratio in rows:

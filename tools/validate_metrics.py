@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a boosting-metrics-v4 JSON file against docs/metrics_schema.json.
+"""Validate a boosting-metrics-v5 JSON file against docs/metrics_schema.json.
 
 Hand-rolled validator for the draft-07 subset the schema actually uses
 (type, required, properties, additionalProperties, items, enum, minimum,
@@ -17,6 +17,11 @@ promise:
     least a byte, in practice dozens) and a nonzero process.peak_rss_bytes
     is >= the sum of the graph.bytes_* gauges (the process cannot hold the
     graph in less memory than the graph's own accounting);
+  * when the sharded phase-1 table ran (explorer.shard.* counters present,
+    v5), routed == explorer.states_discovered (every discovered state was
+    installed into exactly one shard, roots included), batch_flushes >=
+    active_pairs (every worker-shard pair that ever buffered a successor
+    flushed at least once), and cross_shard_edges <= explorer.edges_computed;
   * when partial-order reduction ran (explorer.por.* counters present, v4),
     states_reduced <= nodes_evaluated (only evaluated nodes can commit an
     ample subset), tasks_skipped >= states_reduced (every reduced node
@@ -129,6 +134,42 @@ def check_invariants(doc, expect_workers, errors):
             errors.append(
                 f"$.counters: explorer.symmetry.orbits_collapsed {collapsed} "
                 f"> states_raw {raw}")
+
+    shard = [n for n in counters if n.startswith("explorer.shard.")]
+    if shard:
+        for required in ("explorer.shard.count",
+                         "explorer.shard.routed",
+                         "explorer.shard.batch_flushes",
+                         "explorer.shard.max_queue_depth",
+                         "explorer.shard.cross_shard_edges",
+                         "explorer.shard.active_pairs"):
+            if required not in counters:
+                errors.append(
+                    "$.counters: explorer.shard.* present but incomplete "
+                    f"({sorted(shard)})")
+                break
+        routed = cval("explorer.shard.routed")
+        discovered = cval("explorer.states_discovered")
+        if routed != discovered:
+            errors.append(
+                f"$.counters: explorer.shard.routed {routed} != "
+                f"explorer.states_discovered {discovered} (every discovered "
+                "state must be installed into exactly one shard)")
+        flushes = cval("explorer.shard.batch_flushes")
+        pairs = cval("explorer.shard.active_pairs")
+        if flushes < pairs:
+            errors.append(
+                f"$.counters: explorer.shard.batch_flushes {flushes} < "
+                f"active_pairs {pairs} (every active worker-shard pair "
+                "flushes at least once)")
+        cross = cval("explorer.shard.cross_shard_edges")
+        edges = cval("explorer.edges_computed")
+        if cross > edges:
+            errors.append(
+                f"$.counters: explorer.shard.cross_shard_edges {cross} > "
+                f"explorer.edges_computed {edges}")
+        if cval("explorer.shard.count") < 1:
+            errors.append("$.counters: explorer.shard.count < 1")
 
     por = [n for n in counters if n.startswith("explorer.por.")]
     if por:
@@ -252,7 +293,7 @@ def main():
 
     counters = len(doc.get("counters", []))
     timers = len(doc.get("timers", []))
-    print(f"{args.metrics}: valid boosting-metrics-v4 "
+    print(f"{args.metrics}: valid boosting-metrics-v5 "
           f"({counters} counters, {timers} timers)")
     return 0
 
