@@ -274,7 +274,12 @@ void BM_BytesPerState(benchmark::State& state) {
 //   routed / batch_flushes / cross_shard_edges  contention tallies from
 //                        explorer.shard.* (zero on the serial 1x1 cell);
 //   peak_rss_bytes       process peak RSS after the cell ran, gating
-//                        shard-table and batch-buffer memory bloat.
+//                        shard-table and batch-buffer memory bloat. NOTE:
+//                        this is VmHWM, monotone across the cells of one
+//                        bench process -- only the biggest cell moves it;
+//   rss_delta_bytes      VmRSS growth across this cell's timed loop (the
+//                        v6 per-cell measurement compare_bench.py gates;
+//                        unlike VmHWM it responds to every cell).
 // The axes default to {1,2,4} x {1,2,4} and can be overridden with
 // --bench-threads=LIST / --bench-shards=LIST (or BENCH_THREADS /
 // BENCH_SHARDS), so the CI multi-core job can widen the matrix without a
@@ -307,6 +312,7 @@ void BM_ShardMatrixRelay(benchmark::State& state) {
   std::int64_t discovered = 0;
   double exploreSecs = 0.0;
   analysis::ExploreStats last;
+  const std::uint64_t rssBefore = analysis::currentRssBytes();
   for (auto _ : state) {
     StateGraph g(*sys);
     NodeId root = g.intern(
@@ -338,6 +344,51 @@ void BM_ShardMatrixRelay(benchmark::State& state) {
       static_cast<double>(last.shard.crossShardEdges);
   state.counters["peak_rss_bytes"] =
       static_cast<double>(analysis::peakRssBytes());
+  const std::uint64_t rssAfter = analysis::currentRssBytes();
+  state.counters["rss_delta_bytes"] = static_cast<double>(
+      rssAfter > rssBefore ? rssAfter - rssBefore : 0);
+}
+
+// Bounded-memory exploration: the relay n=4 region under a 32 KiB edge
+// budget (8 resident cold mappings) with deliberately small (256-edge)
+// chunks, so the cold tier demotes and evicts continuously. The throughput counter prices the
+// paging overhead against the unbounded BM_ReachableExpansion numbers, the
+// spill counters keep the cold tier honest in the baseline, and
+// rss_delta_bytes is what the budget is supposed to bound.
+void BM_BoundedExploreRelay(benchmark::State& state) {
+  auto sys = relay(static_cast<int>(state.range(0)), 0);
+  std::int64_t discovered = 0;
+  double exploreSecs = 0.0;
+  analysis::Pager::Stats spillLast;
+  const std::uint64_t rssBefore = analysis::currentRssBytes();
+  for (auto _ : state) {
+    analysis::SpillConfig spill;
+    spill.memoryBudgetBytes = 32 * 1024;
+    spill.edgeChunkShift = 8;
+    StateGraph g(*sys, nullptr, nullptr, spill);
+    NodeId root = g.intern(
+        analysis::canonicalInitialization(*sys, sys->processCount() / 2));
+    ExplorationPolicy pol;
+    pol.memoryBudgetBytes = spill.memoryBudgetBytes;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto stats = analysis::exploreReachable(g, root, pol);
+    exploreSecs +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    discovered += static_cast<std::int64_t>(stats.statesDiscovered);
+    spillLast = g.spillStats();
+  }
+  const std::uint64_t rssAfter = analysis::currentRssBytes();
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(discovered), benchmark::Counter::kIsRate);
+  state.counters["spill_chunks_cold"] =
+      static_cast<double>(spillLast.chunksCold);
+  state.counters["spill_bytes_on_disk"] =
+      static_cast<double>(spillLast.bytesOnDisk);
+  state.counters["spill_evictions"] =
+      static_cast<double>(spillLast.evictions);
+  state.counters["rss_delta_bytes"] = static_cast<double>(
+      rssAfter > rssBefore ? rssAfter - rssBefore : 0);
 }
 
 // The Fig. 3 walk end to end (bivalent init + hook search), the consumer
@@ -393,6 +444,8 @@ BENCHMARK(BM_RegionScanRelaySymmetry)
 BENCHMARK(BM_RegionScanRelayPOR)
     ->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ValenceFullRegion)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoundedExploreRelay)
+    ->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 int main(int argc, char** argv) {
   const std::vector<unsigned> threadsAxis = boosting::benchjson::extractCsvFlag(

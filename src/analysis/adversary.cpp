@@ -226,7 +226,10 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
   const std::shared_ptr<const SymmetryPolicy> symmetry =
       SymmetryPolicy::forSystem(sys, cfg.symmetry);
   const std::shared_ptr<const PorPolicy> por = PorPolicy::forSystem(sys, cfg.por);
-  StateGraph g(sys, symmetry, por);
+  SpillConfig spill;
+  spill.memoryBudgetBytes = cfg.exploration.memoryBudgetBytes;
+  spill.spillDir = cfg.exploration.spillDir;
+  StateGraph g(sys, symmetry, por, spill);
   report.symmetryReduced = g.symmetryActive();
   if (!report.symmetryReduced) report.symmetryNote = symmetry->disabledReason();
   report.porReduced = g.porActive();
@@ -247,7 +250,20 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
   struct Flusher {
     obs::Registry* reg;
     const StateGraph& g;
-    ~Flusher() { flushGraphMetrics(reg, g); }
+    // VmRSS sampled at construction: the flush reports the pipeline's RSS
+    // DELTA, which -- unlike the monotone process-lifetime VmHWM behind
+    // process.peak_rss_bytes -- reflects memory the spill tier avoided
+    // keeping resident. Clamped at zero (the kernel may reclaim pages
+    // mid-phase, driving VmRSS below the starting sample).
+    std::uint64_t rssBefore = currentRssBytes();
+    ~Flusher() {
+      flushGraphMetrics(reg, g);
+      if (reg) {
+        const std::uint64_t now = currentRssBytes();
+        reg->maxOf("process.rss_delta_bytes",
+                   now > rssBefore ? now - rssBefore : 0);
+      }
+    }
   } flusher{reg, g};
 
   // -- Steps 1 + 2: initializations, valence, exhaustive safety scan. -----
@@ -487,6 +503,14 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
     report.porNodesReduced = por->nodesReduced();
     report.porTasksSkipped = por->tasksSkipped();
     report.porProvisoHits = por->provisoHits();
+  }
+  if (g.spillActive()) {
+    const Pager::Stats ps = g.spillStats();
+    report.spillActive = true;
+    report.spillChunksCold = ps.chunksCold;
+    report.spillBytesOnDisk = ps.bytesOnDisk;
+    report.spillFaults = ps.faults;
+    report.spillEvictions = ps.evictions;
   }
   return report;
 }

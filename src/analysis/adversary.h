@@ -74,6 +74,12 @@ struct AdversaryConfig {
   // component declares a canonical task structure; On requests it and
   // surfaces the reason when it cannot be honored.
   PorMode por = PorMode::Off;
+  // Out-of-core exploration: exploration.memoryBudgetBytes != 0 configures
+  // BOTH the StateGraph edge-arena cold tier (SpillConfig, derived here)
+  // and the frontier spill of every exploration, sharing
+  // exploration.spillDir. Spill never changes the verdict or any proof
+  // artifact -- runs are bit-identical with and without a budget (see
+  // DESIGN.md "Out-of-core exploration").
 };
 
 struct AdversaryReport {
@@ -115,6 +121,14 @@ struct AdversaryReport {
   std::uint64_t porNodesReduced = 0;    // proper ample sets committed
   std::uint64_t porTasksSkipped = 0;    // successor expansions saved
   std::uint64_t porProvisoHits = 0;     // ample sets rejected by C3
+
+  // Out-of-core telemetry (all zero unless a memory budget was set; the
+  // same tallies reach metrics as graph.spill.*).
+  bool spillActive = false;
+  std::uint64_t spillChunksCold = 0;    // sealed edge chunks demoted
+  std::uint64_t spillBytesOnDisk = 0;   // spill-file bytes backing them
+  std::uint64_t spillFaults = 0;        // reads of evicted cold chunks
+  std::uint64_t spillEvictions = 0;     // cold mappings dropped from RSS
 
   std::string summary() const;
 };

@@ -9,25 +9,41 @@
 
 namespace boosting::analysis {
 
-std::uint64_t peakRssBytes() {
+namespace {
+
+// Shared /proc/self/status field reader: returns the kB value of `field`
+// (e.g. "VmHWM:"), 0 when the file or field is unavailable.
+std::uint64_t procStatusKb(const char* field) {
 #if defined(__linux__)
-  // VmHWM ("high water mark") from /proc/self/status, in kB. Zero when the
-  // file is unavailable (non-procfs environments).
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (!f) return 0;
+  const std::size_t fieldLen = std::strlen(field);
   char line[256];
   std::uint64_t kb = 0;
   while (std::fgets(line, sizeof(line), f)) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      kb = std::strtoull(line + 6, nullptr, 10);
+    if (std::strncmp(line, field, fieldLen) == 0) {
+      kb = std::strtoull(line + fieldLen, nullptr, 10);
       break;
     }
   }
   std::fclose(f);
-  return kb * 1024;
+  return kb;
 #else
+  (void)field;
   return 0;
 #endif
+}
+
+}  // namespace
+
+std::uint64_t peakRssBytes() {
+  // VmHWM ("high water mark"): process-lifetime peak, monotone.
+  return procStatusKb("VmHWM:") * 1024;
+}
+
+std::uint64_t currentRssBytes() {
+  // VmRSS: the resident set right now, the basis for per-phase deltas.
+  return procStatusKb("VmRSS:") * 1024;
 }
 
 void flushTransitionCacheMetrics(obs::Registry* reg,
@@ -58,6 +74,17 @@ void flushGraphMetrics(obs::Registry* reg, const StateGraph& g) {
   reg->add("graph.bytes_edges", ms.bytesEdges);
   reg->add("graph.bytes_index", ms.bytesIndex);
   reg->maxOf("process.peak_rss_bytes", peakRssBytes());
+  if (g.spillActive()) {
+    // Cold-tier telemetry (see DESIGN.md "Out-of-core exploration"). All
+    // four are logical-event tallies of the single-writer graph, so they
+    // are deterministic; bytes_on_disk > 0 implies chunks_cold > 0 is a
+    // validate_metrics.py invariant.
+    const Pager::Stats ps = g.spillStats();
+    reg->maxOf("graph.spill.chunks_cold", ps.chunksCold);
+    reg->maxOf("graph.spill.bytes_on_disk", ps.bytesOnDisk);
+    reg->maxOf("graph.spill.faults", ps.faults);
+    reg->maxOf("graph.spill.evictions", ps.evictions);
+  }
   if (g.symmetryActive()) {
     const SymmetryPolicy& sp = *g.symmetryPolicy();
     // Quotient telemetry: states_raw counts intern probes (pre-reduction),

@@ -23,8 +23,17 @@ namespace boosting::analysis {
 void flushGraphMetrics(obs::Registry* reg, const StateGraph& g);
 
 // Process peak resident set size in bytes (Linux VmHWM; 0 where
-// unavailable). Exposed for tests and benches.
+// unavailable). Exposed for tests and benches. CAUTION: VmHWM is a
+// process-lifetime high-water mark -- it is monotone and never reflects
+// memory released between phases. Per-phase costs must be measured as
+// currentRssBytes() deltas around the phase instead (the
+// process.rss_delta_bytes metric; see DESIGN.md "Out-of-core exploration").
 std::uint64_t peakRssBytes();
+
+// Process resident set size right now (Linux VmRSS; 0 where unavailable).
+// Sampled before/after a phase to derive a delta that, unlike VmHWM,
+// responds to memory the phase actually released or avoided allocating.
+std::uint64_t currentRssBytes();
 
 // cache.<prefix>enabled_lookups|hits|misses and apply_* for an arbitrary
 // cache (the graph flush uses an empty prefix; workers report through

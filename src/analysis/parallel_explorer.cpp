@@ -15,6 +15,7 @@
 #include <unordered_set>
 
 #include "analysis/dense.h"
+#include "analysis/pager.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -77,15 +78,40 @@ struct PNode {
 // to the owning shard under one lock acquisition.
 constexpr std::size_t kBatchCapacity = 64;
 
+// Resolved frontier-spill geometry (see ExplorationPolicy). Batch buffers
+// are bounded (kBatchCapacity entries per worker-shard pair), so the
+// frontier QUEUES are what can grow without bound -- they are what spills.
+struct FrontierSpillConfig {
+  std::size_t threshold = 0;   // 0 = spill disabled
+  std::size_t segEntries = 0;  // entries per on-disk segment
+};
+
+FrontierSpillConfig resolveFrontierSpill(const ExplorationPolicy& policy) {
+  FrontierSpillConfig fc;
+  fc.threshold = policy.frontierSpillThreshold;
+  if (fc.threshold == 0 && policy.memoryBudgetBytes != 0) {
+    fc.threshold = 65536;  // 512 KiB of handles before segments move out
+  }
+  fc.segEntries = std::max<std::size_t>(16, fc.threshold / 4);
+  return fc;
+}
+
 // Flush the tallies of one exploration into the registry under the serial
 // BFS naming (explore.*). The parallel engine uses explorer.* names so the
 // two paths stay distinguishable in a merged metrics file.
-void flushSerialExplore(obs::Registry* reg, const ExploreStats& stats) {
+void flushSerialExplore(obs::Registry* reg, const ExploreStats& stats,
+                        bool spillEnabled) {
   if (!reg) return;
   reg->add("explore.states_discovered", stats.statesDiscovered);
   reg->add("explore.edges_computed", stats.edgesComputed);
   reg->maxOf("explore.frontier_peak", stats.frontierPeak);
   if (stats.truncated) reg->add("explore.truncations", 1);
+  if (spillEnabled) {
+    reg->add("explore.frontier_segments_spilled",
+             stats.frontierSpill.segmentsSpilled);
+    reg->add("explore.frontier_reloads",
+             stats.frontierSpill.segmentsReloaded);
+  }
 }
 
 // Serial fallback: the legacy BFS over StateGraph::successors(), with the
@@ -94,11 +120,18 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
                            const ExplorationPolicy& policy) {
   ExploreStats stats;
   stats.threadsUsed = 1;
-  std::deque<NodeId> frontier{root};
+  // The BFS frontier runs through the spill-capable FIFO; with spill
+  // disabled (threshold 0) it degenerates to a plain in-memory deque, so
+  // both configurations drain in identical order by construction.
+  const FrontierSpillConfig spill = resolveFrontierSpill(policy);
+  SpilledFrontier frontier(spill.threshold, spill.segEntries,
+                           policy.spillDir);
+  frontier.push(root);
   DenseNodeSet seen(g.size());
   seen.insert(root);
   std::uint64_t expansions = 0;
   try {
+    std::uint64_t item = 0;
     while (!frontier.empty()) {
       if (policy.maxStates != 0 && seen.size() > policy.maxStates) {
         stats.truncated = true;
@@ -106,14 +139,14 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
       }
       stats.frontierPeak = std::max<std::uint64_t>(stats.frontierPeak,
                                                    frontier.size());
-      const NodeId x = frontier.front();
-      frontier.pop_front();
+      frontier.pop(&item);
+      const NodeId x = static_cast<NodeId>(item);
       if (policy.expansionHook) policy.expansionHook(++expansions);
       // Reduced tier when a POR policy is active, full tier otherwise --
       // the same switch the valence BFS takes.
       for (const EdgeView e : g.exploreSuccessors(x)) {
         ++stats.edgesComputed;
-        if (seen.insert(e.to)) frontier.push_back(e.to);
+        if (seen.insert(e.to)) frontier.push(e.to);
       }
     }
   } catch (...) {
@@ -126,7 +159,9 @@ ExploreStats serialExplore(StateGraph& g, NodeId root,
     throw;
   }
   stats.statesDiscovered = seen.size();
-  flushSerialExplore(policy.metrics, stats);
+  stats.frontierSpill.segmentsSpilled = frontier.stats().segmentsSpilled;
+  stats.frontierSpill.segmentsReloaded = frontier.stats().segmentsReloaded;
+  flushSerialExplore(policy.metrics, stats, spill.threshold != 0);
   return stats;
 }
 
@@ -150,6 +185,14 @@ struct ParallelExplorer::Impl {
   struct WorkQueue {
     std::mutex m;
     std::deque<PHandle> q;
+    // Out-of-core overflow for this queue's cold (steal-end) entries, only
+    // allocated when the policy enables frontier spill. Entries moved here
+    // keep their in-flight tokens: the owner reloads them in popWork before
+    // it can ever observe inflight == 0, so termination detection is
+    // unaffected. Order within the overflow is irrelevant in phase 1 --
+    // the reachable set is confluent and phase 2 renumbers canonically.
+    // Guarded by `m`, like the deque.
+    std::unique_ptr<SpilledFrontier> overflow;
   };
 
   // A successor routed to a shard but not yet interned. The state is
@@ -232,6 +275,7 @@ struct ParallelExplorer::Impl {
   StateGraph& g;
   const ioa::System& sys;
   ExplorationPolicy policy;
+  FrontierSpillConfig spill;  // resolved once; threshold 0 = no spill
   unsigned workers = 1;
   unsigned shardCount = 1;
   unsigned shardBits = 0;  // log2(shardCount); in-shard probes use the
@@ -277,7 +321,8 @@ struct ParallelExplorer::Impl {
   ExploreStats statsOut;
 
   Impl(StateGraph& graph, const ExplorationPolicy& p)
-      : g(graph), sys(graph.system()), policy(p) {
+      : g(graph), sys(graph.system()), policy(p),
+        spill(resolveFrontierSpill(p)) {
     workers = policy.threads == 0 ? std::thread::hardware_concurrency()
                                   : policy.threads;
     if (workers == 0) workers = 1;
@@ -287,6 +332,16 @@ struct ParallelExplorer::Impl {
     shardBits = static_cast<unsigned>(std::countr_zero(shardCount));
     shards = std::vector<Shard>(shardCount);
     queues = std::vector<WorkQueue>(workers);
+    if (spill.threshold != 0) {
+      // The overflow's own in-memory window is one segment (threshold =
+      // segEntries): anything past that goes straight to disk, so the
+      // combined in-memory footprint of a queue stays near the policy
+      // threshold rather than doubling it.
+      for (WorkQueue& wq : queues) {
+        wq.overflow = std::make_unique<SpilledFrontier>(
+            spill.segEntries, spill.segEntries, policy.spillDir);
+      }
+    }
     workerStats.resize(workers);
     wstates = std::vector<WorkerState>(workers);
     for (WorkerState& w : wstates) {
@@ -469,6 +524,17 @@ struct ParallelExplorer::Impl {
     wq.q.push_back(h);
     workerStats[self].frontierPeak =
         std::max<std::uint64_t>(workerStats[self].frontierPeak, wq.q.size());
+    // Frontier spill: past the threshold, shed a segment's worth of the
+    // COLDEST entries (the front -- the steal end) into the overflow FIFO.
+    // Their in-flight tokens ride along; see WorkQueue::overflow.
+    if (wq.overflow && wq.q.size() > spill.threshold) {
+      const std::size_t shed =
+          std::min<std::size_t>(spill.segEntries, wq.q.size() - 1);
+      for (std::size_t k = 0; k < shed; ++k) {
+        wq.overflow->push(wq.q.front());
+        wq.q.pop_front();
+      }
+    }
   }
 
   // Route one discovered successor to its owning shard via the worker's
@@ -600,6 +666,16 @@ struct ParallelExplorer::Impl {
     }
     w.dirtyShards.clear();
     std::fill(w.dirtyFlag.begin(), w.dirtyFlag.end(), 0);
+    // Drain-and-poison extends to spilled segments: entries parked in the
+    // overflow (in memory or on disk) hold in-flight tokens too, so the
+    // abort path must release them or the counter never drains.
+    WorkQueue& wq = queues[self];
+    std::lock_guard<std::mutex> lock(wq.m);
+    if (wq.overflow && !wq.overflow->empty()) {
+      inflight.fetch_sub(static_cast<std::int64_t>(wq.overflow->size()),
+                         std::memory_order_release);
+      wq.overflow->clear();
+    }
   }
 
   bool popWork(unsigned self, PHandle* out) {
@@ -622,6 +698,19 @@ struct ParallelExplorer::Impl {
         WorkQueue& own = queues[self];
         std::lock_guard<std::mutex> lock(own.m);
         if (!own.q.empty()) {
+          *out = own.q.back();
+          own.q.pop_back();
+          return true;
+        }
+        // Reload spilled frontier entries before stealing or going idle:
+        // the overflow's tokens keep inflight above zero, so the owner is
+        // guaranteed to pass through here while entries remain.
+        if (own.overflow && !own.overflow->empty()) {
+          std::uint64_t item = 0;
+          for (std::size_t k = 0;
+               k < spill.segEntries && own.overflow->pop(&item); ++k) {
+            own.q.push_back(static_cast<PHandle>(item));
+          }
           *out = own.q.back();
           own.q.pop_back();
           return true;
@@ -712,17 +801,28 @@ struct ParallelExplorer::Impl {
     // no locking on lookups; only first-time computations touch stripes.
     TransitionCache transitions(sys, slotCanon);
     PHandle h = 0;
-    while (popWork(self, &h)) {
-      try {
-        expandNode(self, h, transitions);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(errMutex);
-          if (!firstError) firstError = std::current_exception();
+    try {
+      while (popWork(self, &h)) {
+        try {
+          expandNode(self, h, transitions);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(errMutex);
+            if (!firstError) firstError = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
         }
-        abort.store(true, std::memory_order_relaxed);
+        inflight.fetch_sub(1, std::memory_order_release);
       }
-      inflight.fetch_sub(1, std::memory_order_release);
+    } catch (...) {
+      // popWork itself threw: a frontier spill or reload hit an I/O
+      // failure. Record it and poison the run like any expansion error --
+      // the drain below releases whatever tokens this worker still holds.
+      {
+        std::lock_guard<std::mutex> lock(errMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+      abort.store(true, std::memory_order_relaxed);
     }
     // Exited because of an abort or because the exploration drained. On
     // abort, pending batches must be drained-and-discarded so the
@@ -796,6 +896,13 @@ struct ParallelExplorer::Impl {
     }
     assert(statsOut.shard.routed == statsOut.statesDiscovered &&
            "ParallelExplorer: routed interns out of sync with discoveries");
+    for (WorkQueue& wq : queues) {
+      if (!wq.overflow) continue;
+      statsOut.frontierSpill.segmentsSpilled +=
+          wq.overflow->stats().segmentsSpilled;
+      statsOut.frontierSpill.segmentsReloaded +=
+          wq.overflow->stats().segmentsReloaded;
+    }
     flushMetrics();
   }
 
@@ -815,6 +922,12 @@ struct ParallelExplorer::Impl {
     reg->add("explorer.shard.cross_shard_edges",
              statsOut.shard.crossShardEdges);
     reg->add("explorer.shard.active_pairs", statsOut.shard.activePairs);
+    if (spill.threshold != 0) {
+      reg->add("explorer.frontier.segments_spilled",
+               statsOut.frontierSpill.segmentsSpilled);
+      reg->add("explorer.frontier.reloads",
+               statsOut.frontierSpill.segmentsReloaded);
+    }
     TransitionCache::Stats cache;
     for (unsigned w = 0; w < workers; ++w) {
       const ExploreStats::WorkerStats& ws = workerStats[w];
@@ -903,12 +1016,16 @@ struct ParallelExplorer::Impl {
 
     // Canonical BFS: FIFO frontier, successors in task order -- the exact
     // discovery order of the serial explorer, so node ids, parents and
-    // successor lists come out bit-for-bit identical.
-    std::deque<PHandle> fifo{rootH};
+    // successor lists come out bit-for-bit identical. The FIFO runs through
+    // the spill-capable queue, which preserves order exactly even when
+    // segments move to disk, so the install order -- and with it every node
+    // id -- is independent of whether spill engaged.
+    SpilledFrontier fifo(spill.threshold, spill.segEntries, policy.spillDir);
+    fifo.push(rootH);
     std::unordered_set<PHandle> enqueued{rootH};
-    while (!fifo.empty()) {
-      const PHandle h = fifo.front();
-      fifo.pop_front();
+    std::uint64_t item = 0;
+    while (fifo.pop(&item)) {
+      const PHandle h = static_cast<PHandle>(item);
       const NodeId gid = internGraph(h, nullptr);
       PNode* pn = nodePtr(h);
       if (!pn->expanded) continue;  // truncated leaf (maxStates cap)
@@ -935,12 +1052,26 @@ struct ParallelExplorer::Impl {
           edgesOut.push_back(Edge{tasks[pe.task], act, cid});
         }
         if (!finalized || !finalized(cid)) {
-          if (enqueued.insert(pe.to).second) fifo.push_back(pe.to);
+          if (enqueued.insert(pe.to).second) fifo.push(pe.to);
         }
       }
       if (!cached) g.setSuccessors(gid, std::move(edgesOut));
     }
+    noteInstallSpill(fifo);
     return rootId;
+  }
+
+  // Fold one install FIFO's spill tallies into the run stats and the
+  // metrics registry (expand() already flushed its own share).
+  void noteInstallSpill(const SpilledFrontier& fifo) {
+    statsOut.frontierSpill.segmentsSpilled += fifo.stats().segmentsSpilled;
+    statsOut.frontierSpill.segmentsReloaded += fifo.stats().segmentsReloaded;
+    if (policy.metrics && spill.threshold != 0) {
+      policy.metrics->add("explorer.frontier.segments_spilled",
+                          fifo.stats().segmentsSpilled);
+      policy.metrics->add("explorer.frontier.reloads",
+                          fifo.stats().segmentsReloaded);
+    }
   }
 
   // POR install pass: a canonical BFS over GRAPH node ids that replays, at
@@ -962,7 +1093,11 @@ struct ParallelExplorer::Impl {
     handleOf.emplace(rootId, rootH);
     if (finalized && finalized(rootId)) return rootId;
 
-    std::deque<NodeId> fifo{rootId};
+    // Same spill-capable FIFO as the plain install pass: exact order
+    // preservation keeps the proviso evaluation -- which depends on global
+    // BFS order -- identical with and without spill.
+    SpilledFrontier fifo(spill.threshold, spill.segEntries, policy.spillDir);
+    fifo.push(rootId);
     DenseNodeSet enqueuedIds(g.size());
     enqueuedIds.insert(rootId);
     std::vector<const ioa::Action*> acts(tasks.size(), nullptr);
@@ -970,13 +1105,13 @@ struct ParallelExplorer::Impl {
     const auto enqueueTargets = [&]() {
       for (const NodeId cid : targets) {
         if (finalized && finalized(cid)) continue;
-        if (enqueuedIds.insert(cid)) fifo.push_back(cid);
+        if (enqueuedIds.insert(cid)) fifo.push(cid);
       }
       targets.clear();
     };
-    while (!fifo.empty()) {
-      const NodeId gid = fifo.front();
-      fifo.pop_front();
+    std::uint64_t item = 0;
+    while (fifo.pop(&item)) {
+      const NodeId gid = static_cast<NodeId>(item);
       if (const auto cached = g.cachedReducedSuccessors(gid)) {
         // Already reduced-expanded (an earlier install over an overlapping
         // region): walk the cached list like the serial BFS would.
@@ -1074,6 +1209,7 @@ struct ParallelExplorer::Impl {
     // installs. Report the serial semantics instead: the node count of
     // the installed region (what serialExplore's `seen` would hold).
     statsOut.statesDiscovered = enqueuedIds.size();
+    noteInstallSpill(fifo);
     return rootId;
   }
 };

@@ -85,9 +85,24 @@ struct ExplorationPolicy {
   // (smallest power of two >= the resolved worker count). Other values are
   // rounded up to the next power of two and clamped to [1, 256]. The shard
   // count never changes WHAT is explored or the ids the install pass
-  // produces -- only how phase-1 contention is spread. (Appended last:
-  // callers aggregate-initialize the leading members.)
+  // produces -- only how phase-1 contention is spread. (Appended: callers
+  // aggregate-initialize the leading members.)
   unsigned shards = 0;
+  // Out-of-core exploration (see DESIGN.md "Out-of-core exploration").
+  // Non-zero turns on frontier spill: per-worker phase-1 queues shed their
+  // cold (steal-end) entries to disk segments past a threshold, and the
+  // phase-2 install FIFO (as well as the serial BFS frontier) runs through
+  // an external-memory queue that preserves FIFO order exactly -- so spill
+  // never changes node ids, intern indices or witnesses. The StateGraph's
+  // own edge-arena cold tier is configured separately via SpillConfig;
+  // drivers normally set both from the same --memory-budget. (Appended.)
+  std::size_t memoryBudgetBytes = 0;
+  // In-memory entries a frontier may hold before segments move to disk.
+  // 0 = auto (65536 under a budget, spill disabled otherwise). (Appended.)
+  std::size_t frontierSpillThreshold = 0;
+  // Directory for the unlinked frontier spill files ("" = $TMPDIR, else
+  // /tmp). (Appended.)
+  std::string spillDir;
 };
 
 struct ExploreStats {
@@ -119,6 +134,15 @@ struct ExploreStats {
     std::uint64_t activePairs = 0;     // distinct (worker, shard) pairs used
   };
 
+  // Frontier-spill tallies (all zero unless the policy enables spill):
+  // phase-1 worker-queue segments plus phase-2 install-FIFO segments (or
+  // the serial BFS frontier's, on that path). Reloaded <= spilled always;
+  // the difference is segments dropped by an abort.
+  struct FrontierSpillStats {
+    std::uint64_t segmentsSpilled = 0;
+    std::uint64_t segmentsReloaded = 0;
+  };
+
   std::size_t statesDiscovered = 0;  // states known to the engine afterwards
   std::size_t edgesComputed = 0;     // transitions evaluated during expansion
   unsigned threadsUsed = 1;
@@ -126,6 +150,7 @@ struct ExploreStats {
   std::uint64_t frontierPeak = 0;          // serial path: BFS queue high-water
   std::vector<WorkerStats> perWorker;      // parallel path: one per worker
   ShardStats shard;                        // parallel path: routing tallies
+  FrontierSpillStats frontierSpill;        // out-of-core frontier tallies
 };
 
 // Pure shard-routing arithmetic, shared by the engine and the router fuzz

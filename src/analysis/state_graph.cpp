@@ -17,15 +17,66 @@ constexpr bool overloaded(std::size_t used, std::size_t cap) {
 
 }  // namespace
 
+void StateGraph::validateTaskCapacity(std::size_t taskCount,
+                                      std::uint32_t chunkCapacity) {
+  if (taskCount >= (std::size_t{1} << 16)) {
+    throw std::invalid_argument(
+        "StateGraph: " + std::to_string(taskCount) +
+        " tasks overflow the 16-bit task index of CompactEdge (at most "
+        "65535 tasks are supported)");
+  }
+  if (taskCount >= chunkCapacity) {
+    throw std::invalid_argument(
+        "StateGraph: edge chunk capacity " + std::to_string(chunkCapacity) +
+        " cannot hold one full successor list for " +
+        std::to_string(taskCount) +
+        " tasks; raise SpillConfig::edgeChunkShift");
+  }
+}
+
+std::uint32_t StateGraph::resolveEdgeChunkShift(const SpillConfig& spill) {
+  if (spill.edgeChunkShift != 0) {
+    if (spill.edgeChunkShift < 6 || spill.edgeChunkShift > 20) {
+      throw std::invalid_argument(
+          "StateGraph: SpillConfig::edgeChunkShift " +
+          std::to_string(spill.edgeChunkShift) + " outside [6, 20]");
+    }
+    return spill.edgeChunkShift;
+  }
+  if (spill.memoryBudgetBytes == 0) return kDefaultEdgeChunkShift;
+  // Budget-scaled: aim for ~16 chunks of LRU headroom inside the budget so
+  // small bounded runs still seal (and therefore demote) whole chunks,
+  // clamped to [8, default]. The shift moves arena positions only -- node
+  // ids, intern indices and successor lists are unaffected.
+  const std::uint64_t entries =
+      spill.memoryBudgetBytes / (16 * sizeof(CompactEdge));
+  std::uint32_t shift = 8;
+  while (shift < kDefaultEdgeChunkShift &&
+         (std::uint64_t{1} << (shift + 1)) <= entries) {
+    ++shift;
+  }
+  return shift;
+}
+
 StateGraph::StateGraph(const ioa::System& sys,
                        std::shared_ptr<const SymmetryPolicy> symmetry,
-                       std::shared_ptr<const PorPolicy> por)
+                       std::shared_ptr<const PorPolicy> por,
+                       const SpillConfig& spill)
     : sys_(sys), symmetry_(std::move(symmetry)), por_(std::move(por)),
+      chunkShift_(resolveEdgeChunkShift(spill)),
+      chunkCapacity_(1u << chunkShift_), edgeUsed_(chunkCapacity_),
       transitions_(sys, slotCanon_) {
   const auto& tasks = sys_.allTasks();
-  assert(tasks.size() < kEdgeChunkCapacity &&
-         "edge chunk must fit one full successor list");
-  assert(tasks.size() < (1u << 16) && "task index must fit u16");
+  validateTaskCapacity(tasks.size(), chunkCapacity_);
+  if (spill.memoryBudgetBytes != 0) {
+    Pager::Config pc;
+    pc.budgetBytes = spill.memoryBudgetBytes;
+    pc.chunkBytes = std::size_t{chunkCapacity_} * sizeof(CompactEdge);
+    pc.spillDir = spill.spillDir;
+    pc.failDemoteAfter = spill.failDemoteAfter;
+    pc.failEvictAfter = spill.failEvictAfter;
+    pager_ = std::make_unique<Pager>(pc);
+  }
   taskIndex_.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     taskIndex_.emplace(tasks[i], static_cast<std::uint16_t>(i));
@@ -141,16 +192,44 @@ StateGraph::InternResult StateGraph::internPrecanonicalized(
 
 CompactEdge* StateGraph::reserveEdgeRun(std::uint32_t need,
                                         std::uint32_t* base) {
-  if (edgeChunks_.empty() || kEdgeChunkCapacity - edgeUsed_ < need) {
+  if (edgeChunks_.empty() || chunkCapacity_ - edgeUsed_ < need) {
     if (!edgeChunks_.empty()) {
-      edgeSlackSlots_ += kEdgeChunkCapacity - edgeUsed_;
+      edgeSlackSlots_ += chunkCapacity_ - edgeUsed_;
+      if (pager_) {
+        // Seal point: once the arena moves on, the tail chunk is immutable
+        // (committed runs never mutate; an abandoned reserved tail is
+        // never read), so it demotes to the spill file now. demote() is
+        // all-or-nothing and we throw BEFORE the new chunk or any edge of
+        // the current expansion is committed, so a demote failure leaves
+        // the graph exactly as the last commit did (checkConsistent holds).
+        const std::uint32_t coldId =
+            pager_->demote(edgeChunks_.back().data);
+        (void)coldId;
+        assert(coldId + 1 == edgeChunks_.size() &&
+               "cold ids must track chunk positions (demote-in-order)");
+      }
     }
-    edgeChunks_.push_back(std::make_unique<CompactEdge[]>(kEdgeChunkCapacity));
+    EdgeChunk chunk;
+    if (pager_) {
+      chunk.data = static_cast<CompactEdge*>(pager_->allocChunk());
+    } else {
+      chunk.heap = std::make_unique<CompactEdge[]>(chunkCapacity_);
+      chunk.data = chunk.heap.get();
+    }
+    edgeChunks_.push_back(std::move(chunk));
     edgeUsed_ = 0;
   }
   *base = static_cast<std::uint32_t>(
-      ((edgeChunks_.size() - 1) << kEdgeChunkShift) | edgeUsed_);
-  return edgeChunks_.back().get() + edgeUsed_;
+      ((edgeChunks_.size() - 1) << chunkShift_) | edgeUsed_);
+  return edgeChunks_.back().data + edgeUsed_;
+}
+
+void StateGraph::touchChunkForRead(std::uint32_t chunk) const {
+  // Chunks demote strictly in order, so every chunk but the live tail is
+  // cold and its cold id equals its position.
+  if (static_cast<std::size_t>(chunk) + 1 < edgeChunks_.size()) {
+    pager_->touchCold(chunk);
+  }
 }
 
 std::uint32_t StateGraph::internAction(const ioa::Action& a) {
@@ -529,7 +608,7 @@ StateGraph::MemoryStats StateGraph::memoryStats() const {
   MemoryStats ms;
   for (const ioa::SystemState& s : states_) ms.bytesStates += s.shallowBytes();
   ms.bytesEdges =
-      static_cast<std::uint64_t>(edgeChunks_.size()) * kEdgeChunkCapacity *
+      static_cast<std::uint64_t>(edgeChunks_.size()) * chunkCapacity_ *
           sizeof(CompactEdge) +
       actionPool_.size() * sizeof(ioa::Action) +
       actionTable_.capacity() * sizeof(ActionSlot);

@@ -57,13 +57,17 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
 #include "analysis/adversary.h"
 #include "analysis/dot_export.h"
 #include "analysis/metrics.h"
+#include "analysis/pager.h"
 #include "obs/progress.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -87,6 +91,8 @@ struct Options {
   bool shardsExplicit = false;
   analysis::SymmetryMode symmetry = analysis::SymmetryMode::Auto;
   analysis::PorMode por = analysis::PorMode::Auto;
+  std::uint64_t memoryBudgetBytes = 0;  // 0 = fully in-memory
+  std::string spillDir;                 // "" = $TMPDIR, else /tmp
   bool brute = false;
   bool progress = false;
   std::string witnessPath;
@@ -100,7 +106,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s --candidate relay|bridge|tob|flooding|single-fd "
                "--n N --f F [--claim C] [--threads T] [--shards auto|N] "
-               "[--symmetry auto|on|off] [--por auto|on|off] [--brute] "
+               "[--symmetry auto|on|off] [--por auto|on|off] "
+               "[--memory-budget BYTES] [--spill-dir DIR] [--brute] "
                "[--witness FILE] [--dot FILE] [--metrics-json FILE] "
                "[--trace FILE] [--progress] [--replay FILE]\n",
                argv0);
@@ -293,6 +300,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--por: expected auto|on|off, got '%s'\n", v);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
+      // Floor of 1 MiB: the budget must hold at least a couple of edge
+      // chunks or the pager would thrash uselessly (resolveEdgeChunkShift
+      // sizes chunks so ~16 fit the budget).
+      opt.memoryBudgetBytes = static_cast<std::uint64_t>(
+          parseIntOrDie("--memory-budget", needArg("--memory-budget"),
+                        1048576, std::numeric_limits<long>::max()));
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0) {
+      opt.spillDir = needArg("--spill-dir");
     } else if (std::strcmp(argv[i], "--brute") == 0) {
       opt.brute = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
@@ -328,6 +344,23 @@ int main(int argc, char** argv) {
                  "(the theorems assume f+1 <= n-1)\n",
                  opt.claim, opt.n);
     return 2;
+  }
+  // Spill cross-validation: --spill-dir is inert without a budget (reject
+  // rather than silently ignore), and a bad directory should fail with a
+  // flag-named diagnostic up front, not an exception mid-pipeline.
+  if (!opt.spillDir.empty() && opt.memoryBudgetBytes == 0) {
+    std::fprintf(stderr,
+                 "--spill-dir: requires --memory-budget (nothing spills "
+                 "without a budget)\n");
+    return 2;
+  }
+  if (opt.memoryBudgetBytes != 0) {
+    try {
+      ::close(analysis::openUnlinkedSpillFile(opt.spillDir));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--spill-dir: %s\n", e.what());
+      return 2;
+    }
   }
   // Shard/thread cross-validation: each worker keeps one batch buffer per
   // shard, so a shard count far beyond the worker count only fragments
@@ -387,6 +420,11 @@ int main(int argc, char** argv) {
       std::printf("sharding: auto (one hash-owned shard per worker)\n");
     }
   }
+  if (opt.memoryBudgetBytes != 0) {
+    std::printf("memory budget: %llu bytes (edge-arena cold tier + frontier "
+                "spill)\n",
+                static_cast<unsigned long long>(opt.memoryBudgetBytes));
+  }
 
   const ioa::StatePerfCounters perfBefore = ioa::statePerfSnapshot();
 
@@ -422,6 +460,8 @@ int main(int argc, char** argv) {
   cfg.exploration.threads = opt.threads;
   cfg.exploration.shards = opt.shards;
   cfg.exploration.metrics = reg;
+  cfg.exploration.memoryBudgetBytes = opt.memoryBudgetBytes;
+  cfg.exploration.spillDir = opt.spillDir;
   cfg.symmetry = opt.symmetry;
   cfg.por = opt.por;
   auto report = analysis::analyzeConsensusCandidate(*sys, cfg);
@@ -473,6 +513,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.porProvisoHits));
   } else if (opt.por == analysis::PorMode::On) {
     std::printf("por: not applied (%s)\n", report.porNote.c_str());
+  }
+  if (report.spillActive) {
+    std::printf("spill: %llu chunks cold, %llu bytes on disk, %llu faults, "
+                "%llu evictions\n",
+                static_cast<unsigned long long>(report.spillChunksCold),
+                static_cast<unsigned long long>(report.spillBytesOnDisk),
+                static_cast<unsigned long long>(report.spillFaults),
+                static_cast<unsigned long long>(report.spillEvictions));
   }
 
   if (!opt.witnessPath.empty() && !report.witness.empty()) {

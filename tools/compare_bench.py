@@ -22,7 +22,17 @@ when the fresh run regresses beyond the tolerance:
     runner (efficiency can only go UP with real cores) still pass;
   * benchmarks that report a peak_rss_bytes counter are additionally gated
     on it: fresh peak RSS above baseline * (1 + tolerance) fails, catching
-    shard-table or batch-buffer memory bloat.
+    shard-table or batch-buffer memory bloat. NOTE: peak_rss_bytes is the
+    process-lifetime VmHWM, monotone across the cells of one bench binary;
+  * benchmarks that report an rss_delta_bytes counter (per-cell VmRSS
+    delta, v6) are gated the same way -- this is the per-cell memory
+    measurement that a --memory-budget run must keep bounded, immune to
+    the VmHWM monotonicity blind spot;
+  * a gated counter present in the baseline but MISSING from the fresh run
+    is a hard failure (previously the gate was silently skipped, so a
+    regression that also dropped the counter passed unprotected); a
+    counter only the fresh run reports warns loudly and stays un-gated
+    until the baseline is refreshed.
 
 --tolerance is the fractional headroom (default 0.25, i.e. a >25% drop in
 states/sec fails). CI machines are noisy; raise it via the flag rather
@@ -90,6 +100,30 @@ def medians(doc):
     return out
 
 
+def gated(name, key, b, f, problems):
+    """Presence check for a gated counter, loud on asymmetry.
+
+    Returns True only when BOTH runs report the counter. A counter the
+    baseline has but the fresh run lost is a hard failure: the old
+    behaviour silently skipped the gate, so a regression that also dropped
+    the counter sailed through unprotected. A counter only the fresh run
+    has is a loud warning (the gate stays disarmed until the baseline is
+    refreshed in the same PR).
+    """
+    if key in b and key not in f:
+        problems.append(
+            f"{name}: baseline reports {key} but the fresh run does not -- "
+            "the gate on it would be silently skipped; restore the counter "
+            "or refresh the baseline in the same change")
+        return False
+    if key in f and key not in b:
+        print(f"WARNING: {name}: fresh run reports {key} but the baseline "
+              "does not; gate inactive until the baseline is refreshed",
+              file=sys.stderr)
+        return False
+    return key in b
+
+
 def compare(baseline, fresh, tolerance):
     base_runs = medians(baseline)
     fresh_runs = medians(fresh)
@@ -102,7 +136,7 @@ def compare(baseline, fresh, tolerance):
                             "refresh?)")
             continue
         b, f = base_runs[name], fresh_runs[name]
-        if "states_per_sec" in b and "states_per_sec" in f:
+        if gated(name, "states_per_sec", b, f, problems):
             bv, fv = b["states_per_sec"], f["states_per_sec"]
             ratio = fv / bv if bv else float("inf")
             rows.append((name, "states/sec", bv, fv, ratio))
@@ -122,7 +156,7 @@ def compare(baseline, fresh, tolerance):
                     f"({(ratio - 1.0) * 100.0:.1f}% slower > "
                     f"{tolerance * 100.0:.0f}% tolerance)")
         # Memory gate, orthogonal to the throughput/time gate above.
-        if "bytes_per_state" in b and "bytes_per_state" in f:
+        if gated(name, "bytes_per_state", b, f, problems):
             bv, fv = b["bytes_per_state"], f["bytes_per_state"]
             ratio = fv / bv if bv else float("inf")
             rows.append((name, "B/state", bv, fv, ratio))
@@ -132,7 +166,7 @@ def compare(baseline, fresh, tolerance):
                     f"({(ratio - 1.0) * 100.0:.1f}% fatter > "
                     f"{tolerance * 100.0:.0f}% tolerance)")
         # Multi-core scaling gate (one-sided: drops fail, gains pass).
-        if "scaling_efficiency" in b and "scaling_efficiency" in f:
+        if gated(name, "scaling_efficiency", b, f, problems):
             bv, fv = b["scaling_efficiency"], f["scaling_efficiency"]
             ratio = fv / bv if bv else float("inf")
             rows.append((name, "eff", bv, fv, ratio))
@@ -142,13 +176,28 @@ def compare(baseline, fresh, tolerance):
                     f"{fv:.3f} ({(1.0 - ratio) * 100.0:.1f}% drop > "
                     f"{tolerance * 100.0:.0f}% tolerance)")
         # Peak-RSS gate: catches shard-table / batch-buffer memory bloat.
-        if "peak_rss_bytes" in b and "peak_rss_bytes" in f:
+        # peak_rss_bytes is the process-lifetime VmHWM, so within one bench
+        # process it is monotone across cells -- it can only catch the
+        # biggest cell. The delta gate below is the per-cell measurement.
+        if gated(name, "peak_rss_bytes", b, f, problems):
             bv, fv = b["peak_rss_bytes"], f["peak_rss_bytes"]
             ratio = fv / bv if bv else float("inf")
             rows.append((name, "peak RSS", bv, fv, ratio))
             if bv and fv > bv * (1.0 + tolerance):
                 problems.append(
                     f"{name}: peak_rss_bytes regressed {bv:.0f} -> {fv:.0f} "
+                    f"({(ratio - 1.0) * 100.0:.1f}% fatter > "
+                    f"{tolerance * 100.0:.0f}% tolerance)")
+        # Delta-RSS gate (v6): per-cell VmRSS growth while the cell ran.
+        # Unlike the monotone VmHWM above, this responds to memory each
+        # cell actually held -- it is what a --memory-budget must bound.
+        if gated(name, "rss_delta_bytes", b, f, problems):
+            bv, fv = b["rss_delta_bytes"], f["rss_delta_bytes"]
+            ratio = fv / bv if bv else float("inf")
+            rows.append((name, "dRSS", bv, fv, ratio))
+            if bv and fv > bv * (1.0 + tolerance):
+                problems.append(
+                    f"{name}: rss_delta_bytes regressed {bv:.0f} -> {fv:.0f} "
                     f"({(ratio - 1.0) * 100.0:.1f}% fatter > "
                     f"{tolerance * 100.0:.0f}% tolerance)")
     for name, unit, bv, fv, ratio in rows:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a boosting-metrics-v5 JSON file against docs/metrics_schema.json.
+"""Validate a boosting-metrics-v6 JSON file against docs/metrics_schema.json.
 
 Hand-rolled validator for the draft-07 subset the schema actually uses
 (type, required, properties, additionalProperties, items, enum, minimum,
@@ -30,7 +30,14 @@ promise:
   * with --expect-workers N, per-worker expansion counters exist for
     workers 0..N-1 and sum to explorer.states_discovered -- or, when POR
     ran, to at most it (non-ample children are interned by workers but
-    reduced-expanded serially during install, outside the worker tallies).
+    reduced-expanded serially during install, outside the worker tallies);
+  * when the out-of-core tier ran (graph.spill.* counters present, v6),
+    bytes_on_disk > 0 implies chunks_cold > 0, evictions <= chunks_cold +
+    faults (each eviction follows a demote or a refault), the RSS-vs-graph
+    accounting subtracts the spilled bytes (cold chunks live in the spill
+    file, not in RSS), frontier segment reloads never exceed segments
+    spilled, and process.rss_delta_bytes (the per-phase VmRSS delta) never
+    exceeds the process-lifetime process.peak_rss_bytes.
 
 Usage: validate_metrics.py [--schema SCHEMA] [--expect-workers N] METRICS
 Exits 0 when valid, 1 with one "path: problem" line per violation.
@@ -219,12 +226,63 @@ def check_invariants(doc, expect_workers, errors):
                 f"states_discovered {states} (bytes must be monotone in "
                 "states)")
         rss = cval("process.peak_rss_bytes")
+        # Cold edge chunks live in the spill file, not in RSS, so the
+        # accounting invariant subtracts what the cold tier moved to disk
+        # (v6). Without spill this is the old strict check.
         graph_total = (bytes_states + cval("graph.bytes_edges") +
-                       cval("graph.bytes_index"))
+                       cval("graph.bytes_index") -
+                       cval("graph.spill.bytes_on_disk"))
         if rss > 0 and rss < graph_total:
             errors.append(
                 f"$.counters: process.peak_rss_bytes {rss} < sum of "
-                f"graph.bytes_* {graph_total}")
+                f"graph.bytes_* minus spilled bytes {graph_total}")
+
+    spill = [n for n in counters if n.startswith("graph.spill.")]
+    if spill:
+        for required in ("graph.spill.chunks_cold",
+                         "graph.spill.bytes_on_disk",
+                         "graph.spill.faults",
+                         "graph.spill.evictions"):
+            if required not in counters:
+                errors.append(
+                    "$.counters: graph.spill.* present but incomplete "
+                    f"({sorted(spill)})")
+                break
+        if cval("graph.spill.bytes_on_disk") > 0 and \
+                cval("graph.spill.chunks_cold") == 0:
+            errors.append(
+                f"$.counters: graph.spill.bytes_on_disk "
+                f"{cval('graph.spill.bytes_on_disk')} > 0 with "
+                "chunks_cold == 0 (disk bytes must back cold chunks)")
+        if cval("graph.spill.evictions") > cval("graph.spill.chunks_cold") + \
+                cval("graph.spill.faults"):
+            errors.append(
+                "$.counters: graph.spill.evictions "
+                f"{cval('graph.spill.evictions')} > chunks_cold + faults "
+                "(each eviction follows a demote or a refault)")
+
+    # Frontier spill (v6): a segment can only be reloaded after it was
+    # spilled, under both the parallel (explorer.frontier.*) and serial
+    # (explore.frontier_*) naming.
+    for spilled_name, reload_name in (
+            ("explorer.frontier.segments_spilled",
+             "explorer.frontier.reloads"),
+            ("explore.frontier_segments_spilled",
+             "explore.frontier_reloads")):
+        if spilled_name in counters or reload_name in counters:
+            if cval(reload_name) > cval(spilled_name):
+                errors.append(
+                    f"$.counters: {reload_name} {cval(reload_name)} > "
+                    f"{spilled_name} {cval(spilled_name)}")
+
+    # Per-phase RSS delta (v6): the delta cannot exceed the process
+    # lifetime peak -- VmHWM is a superset of any phase's growth.
+    rss_delta = cval("process.rss_delta_bytes")
+    rss_peak = cval("process.peak_rss_bytes")
+    if rss_peak > 0 and rss_delta > rss_peak:
+        errors.append(
+            f"$.counters: process.rss_delta_bytes {rss_delta} > "
+            f"process.peak_rss_bytes {rss_peak}")
 
     if expect_workers is not None:
         total = 0
@@ -293,7 +351,7 @@ def main():
 
     counters = len(doc.get("counters", []))
     timers = len(doc.get("timers", []))
-    print(f"{args.metrics}: valid boosting-metrics-v5 "
+    print(f"{args.metrics}: valid boosting-metrics-v6 "
           f"({counters} counters, {timers} timers)")
     return 0
 
