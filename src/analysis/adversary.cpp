@@ -229,7 +229,7 @@ AdversaryReport analyzeConsensusCandidate(const ioa::System& sys,
   SpillConfig spill;
   spill.memoryBudgetBytes = cfg.exploration.memoryBudgetBytes;
   spill.spillDir = cfg.exploration.spillDir;
-  StateGraph g(sys, symmetry, por, spill);
+  StateGraph g(sys, symmetry, por, spill, cfg.memo);
   report.symmetryReduced = g.symmetryActive();
   if (!report.symmetryReduced) report.symmetryNote = symmetry->disabledReason();
   report.porReduced = g.porActive();

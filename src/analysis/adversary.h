@@ -43,6 +43,7 @@
 #include <set>
 #include <string>
 
+#include "analysis/analysis_memo.h"
 #include "analysis/bivalence.h"
 #include "analysis/hook.h"
 #include "analysis/por.h"
@@ -80,6 +81,13 @@ struct AdversaryConfig {
   // exploration.spillDir. Spill never changes the verdict or any proof
   // artifact -- runs are bit-identical with and without a budget (see
   // DESIGN.md "Out-of-core exploration").
+  // Cross-job warm start (the analysis service): a memo built for the SAME
+  // System object shares its slot canon table, transition cache and action
+  // pool with the pipeline's StateGraph. Null (the default) keeps the
+  // legacy private-memo behaviour; verdicts and every proof artifact are
+  // bit-identical either way (see analysis/analysis_memo.h). The memo must
+  // not be in use by another exploration concurrently.
+  std::shared_ptr<AnalysisMemo> memo;
 };
 
 struct AdversaryReport {

@@ -61,11 +61,21 @@ std::uint32_t StateGraph::resolveEdgeChunkShift(const SpillConfig& spill) {
 StateGraph::StateGraph(const ioa::System& sys,
                        std::shared_ptr<const SymmetryPolicy> symmetry,
                        std::shared_ptr<const PorPolicy> por,
-                       const SpillConfig& spill)
+                       const SpillConfig& spill,
+                       std::shared_ptr<AnalysisMemo> memo)
     : sys_(sys), symmetry_(std::move(symmetry)), por_(std::move(por)),
       chunkShift_(resolveEdgeChunkShift(spill)),
-      chunkCapacity_(1u << chunkShift_), edgeUsed_(chunkCapacity_),
-      transitions_(sys, slotCanon_) {
+      chunkCapacity_(1u << chunkShift_),
+      edgeUsed_(chunkCapacity_),
+      memo_(memo ? std::move(memo) : std::make_shared<AnalysisMemo>(sys)),
+      transitionsBase_(memo_->transitions().stats()) {
+  if (&memo_->system() != &sys_) {
+    // Pointer-keyed memos only make sense against the exact System object
+    // they were built for (the TransitionCache snapshots its task list and
+    // keys on its slot representatives).
+    throw std::invalid_argument(
+        "StateGraph: AnalysisMemo was built for a different System object");
+  }
   const auto& tasks = sys_.allTasks();
   validateTaskCapacity(tasks.size(), chunkCapacity_);
   if (spill.memoryBudgetBytes != 0) {
@@ -156,7 +166,7 @@ void StateGraph::growIndex(std::size_t newCap) {
 StateGraph::InternResult StateGraph::internPrecanonicalized(
     ioa::SystemState&& s, std::size_t hash) {
   assertWriter();
-  slotCanon_.canonicalize(s);
+  memo_->slotCanon().canonicalize(s);
   if (index_.empty()) growIndex(1024);
   std::size_t slot = findIndexSlot(hash);
   const bool occupied = index_[slot].head != kNoNode;
@@ -232,39 +242,6 @@ void StateGraph::touchChunkForRead(std::uint32_t chunk) const {
   }
 }
 
-std::uint32_t StateGraph::internAction(const ioa::Action& a) {
-  if (actionTable_.empty()) growActionTable(256);
-  const std::size_t h = a.hash();
-  const std::size_t mask = actionTable_.size() - 1;
-  std::size_t i = h & mask;
-  while (true) {
-    ActionSlot& slot = actionTable_[i];
-    if (slot.idx == kNoAction) {
-      const std::uint32_t idx = static_cast<std::uint32_t>(actionPool_.size());
-      actionPool_.push_back(a);
-      slot = ActionSlot{h, idx};
-      if (overloaded(++actionCount_, actionTable_.size())) {
-        growActionTable(actionTable_.size() * 2);
-      }
-      return idx;
-    }
-    if (slot.hash == h && actionPool_[slot.idx] == a) return slot.idx;
-    i = (i + 1) & mask;
-  }
-}
-
-void StateGraph::growActionTable(std::size_t newCap) {
-  std::vector<ActionSlot> old = std::move(actionTable_);
-  actionTable_.assign(newCap, ActionSlot{});
-  const std::size_t mask = newCap - 1;
-  for (const ActionSlot& slot : old) {
-    if (slot.idx == kNoAction) continue;
-    std::size_t i = slot.hash & mask;
-    while (actionTable_[i].idx != kNoAction) i = (i + 1) & mask;
-    actionTable_[i] = slot;
-  }
-}
-
 std::uint16_t StateGraph::taskIndexOf(const ioa::TaskId& t) const {
   auto it = taskIndex_.find(t);
   if (it == taskIndex_.end()) {
@@ -288,7 +265,7 @@ EdgeList StateGraph::successors(NodeId id) {
   const ioa::SystemState& s = states_[id];
   ioa::SystemState next;  // reusable successor buffer (see step())
   for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
-    const ioa::Action* action = transitions_.step(s, ti, &next);
+    const ioa::Action* action = memo_->transitions().step(s, ti, &next);
     if (!action) continue;
     const std::uint32_t ai = internAction(*action);
     const std::size_t h = next.hash();
@@ -351,7 +328,7 @@ EdgeList StateGraph::reducedSuccessors(NodeId id) {
   ioa::SystemState next;  // reusable successor buffer (see step())
   std::vector<const ioa::Action*> actions(tasks.size(), nullptr);
   for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
-    actions[ti] = transitions_.step(s, ti, &next);
+    actions[ti] = memo_->transitions().step(s, ti, &next);
   }
   std::uint64_t enabledMask = 0;
   const std::uint64_t ampleMask = por_->ampleMask(actions, &enabledMask);
@@ -371,7 +348,7 @@ EdgeList StateGraph::reducedSuccessors(NodeId id) {
   bool open = false;  // C3: some ample target not yet reduced-expanded
   for (std::uint64_t m = ampleMask; m != 0; m &= m - 1) {
     const std::size_t ti = static_cast<std::size_t>(std::countr_zero(m));
-    const ioa::Action* action = transitions_.step(s, ti, &next);
+    const ioa::Action* action = memo_->transitions().step(s, ti, &next);
     const std::uint32_t ai = internAction(*action);
     const std::size_t h = next.hash();
     const InternResult r = internWithHash(std::move(next), h);
@@ -502,7 +479,9 @@ bool StateGraph::checkConsistent(std::string* why) const {
   }
   if (chained != n) return fail("hash chains do not cover all nodes");
   if (occupied != indexUsed_) return fail("indexUsed_ != occupied slots");
-  const std::size_t poolSize = actionPool_.size();
+  // On a shared memo the pool may hold actions no edge of THIS graph
+  // references; the bound check below (index < poolSize) is still exact.
+  const std::size_t poolSize = memo_->actionPoolSize();
   std::uint64_t edges = 0;
   std::uint64_t expanded = 0;
   for (std::size_t id = 0; id < n; ++id) {
@@ -610,8 +589,7 @@ StateGraph::MemoryStats StateGraph::memoryStats() const {
   ms.bytesEdges =
       static_cast<std::uint64_t>(edgeChunks_.size()) * chunkCapacity_ *
           sizeof(CompactEdge) +
-      actionPool_.size() * sizeof(ioa::Action) +
-      actionTable_.capacity() * sizeof(ActionSlot);
+      memo_->actionBytes();
   ms.bytesIndex = index_.capacity() * sizeof(IndexSlot) +
                   nextSameHash_.capacity() * sizeof(NodeId) +
                   parent_.capacity() * sizeof(Parent) +

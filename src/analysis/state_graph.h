@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analysis_memo.h"
 #include "analysis/pager.h"
 #include "analysis/por.h"
 #include "analysis/symmetry.h"
@@ -190,10 +191,19 @@ class StateGraph {
   // a budget's worth of cold mappings resident; node ids, intern indices
   // and successor lists are bit-identical to the unbounded build (the
   // remap preserves both addresses and contents).
+  // With a non-null `memo`, the graph shares that memo's slot canon table,
+  // transition cache and action pool instead of creating private ones --
+  // the analysis service's cross-job warm start (see
+  // analysis/analysis_memo.h for the safety argument). The memo must have
+  // been built for the SAME System object (validated) and must not be used
+  // by another graph concurrently (single-writer, like the graph itself).
+  // Null preserves the legacy behaviour exactly: a private memo that dies
+  // with the graph.
   explicit StateGraph(const ioa::System& sys,
                       std::shared_ptr<const SymmetryPolicy> symmetry = nullptr,
                       std::shared_ptr<const PorPolicy> por = nullptr,
-                      const SpillConfig& spill = {});
+                      const SpillConfig& spill = {},
+                      std::shared_ptr<AnalysisMemo> memo = nullptr);
 
   // Checked narrowing for the compact edge encoding: every stored edge
   // carries a 16-bit task index and one node's successor list must fit a
@@ -236,12 +246,18 @@ class StateGraph {
   // Resolved edges-per-chunk of this graph's arena.
   std::uint32_t edgeChunkCapacity() const { return chunkCapacity_; }
 
-  // Tallies of the graph-owned TransitionCache that successors() expands
-  // edges through (workers of the parallel explorer use private caches,
-  // reported separately).
-  const TransitionCache::Stats& transitionStats() const {
-    return transitions_.stats();
+  // Tallies of the TransitionCache that successors() expands edges
+  // through (workers of the parallel explorer use private caches,
+  // reported separately). Reported as a delta since THIS graph's
+  // construction, so a graph on a warm shared memo still reports per-run
+  // numbers -- warm entries populated by earlier jobs show up as hits.
+  TransitionCache::Stats transitionStats() const {
+    return memo_->transitions().stats().deltaSince(transitionsBase_);
   }
+
+  // The memo backing this graph's canon table, transition cache and
+  // action pool: the graph's own private one, or the injected shared one.
+  const std::shared_ptr<AnalysisMemo>& memo() const { return memo_; }
 
   // Structural self-check, used to assert that abort paths (a worker throw
   // inside the parallel explorer, a truncated exploration) never leave the
@@ -355,11 +371,12 @@ class StateGraph {
     return sys_.allTasks()[idx];
   }
   const ioa::Action& actionAt(std::uint32_t idx) const {
-    return actionPool_[idx];
+    return memo_->actionAt(idx);
   }
   // Distinct actions interned so far (every stored edge and parent record
-  // references one of these).
-  std::size_t actionPoolSize() const { return actionPool_.size(); }
+  // references one of these; on a shared memo the pool may hold more
+  // actions than this graph's edges reference).
+  std::size_t actionPoolSize() const { return memo_->actionPoolSize(); }
 
  private:
   // Compact first-discovery parent: the action is interned in the same
@@ -378,13 +395,6 @@ class StateGraph {
     std::size_t hash = 0;
     NodeId head = kNoNode;
   };
-
-  // One slot of the action intern table (open addressing over the pool).
-  struct ActionSlot {
-    std::size_t hash = 0;
-    std::uint32_t idx = kNoAction;
-  };
-  static constexpr std::uint32_t kNoAction = static_cast<std::uint32_t>(-1);
 
   // Per-node successor span: global arena position of the first edge (or
   // kUnexpanded) and edge count. Expanded-but-empty lists keep a valid
@@ -425,8 +435,9 @@ class StateGraph {
   }
   void touchChunkForRead(std::uint32_t chunk) const;
 
-  std::uint32_t internAction(const ioa::Action& a);
-  void growActionTable(std::size_t newCap);
+  std::uint32_t internAction(const ioa::Action& a) {
+    return memo_->internAction(a);
+  }
   std::uint16_t taskIndexOf(const ioa::TaskId& t) const;
 
   std::size_t findIndexSlot(std::size_t hash) const;
@@ -470,12 +481,6 @@ class StateGraph {
                                 // to force the first chunk
   std::uint64_t edgeSlackSlots_ = 0;
 
-  // Action intern pool (deque: stable references for EdgeView) plus its
-  // linear-probe index.
-  std::deque<ioa::Action> actionPool_;
-  std::vector<ActionSlot> actionTable_;
-  std::size_t actionCount_ = 0;
-
   // Task id -> allTasks() position, for the value-based APIs
   // (setSuccessors/setParent). Built once in the constructor.
   std::unordered_map<ioa::TaskId, std::uint16_t> taskIndex_;
@@ -486,13 +491,13 @@ class StateGraph {
   std::size_t indexUsed_ = 0;
   std::vector<NodeId> nextSameHash_;
 
-  // Slot hash-consing: states are canonicalized before probing/storing so
-  // bucket equality resolves by per-slot pointer identity (single-writer,
-  // like every other mutating member).
-  ioa::SlotCanonTable slotCanon_;
-  // Memoized component transitions over the canonical slots (declared after
-  // slotCanon_: construction order). successors() expands edges through it.
-  TransitionCache transitions_;
+  // Slot hash-consing, transition memo and action pool: private by
+  // default, shared across jobs when the service injects a warm memo (see
+  // analysis/analysis_memo.h). Single-writer either way.
+  std::shared_ptr<AnalysisMemo> memo_;
+  // The shared cache's tallies at this graph's construction, so
+  // transitionStats() stays per-graph on a warm memo.
+  TransitionCache::Stats transitionsBase_;
   Stats stats_;
 #ifndef NDEBUG
   std::thread::id writer_;  // single-writer expectation, asserted in debug

@@ -58,6 +58,22 @@ class TransitionCache {
       applyHits += other.applyHits;
       applyMisses += other.applyMisses;
     }
+
+    // This snapshot minus an earlier one of the same cache. Every field is
+    // monotone, so the difference is a well-formed Stats that satisfies
+    // hits + misses == lookups whenever both endpoints do. Used to report
+    // PER-GRAPH tallies of a cache shared across graphs (a service memo,
+    // see analysis/analysis_memo.h).
+    Stats deltaSince(const Stats& base) const {
+      Stats d;
+      d.enabledLookups = enabledLookups - base.enabledLookups;
+      d.enabledHits = enabledHits - base.enabledHits;
+      d.enabledMisses = enabledMisses - base.enabledMisses;
+      d.applyLookups = applyLookups - base.applyLookups;
+      d.applyHits = applyHits - base.applyHits;
+      d.applyMisses = applyMisses - base.applyMisses;
+      return d;
+    }
   };
 
   // Both referees must outlive the cache; `sys` must be fully built (the

@@ -4,6 +4,7 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <stdexcept>
 
@@ -69,38 +70,55 @@ void ValenceAnalyzer::explore(NodeId root) {
     enqueue(root);
     frontier.push_back(root);
   }
-  while (!frontier.empty()) {
-    frontierPeak = std::max<std::uint64_t>(frontierPeak, frontier.size());
-    const NodeId id = frontier.front();
-    frontier.pop_front();
-    region.push_back(id);
-    if (reg) reg->progress("valence.region_nodes", region.size());
-    // Expanding `id` is the only step that grows the graph, so one resize
-    // after it covers every node the edge loop can touch. Under an active
-    // POR policy this walks (and seeds bits from) the ample subset only;
-    // the cycle proviso inside reducedSuccessors() guarantees no decide
-    // edge is postponed forever, so the backward fixpoint still computes
-    // the true valence of every region node (see DESIGN.md).
-    const EdgeList edges = g_.exploreSuccessors(id);
-    ensureSize();
-    for (const EdgeView e : edges) {
-      // Direct decision edges seed the source node's bits.
-      if (e.action.kind == ioa::ActionKind::EnvDecide) {
-        if (auto v = ioa::decisionValue(e.action)) {
-          std::uint8_t add = 0;
-          if (*v == dec0_) add = kReach0;
-          if (*v == dec1_) add = kReach1;
-          if (add != 0 && (bits_[id] & add) != add) {
-            bits_[id] |= add;
+  std::uint64_t expansions = 0;
+  try {
+    while (!frontier.empty()) {
+      frontierPeak = std::max<std::uint64_t>(frontierPeak, frontier.size());
+      const NodeId id = frontier.front();
+      frontier.pop_front();
+      region.push_back(id);
+      if (reg) reg->progress("valence.region_nodes", region.size());
+      // Same per-expansion hook as the exploration engines: the serial
+      // valence BFS is the path that actually expands nodes when
+      // threads == 1, so cooperative cancellation/progress must fire here
+      // too. A throw lands between whole-node expansions, where the graph
+      // holds only fully installed nodes/edges.
+      if (policy_.expansionHook) policy_.expansionHook(++expansions);
+      // Expanding `id` is the only step that grows the graph, so one resize
+      // after it covers every node the edge loop can touch. Under an active
+      // POR policy this walks (and seeds bits from) the ample subset only;
+      // the cycle proviso inside reducedSuccessors() guarantees no decide
+      // edge is postponed forever, so the backward fixpoint still computes
+      // the true valence of every region node (see DESIGN.md).
+      const EdgeList edges = g_.exploreSuccessors(id);
+      ensureSize();
+      for (const EdgeView e : edges) {
+        // Direct decision edges seed the source node's bits.
+        if (e.action.kind == ioa::ActionKind::EnvDecide) {
+          if (auto v = ioa::decisionValue(e.action)) {
+            std::uint8_t add = 0;
+            if (*v == dec0_) add = kReach0;
+            if (*v == dec1_) add = kReach1;
+            if (add != 0 && (bits_[id] & add) != add) {
+              bits_[id] |= add;
+            }
           }
         }
-      }
-      preds_.at(e.to).push_back(id);
-      if (!marked(e.to)) {
-        enqueue(e.to);
-        frontier.push_back(e.to);
+        preds_.at(e.to).push_back(id);
+        if (!marked(e.to)) {
+          enqueue(e.to);
+          frontier.push_back(e.to);
+        }
       }
     }
+  } catch (...) {
+    assert(g_.checkConsistent() &&
+           "ValenceAnalyzer::explore: StateGraph inconsistent after abort");
+    // The transient 0x40 marks stay behind, but the analyzer object is
+    // abandoned with the aborted analysis; the graph and memo are what
+    // later runs reuse.
+    if (reg) reg->add("explore.aborts", 1);
+    throw;
   }
 
   // Phase 2: propagate decision reachability backwards to a fixpoint.

@@ -1,0 +1,60 @@
+#include "serve/candidates.h"
+
+#include "processes/flooding_consensus.h"
+#include "processes/relay_consensus.h"
+#include "processes/rotating_consensus.h"
+#include "processes/tob_consensus.h"
+
+namespace boosting::serve {
+
+bool isKnownCandidate(const std::string& candidate) {
+  return candidate == "relay" || candidate == "bridge" ||
+         candidate == "tob" || candidate == "flooding" ||
+         candidate == "single-fd";
+}
+
+std::unique_ptr<ioa::System> buildCandidateSystem(const std::string& candidate,
+                                                  int n, int f,
+                                                  std::string* error) {
+  const auto policy = services::DummyPolicy::PreferDummy;
+  if (candidate == "relay") {
+    processes::RelaySystemSpec spec;
+    spec.processCount = n;
+    spec.objectResilience = f;
+    spec.policy = policy;
+    return processes::buildRelayConsensusSystem(spec);
+  }
+  if (candidate == "bridge") {
+    processes::BridgeSystemSpec spec;
+    spec.processCount = n;
+    spec.bridgeEndpoint = n / 2;
+    spec.objectResilience = f;
+    spec.policy = policy;
+    return processes::buildBridgeConsensusSystem(spec);
+  }
+  if (candidate == "tob") {
+    processes::TOBConsensusSpec spec;
+    spec.processCount = n;
+    spec.serviceResilience = f;
+    spec.policy = policy;
+    return processes::buildTOBConsensusSystem(spec);
+  }
+  if (candidate == "flooding") {
+    processes::FloodingConsensusSpec spec;
+    spec.processCount = n;
+    spec.channelResilience = f;
+    spec.policy = policy;
+    return processes::buildFloodingConsensusSystem(spec);
+  }
+  if (candidate == "single-fd") {
+    processes::SingleFDConsensusSpec spec;
+    spec.processCount = n;
+    spec.fdResilience = f;
+    spec.policy = policy;
+    return processes::buildSingleFDRotatingConsensusSystem(spec);
+  }
+  if (error) *error = "unknown candidate '" + candidate + "'";
+  return nullptr;
+}
+
+}  // namespace boosting::serve

@@ -1,0 +1,27 @@
+// Candidate-system factory shared by the one-shot CLI (boosting_analyze)
+// and the resident service (boosting_served). Both front ends MUST build
+// byte-identical systems for the same (candidate, n, f) triple -- the
+// service's warm-cache verdicts are asserted byte-identical to the CLI's,
+// and that only holds if the underlying automata match exactly -- so the
+// construction lives here, in one place.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ioa/system.h"
+
+namespace boosting::serve {
+
+// The candidate names accepted by both front ends.
+bool isKnownCandidate(const std::string& candidate);
+
+// Build the candidate system, or return nullptr with *error set when the
+// candidate name is unknown. `n` is the process count, `f` the service
+// resilience; range/cross-field validation (n bounds, f < n, ...) is the
+// caller's job -- this factory only dispatches on the name.
+std::unique_ptr<ioa::System> buildCandidateSystem(const std::string& candidate,
+                                                  int n, int f,
+                                                  std::string* error);
+
+}  // namespace boosting::serve

@@ -1,0 +1,265 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace boosting::serve {
+
+void JobControl::requestPause() {
+  std::lock_guard<std::mutex> lock(m_);
+  Want expected = Want::Run;
+  // Cancel wins over pause; a cancelled job never goes back to paused.
+  want_.compare_exchange_strong(expected, Want::Pause,
+                                std::memory_order_acq_rel);
+  cv_.notify_all();
+}
+
+void JobControl::requestResume() {
+  std::lock_guard<std::mutex> lock(m_);
+  Want expected = Want::Pause;
+  want_.compare_exchange_strong(expected, Want::Run,
+                                std::memory_order_acq_rel);
+  cv_.notify_all();
+}
+
+void JobControl::requestCancel() {
+  std::lock_guard<std::mutex> lock(m_);
+  want_.store(Want::Cancel, std::memory_order_release);
+  cv_.notify_all();
+}
+
+void JobControl::checkpoint() {
+  // Fast path: one atomic load per expansion.
+  Want w = want_.load(std::memory_order_relaxed);
+  if (w == Want::Run) return;
+  if (w == Want::Cancel) throw JobCancelled();
+  std::unique_lock<std::mutex> lock(m_);
+  cv_.wait(lock, [this] {
+    return want_.load(std::memory_order_acquire) != Want::Pause;
+  });
+  if (want_.load(std::memory_order_acquire) == Want::Cancel) {
+    throw JobCancelled();
+  }
+}
+
+const char* jobStateName(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+TickScheduler::TickScheduler(Config cfg) : cfg_(cfg) {
+  if (cfg_.maxConcurrent == 0) cfg_.maxConcurrent = 1;
+}
+
+TickScheduler::~TickScheduler() {
+  cancelAll();
+  drain();
+  std::lock_guard<std::mutex> lock(m_);
+  for (auto& [id, job] : jobs_) {
+    if (job.worker.joinable()) job.worker.join();
+  }
+}
+
+std::uint64_t TickScheduler::submit(std::string name, int priority, Body body,
+                                    OnFinish onFinish) {
+  std::lock_guard<std::mutex> lock(m_);
+  const std::uint64_t id = nextId_++;
+  Job& job = jobs_[id];
+  job.id = id;
+  job.name = std::move(name);
+  job.priority = priority;
+  job.seq = nextSeq_++;
+  job.control = std::make_shared<JobControl>();
+  job.body = std::move(body);
+  job.onFinish = std::move(onFinish);
+  job.finished = std::make_shared<std::atomic<bool>>(false);
+  return id;
+}
+
+bool TickScheduler::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = it->second;
+  if (job.state != JobState::Queued && job.state != JobState::Running) {
+    return false;
+  }
+  job.control->requestCancel();
+  return true;
+}
+
+bool TickScheduler::pause(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = it->second;
+  if (job.state == JobState::Queued) {
+    if (job.control->cancelRequested()) return false;
+    job.paused = true;
+    return true;
+  }
+  if (job.state == JobState::Running) {
+    job.paused = true;
+    job.control->requestPause();
+    return true;
+  }
+  return false;
+}
+
+bool TickScheduler::resume(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = it->second;
+  if (job.state == JobState::Queued || job.state == JobState::Running) {
+    job.paused = false;
+    job.control->requestResume();
+    return true;
+  }
+  return false;
+}
+
+void TickScheduler::dispatchLocked(Job& job) {
+  job.state = JobState::Running;
+  ++running_;
+  // The worker only touches its own Job fields (outcome, error) and
+  // releases them through `finished`; everything else stays owned by the
+  // tick thread. std::map nodes never relocate, so the pointer is stable.
+  Job* j = &job;
+  job.worker = std::thread([j] {
+    JobState outcome = JobState::Done;
+    std::string error;
+    try {
+      j->body(*j->control);
+    } catch (const JobCancelled&) {
+      outcome = JobState::Cancelled;
+    } catch (const std::exception& e) {
+      outcome = JobState::Failed;
+      error = e.what();
+    } catch (...) {
+      outcome = JobState::Failed;
+      error = "unknown exception";
+    }
+    j->outcome = outcome;
+    j->error = std::move(error);
+    j->finished->store(true, std::memory_order_release);
+  });
+}
+
+std::size_t TickScheduler::tick() {
+  // Callbacks fire after the lock drops: OnFinish may call back into the
+  // scheduler (e.g. submit a follow-up job).
+  struct Finished {
+    OnFinish cb;
+    std::uint64_t id;
+    JobState state;
+    std::string error;
+  };
+  std::vector<Finished> fired;
+  std::size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    // (1) Reap workers whose body returned.
+    for (auto& [id, job] : jobs_) {
+      if (job.state != JobState::Running) continue;
+      if (!job.finished->load(std::memory_order_acquire)) continue;
+      job.worker.join();
+      job.state = job.outcome;
+      job.paused = false;
+      --running_;
+      fired.push_back({std::move(job.onFinish), id, job.state, job.error});
+      job.body = nullptr;  // free captures; the entry stays for snapshots
+    }
+    // (2) Finalize queued jobs that were cancelled before ever running.
+    for (auto& [id, job] : jobs_) {
+      if (job.state != JobState::Queued) continue;
+      if (!job.control->cancelRequested()) continue;
+      job.state = JobState::Cancelled;
+      fired.push_back({std::move(job.onFinish), id, job.state, {}});
+      job.body = nullptr;
+    }
+    // (3) Dispatch: highest priority first, FIFO within a priority.
+    if (running_ < cfg_.maxConcurrent) {
+      std::vector<Job*> runnable;
+      for (auto& [id, job] : jobs_) {
+        if (job.state == JobState::Queued && !job.paused) {
+          runnable.push_back(&job);
+        }
+      }
+      std::sort(runnable.begin(), runnable.end(), [](Job* a, Job* b) {
+        if (a->priority != b->priority) return a->priority > b->priority;
+        return a->seq < b->seq;
+      });
+      for (Job* job : runnable) {
+        if (running_ >= cfg_.maxConcurrent) break;
+        dispatchLocked(*job);
+      }
+    }
+    for (const auto& [id, job] : jobs_) {
+      if (job.state == JobState::Queued || job.state == JobState::Running) {
+        ++live;
+      }
+    }
+  }
+  for (Finished& f : fired) {
+    if (f.cb) f.cb(f.id, f.state, f.error);
+  }
+  return live;
+}
+
+void TickScheduler::drain() {
+  while (tick() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void TickScheduler::cancelAll() {
+  std::lock_guard<std::mutex> lock(m_);
+  for (auto& [id, job] : jobs_) {
+    if (job.state == JobState::Queued || job.state == JobState::Running) {
+      job.control->requestCancel();
+    }
+  }
+}
+
+std::size_t TickScheduler::queuedCount() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::Queued) ++n;
+  }
+  return n;
+}
+
+std::size_t TickScheduler::runningCount() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return running_;
+}
+
+bool TickScheduler::snapshot(std::uint64_t id, JobSnapshot* out) const {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const Job& job = it->second;
+  *out = JobSnapshot{job.id, job.name, job.priority, job.state, job.paused};
+  return true;
+}
+
+std::vector<JobSnapshot> TickScheduler::snapshots() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<JobSnapshot> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    out.push_back(
+        JobSnapshot{job.id, job.name, job.priority, job.state, job.paused});
+  }
+  return out;
+}
+
+}  // namespace boosting::serve

@@ -71,10 +71,7 @@
 #include "obs/progress.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
-#include "processes/flooding_consensus.h"
-#include "processes/relay_consensus.h"
-#include "processes/rotating_consensus.h"
-#include "processes/tob_consensus.h"
+#include "serve/candidates.h"
 #include "sim/trace_io.h"
 
 using namespace boosting;
@@ -134,46 +131,17 @@ long parseIntOrDie(const char* flag, const char* text, long lo, long hi) {
   return value;
 }
 
+// Construction itself lives in serve/candidates.cpp, shared with
+// boosting_served: both front ends must build byte-identical systems for
+// the served verdicts to match the CLI's.
 std::unique_ptr<ioa::System> buildCandidate(const Options& opt) {
-  const auto policy = services::DummyPolicy::PreferDummy;
-  if (opt.candidate == "relay") {
-    processes::RelaySystemSpec spec;
-    spec.processCount = opt.n;
-    spec.objectResilience = opt.f;
-    spec.policy = policy;
-    return processes::buildRelayConsensusSystem(spec);
+  std::string error;
+  auto sys = serve::buildCandidateSystem(opt.candidate, opt.n, opt.f, &error);
+  if (!sys) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
   }
-  if (opt.candidate == "bridge") {
-    processes::BridgeSystemSpec spec;
-    spec.processCount = opt.n;
-    spec.bridgeEndpoint = opt.n / 2;
-    spec.objectResilience = opt.f;
-    spec.policy = policy;
-    return processes::buildBridgeConsensusSystem(spec);
-  }
-  if (opt.candidate == "tob") {
-    processes::TOBConsensusSpec spec;
-    spec.processCount = opt.n;
-    spec.serviceResilience = opt.f;
-    spec.policy = policy;
-    return processes::buildTOBConsensusSystem(spec);
-  }
-  if (opt.candidate == "flooding") {
-    processes::FloodingConsensusSpec spec;
-    spec.processCount = opt.n;
-    spec.channelResilience = opt.f;
-    spec.policy = policy;
-    return processes::buildFloodingConsensusSystem(spec);
-  }
-  if (opt.candidate == "single-fd") {
-    processes::SingleFDConsensusSpec spec;
-    spec.processCount = opt.n;
-    spec.fdResilience = opt.f;
-    spec.policy = policy;
-    return processes::buildSingleFDRotatingConsensusSystem(spec);
-  }
-  std::fprintf(stderr, "unknown candidate '%s'\n", opt.candidate.c_str());
-  std::exit(2);
+  return sys;
 }
 
 // --replay: load a witness trace and report its shape, distinguishing an

@@ -28,6 +28,10 @@ when the fresh run regresses beyond the tolerance:
     delta, v6) are gated the same way -- this is the per-cell memory
     measurement that a --memory-budget run must keep bounded, immune to
     the VmHWM monotonicity blind spot;
+  * benchmarks that report a verdicts_per_min counter (the resident-server
+    throughput record tools/serve_loadgen.py --mode throughput merges in,
+    v7) are gated one-sided: fresh throughput below baseline *
+    (1 - tolerance) fails, gains pass;
   * a gated counter present in the baseline but MISSING from the fresh run
     is a hard failure (previously the gate was silently skipped, so a
     regression that also dropped the counter passed unprotected); a
@@ -174,6 +178,19 @@ def compare(baseline, fresh, tolerance):
                 problems.append(
                     f"{name}: scaling_efficiency regressed {bv:.3f} -> "
                     f"{fv:.3f} ({(1.0 - ratio) * 100.0:.1f}% drop > "
+                    f"{tolerance * 100.0:.0f}% tolerance)")
+        # Served-throughput gate (v7, one-sided: drops fail, gains pass).
+        # verdicts_per_min is end-to-end through the resident server
+        # (tools/serve_loadgen.py --mode throughput), so it covers the wire
+        # protocol, the tick scheduler and the cross-job cache at once.
+        if gated(name, "verdicts_per_min", b, f, problems):
+            bv, fv = b["verdicts_per_min"], f["verdicts_per_min"]
+            ratio = fv / bv if bv else float("inf")
+            rows.append((name, "verd/min", bv, fv, ratio))
+            if bv and fv < bv * (1.0 - tolerance):
+                problems.append(
+                    f"{name}: verdicts_per_min regressed {bv:.0f} -> {fv:.0f} "
+                    f"({(1.0 - ratio) * 100.0:.1f}% drop > "
                     f"{tolerance * 100.0:.0f}% tolerance)")
         # Peak-RSS gate: catches shard-table / batch-buffer memory bloat.
         # peak_rss_bytes is the process-lifetime VmHWM, so within one bench

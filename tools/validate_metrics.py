@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a boosting-metrics-v6 JSON file against docs/metrics_schema.json.
+"""Validate a boosting-metrics-v7 JSON file against docs/metrics_schema.json.
 
 Hand-rolled validator for the draft-07 subset the schema actually uses
 (type, required, properties, additionalProperties, items, enum, minimum,
@@ -37,7 +37,13 @@ promise:
     accounting subtracts the spilled bytes (cold chunks live in the spill
     file, not in RSS), frontier segment reloads never exceed segments
     spilled, and process.rss_delta_bytes (the per-phase VmRSS delta) never
-    exceeds the process-lifetime process.peak_rss_bytes.
+    exceeds the process-lifetime process.peak_rss_bytes;
+  * when the analysis service ran (serve.jobs.* counters present, v7),
+    completed + failed + cancelled <= submitted (every job finishes at
+    most once; the difference is jobs still live at snapshot time),
+    context_reuses + context_builds + bypasses <= submitted (each
+    accepted job sources its exploration state exactly one way), and
+    evictions <= context_builds (only built contexts can be evicted).
 
 Usage: validate_metrics.py [--schema SCHEMA] [--expect-workers N] METRICS
 Exits 0 when valid, 1 with one "path: problem" line per violation.
@@ -284,6 +290,31 @@ def check_invariants(doc, expect_workers, errors):
             f"$.counters: process.rss_delta_bytes {rss_delta} > "
             f"process.peak_rss_bytes {rss_peak}")
 
+    # Analysis service (v7): jobs finish at most once, each accepted job
+    # sources its exploration state exactly one way (cold build, warm
+    # reuse, or busy-bypass), and only built contexts can be evicted.
+    if any(name.startswith("serve.jobs.") for name in counters):
+        submitted = cval("serve.jobs.submitted")
+        finished = (cval("serve.jobs.completed") + cval("serve.jobs.failed") +
+                    cval("serve.jobs.cancelled"))
+        if finished > submitted:
+            errors.append(
+                f"$.counters: serve.jobs completed+failed+cancelled "
+                f"{finished} > serve.jobs.submitted {submitted}")
+        sourced = (cval("serve.cache.context_builds") +
+                   cval("serve.cache.context_reuses") +
+                   cval("serve.cache.bypasses"))
+        if sourced > submitted:
+            errors.append(
+                f"$.counters: serve.cache builds+reuses+bypasses {sourced} > "
+                f"serve.jobs.submitted {submitted}")
+        if cval("serve.cache.evictions") > cval("serve.cache.context_builds"):
+            errors.append(
+                f"$.counters: serve.cache.evictions "
+                f"{cval('serve.cache.evictions')} > "
+                f"serve.cache.context_builds "
+                f"{cval('serve.cache.context_builds')}")
+
     if expect_workers is not None:
         total = 0
         for w in range(expect_workers):
@@ -351,7 +382,7 @@ def main():
 
     counters = len(doc.get("counters", []))
     timers = len(doc.get("timers", []))
-    print(f"{args.metrics}: valid boosting-metrics-v6 "
+    print(f"{args.metrics}: valid boosting-metrics-v7 "
           f"({counters} counters, {timers} timers)")
     return 0
 
