@@ -280,13 +280,24 @@ void BM_BytesPerState(benchmark::State& state) {
 //   rss_delta_bytes      VmRSS growth across this cell's timed loop (the
 //                        v6 per-cell measurement compare_bench.py gates;
 //                        unlike VmHWM it responds to every cell).
-// The axes default to {1,2,4} x {1,2,4} and can be overridden with
-// --bench-threads=LIST / --bench-shards=LIST (or BENCH_THREADS /
-// BENCH_SHARDS), so the CI multi-core job can widen the matrix without a
-// code change.
+// The third axis is the pipelined canonical install (arg 1 = --pipeline
+// on, arg 0 = off): pipelined cells additionally report
+//   levels_overlapped    BFS levels the install pump consumed while
+//                        phase 1 was still expanding deeper levels (the
+//                        overlap evidence -- 0 means the pipeline never
+//                        ran ahead of the barrier it replaced);
+//   install_wait_ms      cumulative time the pump blocked waiting for a
+//                        level completion or a POR expansion flag.
+// The axes default to {1,2,4} x {1,2,4} x {0,1} and can be overridden
+// with --bench-threads=LIST / --bench-shards=LIST / --bench-pipeline=LIST
+// (or BENCH_THREADS / BENCH_SHARDS / BENCH_PIPELINE), so the CI
+// multi-core job can widen the matrix without a code change. threads=1
+// cells take the engine's serial path where the pipeline axis is moot, so
+// only the pipeline=0 variant is registered there.
 void BM_ShardMatrixRelay(benchmark::State& state) {
   const unsigned threads = static_cast<unsigned>(state.range(0));
   const unsigned shards = static_cast<unsigned>(state.range(1));
+  const bool pipelined = state.range(2) != 0;
   auto sys = relay(4, 0);
   static const double serialRate = [] {
     auto ref = relay(4, 0);
@@ -320,6 +331,8 @@ void BM_ShardMatrixRelay(benchmark::State& state) {
     ExplorationPolicy pol;
     pol.threads = threads;
     pol.shards = shards;
+    pol.pipeline = pipelined ? analysis::PipelineMode::On
+                             : analysis::PipelineMode::Off;
     const auto t0 = std::chrono::steady_clock::now();
     last = analysis::exploreReachable(g, root, pol);
     exploreSecs +=
@@ -342,6 +355,12 @@ void BM_ShardMatrixRelay(benchmark::State& state) {
       static_cast<double>(last.shard.batchFlushes);
   state.counters["cross_shard_edges"] =
       static_cast<double>(last.shard.crossShardEdges);
+  if (pipelined) {
+    state.counters["levels_overlapped"] =
+        static_cast<double>(last.pipeline.levelsOverlapped);
+    state.counters["install_wait_ms"] =
+        static_cast<double>(last.pipeline.installWaitNs) / 1e6;
+  }
   state.counters["peak_rss_bytes"] =
       static_cast<double>(analysis::peakRssBytes());
   const std::uint64_t rssAfter = analysis::currentRssBytes();
@@ -452,12 +471,20 @@ int main(int argc, char** argv) {
       argc, argv, "--bench-threads", "BENCH_THREADS", {1, 2, 4});
   const std::vector<unsigned> shardsAxis = boosting::benchjson::extractCsvFlag(
       argc, argv, "--bench-shards", "BENCH_SHARDS", {1, 2, 4});
+  const std::vector<unsigned> pipeAxis = boosting::benchjson::extractCsvFlag(
+      argc, argv, "--bench-pipeline", "BENCH_PIPELINE", {0, 1});
   auto* matrix =
       benchmark::RegisterBenchmark("BM_ShardMatrixRelay", BM_ShardMatrixRelay);
   matrix->Unit(benchmark::kMillisecond)->UseRealTime();
   for (unsigned t : threadsAxis) {
     for (unsigned s : shardsAxis) {
-      matrix->Args({static_cast<std::int64_t>(t), static_cast<std::int64_t>(s)});
+      for (unsigned p : pipeAxis) {
+        // threads=1 runs the serial BFS; the pipeline axis is moot there.
+        if (t == 1 && p != 0) continue;
+        matrix->Args({static_cast<std::int64_t>(t),
+                      static_cast<std::int64_t>(s),
+                      static_cast<std::int64_t>(p)});
+      }
     }
   }
   return boosting::benchjson::runBenchmarks(argc, argv,

@@ -28,6 +28,7 @@ BivalenceResult findBivalentInitialization(StateGraph& g, ValenceAnalyzer& va,
   // alpha_1's new nodes, ...), fenced by va's explored set just like the
   // serial BFS.
   std::optional<ParallelExplorer> shared;
+  std::optional<NodeId> firstRoot;
   if (policy.threads != 1) {
     shared.emplace(g, policy);
     std::vector<ioa::SystemState> roots;
@@ -35,16 +36,22 @@ BivalenceResult findBivalentInitialization(StateGraph& g, ValenceAnalyzer& va,
     for (int j = 0; j <= n; ++j) {
       roots.push_back(canonicalInitialization(g.system(), j));
     }
-    shared->expand(std::move(roots));
+    // Root 0's install overlaps the shared expansion (pipelined mode);
+    // the j >= 1 installs below run after the workers have drained, so
+    // their level gates pass trivially and they behave exactly like the
+    // legacy post-join installs.
+    firstRoot = shared->expandAndInstallFirst(
+        std::move(roots), [&va](NodeId id) { return va.explored(id); });
   }
 
   for (int j = 0; j <= n; ++j) {
     InitializationOutcome out;
     out.onesPrefix = j;
     if (shared) {
-      out.node = shared->install(
-          static_cast<std::size_t>(j),
-          [&va](NodeId id) { return va.explored(id); });
+      out.node = j == 0 ? *firstRoot
+                        : shared->install(
+                              static_cast<std::size_t>(j),
+                              [&va](NodeId id) { return va.explored(id); });
     } else {
       out.node = g.intern(canonicalInitialization(g.system(), j));
     }

@@ -45,6 +45,18 @@
 // serial BFS, so ExplorationPolicy{1} byte-identically reproduces the old
 // behaviour. threads == 1 with shards > 1 runs the two-phase engine with a
 // single worker (useful to exercise the routing deterministically).
+//
+// PIPELINED MODE (--pipeline, DESIGN.md "Pipelined canonical install"):
+// the canonical BFS order of depth-k states depends only on states at
+// depth <= k, so once every expansion at canonical frontier depth <= k has
+// completed, phase 2 can intern level k into the StateGraph while workers
+// are still expanding deeper levels. expandAndInstallFirst() runs phase 1
+// level-synchronously (per-level completion barrier derived from the
+// inflight-token accounting, made level-aware) and pumps the canonical
+// install of root 0's region on the calling thread concurrently, gated on
+// the published level-completion counter -- node ids, intern indices,
+// CompactEdge layout, POR install decisions and witnesses stay bit-identical
+// to the two-phase output by construction.
 #pragma once
 
 #include <bit>
@@ -60,6 +72,13 @@ class Registry;
 }  // namespace boosting::obs
 
 namespace boosting::analysis {
+
+// Whether expandAndInstallFirst() overlaps the canonical install with
+// phase-1 expansion. Auto = pipeline when the resolved worker count is
+// >= 2 (overlap needs a core for the install pump); On forces the
+// pipelined machinery even single-threaded (differential testing); Off is
+// the legacy strictly-two-phase engine.
+enum class PipelineMode { Auto, On, Off };
 
 struct ExplorationPolicy {
   // Number of expansion workers. 1 = serial legacy path; 0 = use
@@ -103,6 +122,9 @@ struct ExplorationPolicy {
   // Directory for the unlinked frontier spill files ("" = $TMPDIR, else
   // /tmp). (Appended.)
   std::string spillDir;
+  // Pipelined canonical install (expandAndInstallFirst only; expand() +
+  // install() always run strictly two-phase). (Appended.)
+  PipelineMode pipeline = PipelineMode::Auto;
 };
 
 struct ExploreStats {
@@ -143,6 +165,18 @@ struct ExploreStats {
     std::uint64_t segmentsReloaded = 0;
   };
 
+  // Pipelined-install tallies (all zero unless expandAndInstallFirst ran
+  // pipelined). levelsOverlapped counts canonical levels whose install
+  // completed before phase 1 finished; installWaitNs is the total time the
+  // install pump spent blocked on the level-completion barrier;
+  // bulkActionBatches counts per-node bulk action-id resolution passes.
+  struct PipelineStats {
+    bool pipelined = false;
+    std::uint64_t levelsOverlapped = 0;
+    std::uint64_t installWaitNs = 0;
+    std::uint64_t bulkActionBatches = 0;
+  };
+
   std::size_t statesDiscovered = 0;  // states known to the engine afterwards
   std::size_t edgesComputed = 0;     // transitions evaluated during expansion
   unsigned threadsUsed = 1;
@@ -151,6 +185,7 @@ struct ExploreStats {
   std::vector<WorkerStats> perWorker;      // parallel path: one per worker
   ShardStats shard;                        // parallel path: routing tallies
   FrontierSpillStats frontierSpill;        // out-of-core frontier tallies
+  PipelineStats pipeline;                  // pipelined-install tallies
 };
 
 // Pure shard-routing arithmetic, shared by the engine and the router fuzz
@@ -219,6 +254,21 @@ class ParallelExplorer {
   // once.
   NodeId install(std::size_t rootIndex,
                  const std::function<bool(NodeId)>& finalized = nullptr);
+
+  // Fused entry point: expand everything reachable from `roots` AND
+  // canonically install root 0's region, overlapping the install with
+  // expansion when the policy's pipeline mode allows it (Auto resolves to
+  // pipelined iff the resolved worker count is >= 2). Bit-identical to
+  // expand() followed by install(0, finalized) -- same node ids, intern
+  // indices, parents, witnesses -- with the install wall-clock hidden
+  // behind phase 1. Roots 1.. remain installable via install(i, ...)
+  // afterwards. Must be called exactly once, instead of expand(). On a
+  // worker throw the first exception is rethrown, the StateGraph keeps
+  // every fully-installed node consistent (checkConsistent holds), and
+  // further install() calls are poisoned.
+  NodeId expandAndInstallFirst(
+      std::vector<ioa::SystemState> roots,
+      const std::function<bool(NodeId)>& finalized = nullptr);
 
   const ExploreStats& stats() const;
 

@@ -355,6 +355,13 @@ class StateGraph {
   std::uint32_t internActionId(const ioa::Action& a) {
     return internAction(a);
   }
+  // Bulk form (see AnalysisMemo::internActionBatch): the pipelined
+  // installer resolves one node's whole edge run per call, preserving the
+  // per-edge first-intern order exactly.
+  void internActionIds(const ioa::Action* const* acts, std::uint32_t* ids,
+                       std::size_t n) {
+    memo_->internActionBatch(acts, ids, n);
+  }
 
   // The unique e-successor of `id`, if task e is applicable.
   std::optional<Edge> successorVia(NodeId id, const ioa::TaskId& e);

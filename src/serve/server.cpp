@@ -435,7 +435,7 @@ class Server {
     std::string err;
     std::int64_t n = spec.n, f = spec.f, claim = spec.claim,
                  threads = spec.threads, shards = 0, priority = 0;
-    std::string symmetry = "auto", por = "auto";
+    std::string symmetry = "auto", por = "auto", pipeline = "auto";
     bool ok = extractStr(req, "id", &spec.id, &err) &&
               extractStr(req, "candidate", &spec.candidate, &err) &&
               extractInt(req, "n", &n, &err) &&
@@ -446,6 +446,7 @@ class Server {
               extractInt(req, "priority", &priority, &err) &&
               extractStr(req, "symmetry", &symmetry, &err) &&
               extractStr(req, "por", &por, &err) &&
+              extractStr(req, "pipeline", &pipeline, &err) &&
               extractBool(req, "witness", &spec.wantWitness, &err) &&
               extractBool(req, "progress", &spec.progress, &err);
     if (ok && (threads < 0 || shards < 0)) {
@@ -466,7 +467,10 @@ class Server {
                    analysis::SymmetryMode::Auto, analysis::SymmetryMode::On,
                    analysis::SymmetryMode::Off) &&
          parseMode(por, "por", &spec.por, analysis::PorMode::Auto,
-                   analysis::PorMode::On, analysis::PorMode::Off);
+                   analysis::PorMode::On, analysis::PorMode::Off) &&
+         parseMode(pipeline, "pipeline", &spec.pipeline,
+                   analysis::PipelineMode::Auto, analysis::PipelineMode::On,
+                   analysis::PipelineMode::Off);
     if (!ok) {
       writeLine(*c, errorEvent(err, id));
       return;

@@ -185,6 +185,9 @@ void AnalysisService::runJob(JobRecord& rec, JobControl& ctl) {
   acfg.exploration.threads = spec.threads;
   acfg.exploration.shards = spec.shards;
   acfg.exploration.metrics = cfg_.metrics;
+  // Not part of the ServiceKey: pipelined and serial installs produce
+  // bit-identical graphs, so cached contexts are shared across modes.
+  acfg.exploration.pipeline = spec.pipeline;
   acfg.symmetry = spec.symmetry;
   acfg.por = spec.por;
   acfg.memo = memo;

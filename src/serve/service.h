@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/parallel_explorer.h"
 #include "obs/registry.h"
 #include "serve/cache.h"
 #include "serve/scheduler.h"
@@ -52,6 +53,7 @@ struct JobSpec {
   bool shardsExplicit = false;
   analysis::SymmetryMode symmetry = analysis::SymmetryMode::Auto;
   analysis::PorMode por = analysis::PorMode::Auto;
+  analysis::PipelineMode pipeline = analysis::PipelineMode::Auto;
   int priority = 0;         // higher dispatches first
   bool wantWitness = false; // include the rendered witness execution
   bool progress = false;    // stream serve.job.progress events

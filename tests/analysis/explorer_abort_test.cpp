@@ -150,6 +150,59 @@ TEST(ExplorerAbort, GraphReusableAfterMidBatchAbortWithShards) {
   EXPECT_EQ(g.size(), g2.size());
 }
 
+TEST(ExplorerAbort, PipelinedThrowLeavesGraphConsistentMidInstall) {
+  // Pipelined mode runs install() concurrently with phase 1: a worker
+  // throwing mid-level must stop the install pump at a node boundary, so
+  // the graph stays consistent, the exception surfaces from
+  // expandAndInstallFirst, and install() stays poisoned afterwards.
+  auto sys = relay(3, 1);
+  for (const std::size_t detonateAfter : {1u, 5u, 20u, 60u}) {
+    StateGraph g(*sys);
+    ExplorationPolicy policy = throwAfter(4, detonateAfter, /*shards=*/8);
+    policy.pipeline = PipelineMode::On;
+    ParallelExplorer ex(g, policy);
+    EXPECT_THROW(ex.expandAndInstallFirst({canonicalInitialization(*sys, 1)}),
+                 Boom)
+        << "detonateAfter=" << detonateAfter;
+    std::string why;
+    EXPECT_TRUE(g.checkConsistent(&why))
+        << "detonateAfter=" << detonateAfter << ": " << why;
+    EXPECT_THROW(ex.install(0), std::logic_error)
+        << "detonateAfter=" << detonateAfter;
+    // Whatever prefix the pump installed must be fully accounted for.
+    EXPECT_EQ(g.stats().statesDiscovered, g.size());
+  }
+}
+
+TEST(ExplorerAbort, GraphReusableAfterPipelinedAbort) {
+  // After a pipelined abort the same graph must support a fresh, complete
+  // pipelined exploration that agrees with a from-scratch serial one.
+  auto sys = relay(3, 1);
+  StateGraph g(*sys);
+  const NodeId root = g.intern(canonicalInitialization(*sys, 1));
+  {
+    ExplorationPolicy policy = throwAfter(4, 8, /*shards=*/8);
+    policy.pipeline = PipelineMode::On;
+    ParallelExplorer ex(g, policy);
+    EXPECT_THROW(ex.expandAndInstallFirst({g.state(root)}), Boom);
+  }
+  ExplorationPolicy pipelined;
+  pipelined.threads = 2;
+  pipelined.shards = 4;
+  pipelined.pipeline = PipelineMode::On;
+  const ExploreStats after = exploreReachable(g, root, pipelined);
+  std::string why;
+  ASSERT_TRUE(g.checkConsistent(&why)) << why;
+
+  auto sys2 = relay(3, 1);
+  StateGraph g2(*sys2);
+  const NodeId root2 = g2.intern(canonicalInitialization(*sys2, 1));
+  const ExploreStats fresh = exploreReachable(g2, root2, ExplorationPolicy{});
+  EXPECT_EQ(after.statesDiscovered, fresh.statesDiscovered);
+  EXPECT_EQ(after.edgesComputed, fresh.edgesComputed);
+  EXPECT_EQ(g.size(), g2.size());
+}
+
 TEST(ExplorerAbort, HookSeesMonotonicCountAcrossWorkers) {
   // The hook receives the global running expansion count; with a
   // non-throwing hook the exploration must complete and the count must

@@ -157,14 +157,34 @@ TEST(ShardRouterFuzz, ProbeStartUsesBitsAboveShardSelection) {
 struct Cell {
   unsigned threads;
   unsigned shards;
+  // Auto engages the pipelined install at threads >= 2 already; the
+  // explicit On/Off cells pin both code paths independently of the
+  // heuristic, so a future Auto change cannot silently drop coverage.
+  PipelineMode pipeline = PipelineMode::Auto;
 };
 
-constexpr Cell kCells[] = {{1, 1}, {1, 4}, {2, 2}, {4, 1}, {4, 4}};
+constexpr Cell kCells[] = {{1, 1},
+                           {1, 4},
+                           {2, 2},
+                           {4, 1},
+                           {4, 4},
+                           {2, 2, PipelineMode::On},
+                           {4, 4, PipelineMode::Off}};
+
+const char* pipeName(PipelineMode m) {
+  switch (m) {
+    case PipelineMode::Auto: return "auto";
+    case PipelineMode::On: return "on";
+    case PipelineMode::Off: return "off";
+  }
+  return "?";
+}
 
 ExplorationPolicy cellPolicy(const Cell& c) {
   ExplorationPolicy pol;
   pol.threads = c.threads;
   pol.shards = c.shards;
+  pol.pipeline = c.pipeline;
   return pol;
 }
 
@@ -274,7 +294,8 @@ void runLayoutMatrix(std::unique_ptr<ioa::System> (*build)(), Mode mode) {
     const Explored cell = explore(build(), mode, cellPolicy(c));
     const std::string label = std::string(modeName(mode)) + " t" +
                               std::to_string(c.threads) + "/s" +
-                              std::to_string(c.shards);
+                              std::to_string(c.shards) + "/p" +
+                              pipeName(c.pipeline);
     EXPECT_EQ(serial.stats.statesDiscovered, cell.stats.statesDiscovered)
         << label;
     if (mode == Mode::SymPor) {

@@ -337,9 +337,27 @@ void expectGraphsBitIdentical(const StateGraph& gs, const StateGraph& gp,
 struct Cell {
   unsigned threads;
   unsigned shards;
+  // Auto already pipelines at threads >= 2; the explicit cells pin the
+  // pipelined-install x memory-budget composition (and the legacy
+  // barrier path) independently of the Auto heuristic.
+  PipelineMode pipeline = PipelineMode::Auto;
 };
 
-constexpr Cell kCells[] = {{1, 1}, {1, 4}, {2, 2}, {4, 4}};
+constexpr Cell kCells[] = {{1, 1},
+                           {1, 4},
+                           {2, 2},
+                           {4, 4},
+                           {2, 2, PipelineMode::On},
+                           {4, 4, PipelineMode::Off}};
+
+const char* pipeName(PipelineMode m) {
+  switch (m) {
+    case PipelineMode::Auto: return "auto";
+    case PipelineMode::On: return "on";
+    case PipelineMode::Off: return "off";
+  }
+  return "?";
+}
 
 // `expectEvictions` is false only for the sym+por fixture, whose reduced
 // graph stays within the two-chunk LRU budget; eviction traffic is covered
@@ -362,13 +380,15 @@ void runSpillMatrix(std::unique_ptr<ioa::System> (*build)(), Mode mode,
     ExplorationPolicy pol;
     pol.threads = c.threads;
     pol.shards = c.shards;
+    pol.pipeline = c.pipeline;
     pol.memoryBudgetBytes = spill.memoryBudgetBytes;
     pol.frontierSpillThreshold = 64;
     pol.spillDir = dir.path();
     const Explored cell = explore(build(), mode, pol, spill);
     const std::string label = std::string(modeName(mode)) + " budget t" +
                               std::to_string(c.threads) + "/s" +
-                              std::to_string(c.shards);
+                              std::to_string(c.shards) + "/p" +
+                              pipeName(c.pipeline);
     EXPECT_EQ(ref.stats.statesDiscovered, cell.stats.statesDiscovered)
         << label;
     expectGraphsBitIdentical(*ref.g, *cell.g, label);

@@ -35,6 +35,13 @@
 // off; `off` forces full expansion. Verdicts and witness replayability are
 // unchanged; state counts shrink further.
 //
+// --pipeline auto|on|off controls the pipelined canonical install (see
+// analysis/parallel_explorer.h): phase-2 renumbering overlaps phase-1
+// expansion behind a per-level completion barrier. Output is bit-identical
+// either way; only wall-clock changes. `auto` (the default) pipelines
+// exactly when the run has >= 2 workers; `on` forces the overlap even
+// single-threaded; `off` keeps the fully serial post-join install.
+//
 // Observability:
 //   --metrics-json FILE   write phase timings, counters and derived rates
 //                         (states/sec, cache hit rate) as one JSON document
@@ -88,6 +95,7 @@ struct Options {
   bool shardsExplicit = false;
   analysis::SymmetryMode symmetry = analysis::SymmetryMode::Auto;
   analysis::PorMode por = analysis::PorMode::Auto;
+  analysis::PipelineMode pipeline = analysis::PipelineMode::Auto;
   std::uint64_t memoryBudgetBytes = 0;  // 0 = fully in-memory
   std::string spillDir;                 // "" = $TMPDIR, else /tmp
   bool brute = false;
@@ -104,6 +112,7 @@ struct Options {
                "usage: %s --candidate relay|bridge|tob|flooding|single-fd "
                "--n N --f F [--claim C] [--threads T] [--shards auto|N] "
                "[--symmetry auto|on|off] [--por auto|on|off] "
+               "[--pipeline auto|on|off] "
                "[--memory-budget BYTES] [--spill-dir DIR] [--brute] "
                "[--witness FILE] [--dot FILE] [--metrics-json FILE] "
                "[--trace FILE] [--progress] [--replay FILE]\n",
@@ -268,6 +277,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--por: expected auto|on|off, got '%s'\n", v);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      const char* v = needArg("--pipeline");
+      if (std::strcmp(v, "auto") == 0) {
+        opt.pipeline = analysis::PipelineMode::Auto;
+      } else if (std::strcmp(v, "on") == 0) {
+        opt.pipeline = analysis::PipelineMode::On;
+      } else if (std::strcmp(v, "off") == 0) {
+        opt.pipeline = analysis::PipelineMode::Off;
+      } else {
+        std::fprintf(stderr, "--pipeline: expected auto|on|off, got '%s'\n",
+                     v);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
       // Floor of 1 MiB: the budget must hold at least a couple of edge
       // chunks or the pager would thrash uselessly (resolveEdgeChunkShift
@@ -430,6 +452,7 @@ int main(int argc, char** argv) {
   cfg.exploration.metrics = reg;
   cfg.exploration.memoryBudgetBytes = opt.memoryBudgetBytes;
   cfg.exploration.spillDir = opt.spillDir;
+  cfg.exploration.pipeline = opt.pipeline;
   cfg.symmetry = opt.symmetry;
   cfg.por = opt.por;
   auto report = analysis::analyzeConsensusCandidate(*sys, cfg);

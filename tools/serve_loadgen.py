@@ -7,9 +7,12 @@ Two modes:
       For each spec in a small matrix (relay and flooding at n=3), run the
       one-shot CLI (boosting_analyze) and the resident server over the
       SAME spec -- twice each on the server so the second hit is
-      warm-cache -- and assert the served verdicts are byte-identical to
-      the CLI's: summary text, state count, witness action count, witness
-      text and exit code. Also exercises queued-job cancellation (a cancel
+      warm-cache, plus once through the pipelined parallel engine
+      (threads=2, pipeline=on) -- and assert the served verdicts are
+      byte-identical to the CLI's: summary text, state count, witness
+      action count, witness text and exit code. Also checks that a
+      malformed pipeline value is refused with a diagnostic before any
+      job is enqueued, and exercises queued-job cancellation (a cancel
       arriving in the same input burst as its submit deterministically
       finalizes the job cancelled before it ever runs), the drain
       shutdown op, and a TCP session whose client half-closes after
@@ -122,11 +125,12 @@ def run_cli(cli, spec, witness_path):
             "witness": witness, "wall_ms": wall_ms, "stdout": out}
 
 
-def submit_line(spec, job_id, witness=False):
+def submit_line(spec, job_id, witness=False, **extra):
     req = {"op": "submit", "id": job_id, "candidate": spec["candidate"],
            "n": spec["n"], "f": spec["f"]}
     if witness:
         req["witness"] = True
+    req.update(extra)
     return wire(req)
 
 
@@ -143,14 +147,20 @@ def check_mode(args):
                 failures.append(f"{tag}: CLI output had no summary:\n"
                                 f"{cli['stdout']}")
                 continue
+            # "piped" runs the same spec through the pipelined parallel
+            # engine (threads=2, pipeline=on): its verdict must still be
+            # byte-identical to the serial CLI reference -- the canonical
+            # install's determinism contract, checked over the wire.
             lines = [submit_line(spec, "cold", witness=True),
-                     submit_line(spec, "warm", witness=True)]
+                     submit_line(spec, "warm", witness=True),
+                     submit_line(spec, "piped", witness=True,
+                                 threads=2, pipeline="on")]
             rc, events, err = run_server(args.server, lines)
             if rc != 0:
                 failures.append(f"{tag}: server exited {rc}: {err}")
                 continue
             results = {e["id"]: e for e in events if e.get("ev") == "result"}
-            for which in ("cold", "warm"):
+            for which in ("cold", "warm", "piped"):
                 r = results.get(which)
                 if r is None:
                     failures.append(f"{tag}: no result event for '{which}'")
@@ -185,6 +195,20 @@ def check_mode(args):
                             f"events={events} stderr={err}")
         else:
             print("  cancel: queued job finalized 'cancelled' without running")
+
+        # Strict wire validation: a malformed pipeline value must be
+        # refused with an error event naming the field and the value,
+        # before any job is enqueued.
+        lines = [submit_line(spec, "badpipe", pipeline="banana")]
+        rc, events, err = run_server(args.server, lines)
+        rejected = [e for e in events if e.get("ev") == "error"
+                    and "pipeline: expected auto|on|off" in e.get("error", "")]
+        if rc != 0 or not rejected:
+            failures.append(f"pipeline-reject: expected an error event naming "
+                            f"'pipeline', got rc={rc} events={events} "
+                            f"stderr={err}")
+        else:
+            print("  reject: pipeline=banana refused with a diagnostic")
 
         # Shutdown op: drain mode acks, finishes in-flight work, exits 0.
         lines = [submit_line(spec, "last"),

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a boosting-metrics-v7 JSON file against docs/metrics_schema.json.
+"""Validate a boosting-metrics-v8 JSON file against docs/metrics_schema.json.
 
 Hand-rolled validator for the draft-07 subset the schema actually uses
 (type, required, properties, additionalProperties, items, enum, minimum,
@@ -43,7 +43,12 @@ promise:
     most once; the difference is jobs still live at snapshot time),
     context_reuses + context_builds + bypasses <= submitted (each
     accepted job sources its exploration state exactly one way), and
-    evictions <= context_builds (only built contexts can be evicted).
+    evictions <= context_builds (only built contexts can be evicted);
+  * when the pipelined install ran (explorer.pipeline.* counters present,
+    v8), the family is complete, explorer.shard.* is present alongside
+    (the pipelined install runs over the sharded table), and
+    bulk_action_batches <= explorer.edges_computed (at most one bulk
+    action-pin batch per installed node, and only nodes with edges pin).
 
 Usage: validate_metrics.py [--schema SCHEMA] [--expect-workers N] METRICS
 Exits 0 when valid, 1 with one "path: problem" line per violation.
@@ -215,6 +220,31 @@ def check_invariants(doc, expect_workers, errors):
                 f"$.counters: explorer.por.ample_avg {ample_avg} > 1000 "
                 "(per-mille fraction)")
 
+    pipeline = [n for n in counters if n.startswith("explorer.pipeline.")]
+    if pipeline:
+        for required in ("explorer.pipeline.levels_overlapped",
+                         "explorer.pipeline.install_wait_ns",
+                         "explorer.pipeline.bulk_action_batches"):
+            if required not in counters:
+                errors.append(
+                    "$.counters: explorer.pipeline.* present but incomplete "
+                    f"({sorted(pipeline)})")
+                break
+        # A pipelined run flushes through the sharded explorer, so the
+        # shard counters must be present alongside (v8).
+        if not shard:
+            errors.append(
+                "$.counters: explorer.pipeline.* present without "
+                "explorer.shard.* (pipelined installs run over the sharded "
+                "table)")
+        batches = cval("explorer.pipeline.bulk_action_batches")
+        edges = cval("explorer.edges_computed")
+        if batches > edges:
+            errors.append(
+                f"$.counters: explorer.pipeline.bulk_action_batches "
+                f"{batches} > explorer.edges_computed {edges} (at most one "
+                "bulk batch per installed node)")
+
     graph_bytes = [n for n in counters if n.startswith("graph.bytes_")]
     if graph_bytes:
         for required in ("graph.bytes_states", "graph.bytes_edges",
@@ -382,7 +412,7 @@ def main():
 
     counters = len(doc.get("counters", []))
     timers = len(doc.get("timers", []))
-    print(f"{args.metrics}: valid boosting-metrics-v7 "
+    print(f"{args.metrics}: valid boosting-metrics-v8 "
           f"({counters} counters, {timers} timers)")
     return 0
 
